@@ -1,0 +1,51 @@
+"""§4.2: six certified non-streaming skills contact advertising/tracking
+services — a potential Alexa advertising-policy violation that the
+certification process never flagged."""
+
+from repro.alexa.certification import CertificationChecker, audit_certified_skills
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+
+
+def bench_certification_violations(benchmark, dataset, world, vendor_by_skill):
+    traffic = analyze_traffic(
+        dataset, world.org_resolver(), world.filter_list, vendor_by_skill
+    )
+    observed = {
+        skill.skill_id: list(skill.domains)
+        for skill in traffic.per_skill
+    }
+    certifications = CertificationChecker().review_catalog(world.catalog)
+
+    violations = benchmark.pedantic(
+        audit_certified_skills,
+        args=(
+            world.catalog.active_skills,
+            observed,
+            world.filter_list,
+            certifications,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    rows = [
+        (world.catalog.by_id(v.skill_id).name, ", ".join(v.evidence))
+        for v in violations
+    ]
+    print()
+    print(
+        render_table(
+            ["certified non-streaming skill", "A&T services observed"],
+            rows,
+            title="§4.2 advertising-policy violations",
+        )
+    )
+
+    names = {world.catalog.by_id(v.skill_id).name for v in violations}
+    # Paper: six such skills, Genesis and Men's Finest named explicitly,
+    # all certified, none flagged.
+    assert len(names) == 6
+    assert {"Genesis", "Men's Finest Daily Fashion Tip"} <= names
+    for violation in violations:
+        assert certifications[violation.skill_id].certified

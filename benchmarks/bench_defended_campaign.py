@@ -1,0 +1,68 @@
+"""§8.1 end-to-end: the full audit campaign behind the blocking router.
+
+Re-runs a scaled campaign with the filter-list defense at the network
+edge and recomputes Table 2: the advertising/tracking share of Echo
+traffic collapses while the skills keep working."""
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+from repro.core.world import build_world
+from repro.defenses import BlockingRouter
+from repro.util.rng import Seed
+
+CONFIG = ExperimentConfig(
+    skills_per_persona=10,
+    pre_iterations=1,
+    post_iterations=2,
+    crawl_sites=4,
+    prebid_discovery_target=15,
+    audio_hours=0.5,
+)
+
+
+def _run(defended: bool):
+    world = build_world(Seed(77))
+    if defended:
+        world.router = BlockingRouter(world.router, world.filter_list)
+    from repro.core.experiment import ExperimentRunner
+
+    dataset = ExperimentRunner(world, CONFIG).run()
+    vendor_by_skill = {s.skill_id: s.vendor for s in world.catalog}
+    traffic = analyze_traffic(
+        dataset, world.org_resolver(), world.filter_list, vendor_by_skill
+    )
+    shares = traffic.ad_tracking_traffic_share()
+    ad_share = sum(v for (_, ad), v in shares.items() if ad)
+    captured = sum(
+        1
+        for a in dataset.interest_personas
+        for c in a.skill_captures.values()
+        if len(c) > 0
+    )
+    return ad_share, captured
+
+
+def bench_defended_campaign(benchmark):
+    baseline_share, baseline_skills = _run(defended=False)
+    defended_share, defended_skills = benchmark.pedantic(
+        _run, args=(True,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["configuration", "A&T traffic share", "skills with traffic"],
+            [
+                ("stock router", f"{100 * baseline_share:.2f}%", baseline_skills),
+                ("blocking router", f"{100 * defended_share:.2f}%", defended_skills),
+            ],
+            title="§8.1 defended campaign (Table 2 recomputed)",
+        )
+    )
+
+    # The defense eliminates the tracking share entirely (nothing
+    # filter-listed reaches the wire, so the capture contains none of it)
+    # while every skill still produces traffic.
+    assert baseline_share > 0.02
+    assert defended_share == 0.0
+    assert defended_skills == baseline_skills

@@ -1,0 +1,83 @@
+"""§8.1 defense: on-device wake word + transcription (text-only API).
+
+Before/after comparison of what voice-derived data leaves the home, per
+device type, over the same skill workload."""
+
+from repro.alexa import AVSEcho, AlexaCloud, AmazonAccount, Marketplace
+from repro.core.report import render_table
+from repro.data import categories as cat
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.defenses import LocalProcessingEcho, voice_exposure
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+def _compare_devices():
+    seed = Seed(42)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    skills = [s for s in catalog.top_skills(cat.HEALTH, 25) if s.active]
+
+    results = {}
+    replies_ok = {}
+    for name, device_cls in (
+        ("stock AVS Echo", AVSEcho),
+        ("local-processing Echo", LocalProcessingEcho),
+    ):
+        account = AmazonAccount(
+            email=f"{device_cls.__name__.lower()}@persona.example.com",
+            persona=device_cls.__name__,
+        )
+        device = device_cls(
+            f"dev-{device_cls.__name__}", account, router, cloud, seed
+        )
+        answered = 0
+        for spec in skills:
+            marketplace.install(account, spec.skill_id)
+            replies = device.run_skill_session(spec)
+            if any(r is not None for r in replies):
+                answered += 1
+        results[name] = voice_exposure(device.plaintext_log)
+        replies_ok[name] = answered
+    return results, replies_ok, len(skills)
+
+
+def bench_defense_local_voice(benchmark):
+    results, replies_ok, n_skills = benchmark.pedantic(
+        _compare_devices, rounds=2, iterations=1
+    )
+    rows = [
+        (
+            name,
+            exposure["audio_uploads"],
+            exposure["text_uploads"],
+            exposure["skill_voice_fields"],
+            f"{replies_ok[name]}/{n_skills}",
+        )
+        for name, exposure in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["device", "audio uploads", "text uploads", "skill voice fields", "functional"],
+            rows,
+            title="§8.1 defense — local voice processing",
+        )
+    )
+
+    stock = results["stock AVS Echo"]
+    defended = results["local-processing Echo"]
+    # The defense eliminates audio leaving the device entirely...
+    assert stock["audio_uploads"] > 0
+    assert defended["audio_uploads"] == 0
+    assert defended["text_uploads"] > 0
+    # ...including the voice fields skills would otherwise collect...
+    assert stock["skill_voice_fields"] > 0
+    assert defended["skill_voice_fields"] == 0
+    # ...with no loss of functionality.
+    assert replies_ok["local-processing Echo"] >= replies_ok["stock AVS Echo"] - 1

@@ -1,0 +1,46 @@
+"""Figure 2: network traffic distribution by persona, domain, purpose,
+and organization (the sankey's underlying flow counts)."""
+
+from collections import Counter
+
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+from repro.data import categories as cat
+
+
+def bench_figure2_flows(benchmark, dataset, world, vendor_by_skill):
+    analysis = benchmark.pedantic(
+        analyze_traffic,
+        args=(dataset, world.org_resolver(), world.filter_list, vendor_by_skill),
+        rounds=2,
+        iterations=1,
+    )
+
+    # persona -> org class -> request count (the figure's edge weights).
+    edges = Counter()
+    for traffic in analysis.per_skill:
+        for domain, (org, requests) in traffic.domains.items():
+            edges[(traffic.persona, analysis.domain_class[domain])] += requests
+
+    rows = [
+        (cat.CATEGORY_DISPLAY[p], edges[(p, "amazon")], edges[(p, "skill vendor")], edges[(p, "third party")])
+        for p in cat.ALL_CATEGORIES
+    ]
+    print()
+    print(
+        render_table(
+            ["persona", "→ Amazon", "→ skill vendor", "→ third party"],
+            rows,
+            title="Figure 2 (flow weights)",
+        )
+    )
+
+    # Shape: every persona's traffic is Amazon-dominated; only some
+    # personas have third-party flows; Smart Home / Wine / Navigation
+    # contact no third parties (§6.2).
+    for persona in cat.ALL_CATEGORIES:
+        assert edges[(persona, "amazon")] > 10 * edges[(persona, "third party")]
+    for persona in (cat.SMART_HOME, cat.WINE, cat.NAVIGATION):
+        assert edges[(persona, "third party")] == 0
+    for persona in (cat.FASHION, cat.CONNECTED_CAR, cat.PETS):
+        assert edges[(persona, "third party")] > 0

@@ -1,0 +1,37 @@
+"""Figure 3: CPM distributions across vanilla and interest personas on
+common slots, (a) without and (b) with user interaction."""
+
+import numpy as np
+
+from repro.core.bids import figure3_series
+from repro.core.report import render_distribution
+from repro.data import categories as cat
+
+
+def bench_figure3_bid_dists(benchmark, dataset):
+    series = benchmark(figure3_series, dataset)
+
+    print()
+    print(render_distribution(series["pre"], title="Figure 3a (no interaction)"))
+    print()
+    print(render_distribution(series["post"], title="Figure 3b (with interaction)"))
+
+    pre_medians = {p: float(np.median(v)) for p, v in series["pre"].items() if v}
+    post_medians = {p: float(np.median(v)) for p, v in series["post"].items() if v}
+
+    # 3a shape: without interaction there is no discernible difference —
+    # the extreme/vanilla median ratio stays small.
+    vanilla_pre = pre_medians[cat.VANILLA]
+    ratio_spread = max(pre_medians.values()) / max(min(pre_medians.values()), 1e-9)
+    assert ratio_spread < 2.0
+    assert 0.5 < vanilla_pre / np.median(list(pre_medians.values())) < 2.0
+
+    # 3b shape: with interaction every interest persona's median is above
+    # vanilla's, most at >= 2x.
+    vanilla_post = post_medians[cat.VANILLA]
+    for persona in cat.ALL_CATEGORIES:
+        assert post_medians[persona] > vanilla_post, persona
+    assert (
+        sum(1 for p in cat.ALL_CATEGORIES if post_medians[p] > 1.8 * vanilla_post)
+        >= 7
+    )

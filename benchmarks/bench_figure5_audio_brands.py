@@ -1,0 +1,46 @@
+"""Figure 5: distribution of audio-ad brands across Amazon Music,
+Spotify, and Pandora (brands streamed twice or more)."""
+
+from repro.core.adcontent import analyze_audio_ads
+from repro.core.report import render_table
+from repro.data import categories as cat
+
+
+def bench_figure5_audio_brands(benchmark, dataset):
+    analysis = benchmark(analyze_audio_ads, dataset)
+
+    rows = []
+    for (skill, persona), brands in sorted(analysis.brand_distributions.items()):
+        for brand, count in sorted(brands.items(), key=lambda kv: -kv[1]):
+            rows.append((skill, persona, brand, count))
+    print()
+    print(render_table(["skill", "persona", "brand", "plays"], rows, title="Figure 5"))
+
+    def brands(skill, persona):
+        return {
+            b.lower() for b in analysis.brand_distributions.get((skill, persona), {})
+        }
+
+    # Fashion & Style exclusives (paper: Ashley and Ross on Spotify,
+    # Swiffer Wet Jet on Pandora).
+    fashion_spotify = analysis.exclusive_brands("Spotify", cat.FASHION)
+    assert {"ashley", "ross"} <= {b.lower() for b in fashion_spotify}
+    fashion_pandora = analysis.exclusive_brands("Pandora", cat.FASHION)
+    assert "swiffer wet jet" in {b.lower() for b in fashion_pandora}
+
+    # Connected Car's sole Pandora exclusive: Febreeze car.
+    cc_pandora = {b.lower() for b in analysis.exclusive_brands("Pandora", cat.CONNECTED_CAR)}
+    assert "febreeze car" in cc_pandora
+
+    # Clothing brands appear much more often for Fashion & Style.
+    # (Extraction lowercases brands, so compare on lowercase keys.)
+    def plays(skill, persona, brand):
+        dist = analysis.brand_distributions.get((skill, persona), {})
+        return sum(c for b, c in dist.items() if b.lower() == brand)
+
+    for brand in ("burlington", "kohl's"):
+        fashion_count = plays("Pandora", cat.FASHION, brand)
+        others = plays("Pandora", cat.CONNECTED_CAR, brand) + plays(
+            "Pandora", cat.VANILLA, brand
+        )
+        assert fashion_count > others, brand

@@ -1,0 +1,39 @@
+"""Figure 6: bid distributions from Amazon's advertising partners across
+personas on common ad slots."""
+
+import numpy as np
+
+from repro.core.bids import bids_on_slots, common_slots
+from repro.core.report import render_distribution
+from repro.core.syncing import detect_cookie_syncing
+from repro.data import categories as cat
+
+
+def bench_figure6_partner_dists(benchmark, dataset):
+    sync = detect_cookie_syncing(dataset)
+    slots = common_slots(dataset)
+
+    def partner_series():
+        series = {}
+        for artifacts in dataset.personas.values():
+            if artifacts.persona.kind == "web":
+                continue
+            series[artifacts.persona.name] = [
+                b.cpm
+                for b in bids_on_slots(artifacts, slots, "post")
+                if b.bidder in sync.amazon_partners
+            ]
+        return series
+
+    series = benchmark(partner_series)
+    print()
+    print(render_distribution(series, title="Figure 6 (partner bids)"))
+
+    medians = {p: float(np.median(v)) for p, v in series.items() if v}
+    vanilla = medians[cat.VANILLA]
+    # Partner bids on interest personas dominate vanilla across the board.
+    above = sum(1 for p in cat.ALL_CATEGORIES if medians[p] > vanilla)
+    assert above == len(cat.ALL_CATEGORIES)
+    # And the strongest personas exceed 3x vanilla (paper: up to 3x
+    # partner-vs-non-partner and far more vs vanilla).
+    assert max(medians[p] for p in cat.ALL_CATEGORIES) > 2.5 * vanilla

@@ -1,0 +1,26 @@
+"""Figure 7: CPM distributions across vanilla, Echo interest, and web
+interest personas on common ad slots."""
+
+import numpy as np
+
+from repro.core.bids import figure7_series
+from repro.core.report import render_distribution
+from repro.data import categories as cat
+
+
+def bench_figure7_web_dists(benchmark, dataset):
+    series = benchmark(figure7_series, dataset)
+    print()
+    print(render_distribution(series, title="Figure 7"))
+
+    medians = {p: float(np.median(v)) for p, v in series.items() if v}
+    vanilla = medians[cat.VANILLA]
+    echo_medians = [medians[p] for p in cat.ALL_CATEGORIES]
+    web_medians = [medians[p] for p in cat.WEB_CATEGORIES]
+
+    # Web personas sit inside the Echo-persona range (no discernible
+    # difference), and both are clearly above vanilla.
+    assert min(web_medians) >= min(echo_medians) * 0.7
+    assert max(web_medians) <= max(echo_medians) * 1.3
+    assert all(m > vanilla for m in web_medians)
+    assert all(m > vanilla for m in echo_medians)

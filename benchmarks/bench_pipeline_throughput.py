@@ -1,0 +1,64 @@
+"""Pipeline-cost benchmarks: what the framework itself costs to run.
+
+Not a paper table — these time the reproduction's own moving parts so
+regressions in the simulator or the analyses are caught: world build,
+one skill-session audit, one crawl iteration, and a DSAR round trip.
+"""
+
+from repro.alexa import AmazonAccount, EchoDevice
+from repro.core.world import build_world
+from repro.util.rng import Seed
+from repro.web import BrowserProfile, OpenWPMCrawler, discover_prebid_sites
+
+
+def bench_world_build(benchmark):
+    world = benchmark(lambda: build_world(Seed(101)))
+    assert len(world.catalog) == 450
+
+
+def bench_skill_session_audit(benchmark):
+    world = build_world(Seed(102))
+    account = AmazonAccount(email="perf@persona.example.com", persona="perf")
+    device = EchoDevice("echo-perf", account, world.router, world.cloud, world.seed)
+    spec = world.catalog.by_name("Garmin")
+    world.marketplace.install(account, spec.skill_id)
+
+    def run_session():
+        capture = world.router.start_capture("perf", device_filter="echo-perf")
+        device.run_skill_session(spec)
+        device.background_sync(list(spec.amazon_endpoints))
+        world.router.stop_capture(capture)
+        return capture
+
+    capture = benchmark(run_session)
+    assert len(capture) > 10
+
+
+def bench_crawl_iteration(benchmark):
+    world = build_world(Seed(103))
+    probe = BrowserProfile("probe-perf", "probe")
+    world.adtech.register_profile(probe)
+    sites = discover_prebid_sites(
+        world.toplist, world.universe, world.adtech, probe, world.clock, target=20
+    )
+    profile = BrowserProfile("prof-perf", "fashion-and-style")
+    crawler = OpenWPMCrawler(
+        profile,
+        world.universe,
+        world.adtech,
+        world.clock,
+        world.seed,
+        bot_mitigation=False,
+    )
+    counter = iter(range(10_000))
+
+    result = benchmark(lambda: crawler.crawl_iteration(sites, next(counter)))
+    assert result.bids
+
+
+def bench_dsar_round_trip(benchmark):
+    world = build_world(Seed(104))
+    account = AmazonAccount(email="dsar@persona.example.com", persona="dsar")
+    world.cloud.register_account(account)
+    export = benchmark(lambda: world.dsar.request_data(account.customer_id))
+    assert export.files

@@ -1,0 +1,37 @@
+"""§7.1 policy availability statistics: 214/450 links, 188 downloadable,
+129 generic, 10 linking Amazon's policy."""
+
+from paper_targets import (
+    POLICIES_DOWNLOADED,
+    POLICIES_GENERIC,
+    POLICIES_LINK_AMAZON,
+    POLICY_LINKS,
+)
+
+from repro.core.compliance import policy_availability
+from repro.core.report import render_kv
+
+
+def bench_policy_stats(benchmark, dataset):
+    stats = benchmark(policy_availability, dataset)
+    print()
+    print(
+        render_kv(
+            {
+                "skills": f"{stats.total_skills} (paper 450)",
+                "policy links": f"{stats.with_link} (paper {POLICY_LINKS})",
+                "downloadable": f"{stats.downloadable} (paper {POLICIES_DOWNLOADED})",
+                "mention Amazon/Alexa": f"{stats.mention_amazon} (paper 59)",
+                "generic (no mention)": f"{stats.generic} (paper {POLICIES_GENERIC})",
+                "link Amazon's policy": f"{stats.link_amazon_policy} (paper {POLICIES_LINK_AMAZON})",
+            },
+            title="§7.1 policy availability",
+        )
+    )
+
+    assert stats.total_skills == 450
+    assert stats.with_link == POLICY_LINKS
+    assert stats.downloadable == POLICIES_DOWNLOADED
+    assert stats.generic == POLICIES_GENERIC
+    assert stats.link_amazon_policy == POLICIES_LINK_AMAZON
+    assert stats.mention_amazon == 59

@@ -1,0 +1,34 @@
+"""§5.5 headline counts: 41 advertisers sync cookies with Amazon, Amazon
+never syncs outbound, and partners sync with 247 downstream parties."""
+
+from paper_targets import N_DOWNSTREAM, N_SYNC_PARTNERS
+
+from repro.core.report import render_kv
+from repro.core.syncing import detect_cookie_syncing
+
+
+def bench_sync_counts(benchmark, dataset):
+    analysis = benchmark.pedantic(
+        detect_cookie_syncing, args=(dataset,), rounds=2, iterations=1
+    )
+    print()
+    print(
+        render_kv(
+            {
+                "partners syncing with Amazon": f"{analysis.partner_count} (paper {N_SYNC_PARTNERS})",
+                "Amazon outbound syncs": f"{len(analysis.amazon_outbound_targets)} (paper 0)",
+                "downstream third parties": f"{analysis.downstream_count} (paper {N_DOWNSTREAM})",
+                "sync events observed": len(analysis.events),
+            },
+            title="§5.5 cookie syncing",
+        )
+    )
+
+    assert analysis.partner_count == N_SYNC_PARTNERS
+    assert analysis.downstream_count == N_DOWNSTREAM
+    assert analysis.amazon_outbound_targets == set()
+    # Every partner that synced with Amazon also reaches downstream parties.
+    assert set(analysis.partner_downstream) <= set(analysis.amazon_partners) | set(
+        analysis.partner_downstream
+    )
+    assert all(domains for domains in analysis.partner_downstream.values())

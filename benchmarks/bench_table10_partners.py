@@ -1,0 +1,50 @@
+"""Table 10: bid values from Amazon's cookie-sync partners vs
+non-partner advertisers, per persona."""
+
+from repro.core.bids import partner_split
+from repro.core.report import render_table
+from repro.core.syncing import detect_cookie_syncing
+from repro.data import categories as cat
+
+
+def bench_table10_partners(benchmark, dataset):
+    sync = detect_cookie_syncing(dataset)
+
+    split = benchmark.pedantic(
+        partner_split, args=(dataset, sync.amazon_partners), rounds=2, iterations=1
+    )
+
+    rows = []
+    for persona in list(cat.ALL_CATEGORIES) + [cat.VANILLA]:
+        partner, non_partner = split[persona]
+        rows.append(
+            (
+                persona,
+                f"{partner.median:.3f}/{partner.mean:.3f}",
+                f"{non_partner.median:.3f}/{non_partner.mean:.3f}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["persona", "partner med/mean", "non-partner med/mean"],
+            rows,
+            title="Table 10",
+        )
+    )
+
+    # Shape: partners' medians are higher for most interest personas
+    # (paper: 6+), because the interest signal flows through the sync;
+    # vanilla shows no partner advantage (no interest data to share).
+    higher = [
+        p
+        for p in cat.ALL_CATEGORIES
+        if split[p][0].median > split[p][1].median
+    ]
+    assert len(higher) >= 6
+    vanilla_partner, vanilla_non = split[cat.VANILLA]
+    assert abs(vanilla_partner.median - vanilla_non.median) < 0.02
+    # At least one persona shows a large (>=1.5x) partner advantage.
+    assert any(
+        split[p][0].median > 1.5 * split[p][1].median for p in cat.ALL_CATEGORIES
+    )

@@ -1,0 +1,39 @@
+"""Table 11: statistical comparison of Echo interest personas against
+web-primed interest personas (two-sided Mann-Whitney)."""
+
+from repro.core.bids import echo_vs_web_matrix
+from repro.core.report import render_table
+from repro.data import categories as cat
+
+
+def bench_table11_echo_vs_web(benchmark, dataset):
+    matrix = benchmark(echo_vs_web_matrix, dataset)
+
+    rows = []
+    for persona in cat.ALL_CATEGORIES:
+        row = [persona]
+        for web in cat.WEB_CATEGORIES:
+            row.append(f"{matrix[(persona, web)].p_value:.3f}")
+        rows.append(tuple(row))
+    print()
+    print(
+        render_table(
+            ["persona", "web-health p", "web-science p", "web-computers p"],
+            rows,
+            title="Table 11",
+        )
+    )
+
+    # Paper takeaway: Echo-leaked voice data and web-leaked browsing data
+    # produce *similar* targeting — the overwhelming majority of the 27
+    # persona pairs show no significant difference (paper: 26 of 27).
+    significant = [k for k, r in matrix.items() if r.p_value < 0.05]
+    print(f"\nsignificant pairs: {significant} (paper: 1 of 27)")
+    assert len(matrix) == 27
+    assert len(significant) <= 4
+    # The six strongly-targeted Echo personas are all indistinguishable
+    # from the web personas.
+    for persona in (cat.CONNECTED_CAR, cat.DATING, cat.FASHION, cat.PETS,
+                    cat.RELIGION, cat.NAVIGATION):
+        for web in cat.WEB_CATEGORIES:
+            assert matrix[(persona, web)].p_value >= 0.05, (persona, web)

@@ -1,0 +1,50 @@
+"""Table 12: advertising interests inferred by Amazon per persona, across
+the three DSAR requests."""
+
+from repro.core.profiling import analyze_profiling
+from repro.core.report import render_table
+from repro.data import categories as cat
+
+
+def bench_table12_interests(benchmark, dataset):
+    analysis = benchmark(analyze_profiling, dataset)
+
+    rows = []
+    for obs in analysis.observations:
+        if obs.interests:
+            rows.append((obs.request_label, obs.persona, "; ".join(obs.interests)))
+    print()
+    print(render_table(["config", "persona", "inferred interests"], rows, title="Table 12"))
+    print(f"\nmissing interest files: {analysis.personas_missing_file}")
+
+    # Install-only: only Health & Fitness yields interests.
+    assert analysis.personas_with_interests("installation") == [cat.HEALTH]
+    install = analysis.interests_for(cat.HEALTH, "installation")
+    assert set(install) == {"Electronics", "Home & Garden: DIY & Tools"}
+
+    # Interaction (1): Fashion & Style and Smart Home join in.
+    assert set(analysis.personas_with_interests("interaction-1")) == {
+        cat.HEALTH,
+        cat.FASHION,
+        cat.SMART_HOME,
+    }
+    fashion = analysis.interests_for(cat.FASHION, "interaction-1")
+    assert set(fashion) == {"Beauty & Personal Care", "Fashion", "Video Entertainment"}
+    health_refined = analysis.interests_for(cat.HEALTH, "interaction-1")
+    assert set(health_refined) == {"Home & Garden: DIY & Tools"}
+
+    # Interaction (2): interests evolve; Smart Home gains Pet Supplies.
+    smart2 = analysis.interests_for(cat.SMART_HOME, "interaction-2")
+    assert smart2 is not None and "Pet Supplies" in smart2
+    fashion2 = analysis.interests_for(cat.FASHION, "interaction-2")
+    assert set(fashion2) == {"Fashion", "Video Entertainment"}
+
+    # The missing-file quirk: five personas' advertising files vanish on
+    # the second post-interaction export, including on re-request.
+    assert set(analysis.personas_missing_file) == {
+        cat.HEALTH,
+        cat.WINE,
+        cat.RELIGION,
+        cat.DATING,
+        cat.VANILLA,
+    }

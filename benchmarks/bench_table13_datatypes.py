@@ -1,0 +1,60 @@
+"""Table 13: PoliCheck data-type disclosure analysis on AVS plaintext."""
+
+from paper_targets import TABLE13
+
+from repro.core.compliance import analyze_compliance
+from repro.core.report import render_table
+from repro.data import datatypes as dt
+
+
+def bench_table13_datatypes(benchmark, dataset, world):
+    analysis = benchmark.pedantic(
+        analyze_compliance,
+        args=(dataset, world.corpus, world.org_resolver(), world.org_categories()),
+        rounds=2,
+        iterations=1,
+    )
+
+    rows = []
+    for data_type in dt.ALL_DATA_TYPES:
+        counts = analysis.datatype_table.get(data_type, {})
+        paper = TABLE13[data_type]
+        rows.append(
+            (
+                data_type,
+                counts.get("clear", 0),
+                paper[0],
+                counts.get("vague", 0),
+                paper[1],
+                counts.get("omitted", 0),
+                paper[2],
+                counts.get("no policy", 0),
+                paper[3],
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["data type", "clr", "p", "vag", "p", "omi", "p", "nopol", "p"],
+            rows,
+            title="Table 13 (measured vs paper)",
+        )
+    )
+
+    for data_type in dt.ALL_DATA_TYPES:
+        counts = analysis.datatype_table.get(data_type, {})
+        clear, vague, omitted, no_policy = TABLE13[data_type]
+        # Exact on the no-policy column (the corpus controls it exactly);
+        # within a phrasing-noise margin elsewhere.
+        assert counts.get("no policy", 0) == no_policy, data_type
+        assert abs(counts.get("clear", 0) - clear) <= 3, data_type
+        assert abs(counts.get("vague", 0) - vague) <= 10, data_type
+        assert abs(counts.get("omitted", 0) - omitted) <= 12, data_type
+
+    # Headline claims: most disclosures are omissions; clears are rare;
+    # only voice recording and customer id have any clear disclosures.
+    for data_type in dt.ALL_DATA_TYPES:
+        counts = analysis.datatype_table.get(data_type, {})
+        disclosed = counts.get("clear", 0) + counts.get("vague", 0)
+        hidden = counts.get("omitted", 0) + counts.get("no policy", 0)
+        assert hidden > 2 * disclosed, data_type

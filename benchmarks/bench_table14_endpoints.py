@@ -1,0 +1,73 @@
+"""Table 14: endpoint organizations observed in Echo traffic, with
+per-skill disclosure classes (the color coding of the paper's table)."""
+
+from repro.core.compliance import analyze_compliance
+from repro.core.report import render_table
+
+AMAZON = "Amazon Technologies, Inc."
+
+#: Disclosure expectations for the paper's named rows.
+PAPER_ROWS = {
+    "Garmin International": {"clear": ["Garmin"]},
+    "Life Covenant Church, Inc.": {"clear": ["YouVersion Bible"]},
+    "Triton Digital, Inc.": {"vague": ["Charles Stanley Radio"]},
+    "Dilli Labs LLC": {"vague": ["VCA Animal Hospitals"]},
+}
+
+
+def bench_table14_endpoints(benchmark, dataset, world):
+    analysis = benchmark.pedantic(
+        analyze_compliance,
+        args=(dataset, world.corpus, world.org_resolver(), world.org_categories()),
+        rounds=2,
+        iterations=1,
+    )
+
+    rows = []
+    for org, classes in sorted(analysis.endpoint_table.items()):
+        rows.append(
+            (
+                org,
+                len(classes.get("clear", [])),
+                len(classes.get("vague", [])),
+                len(classes.get("omitted", [])),
+                len(classes.get("no policy", [])),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["organization", "clear", "vague", "omitted", "no policy"],
+            rows,
+            title="Table 14 (skills per disclosure class)",
+        )
+    )
+
+    # 13 endpoint organizations plus Amazon mediation everywhere.
+    assert len(analysis.endpoint_table) == 13
+    assert AMAZON in analysis.endpoint_table
+
+    # Platform-party disclosure: ~10 clear, ~136 vague, rest omitted or
+    # without policy (paper's Amazon row).
+    amazon = analysis.platform_disclosure_counts()
+    assert 8 <= amazon.get("clear", 0) <= 13
+    assert 120 <= amazon.get("vague", 0) <= 150
+    assert amazon.get("no policy", 0) == 258
+
+    # Named rows keep their paper colors.
+    catalog = world.catalog
+    for org, expectations in PAPER_ROWS.items():
+        classes = analysis.endpoint_table[org]
+        for klass, names in expectations.items():
+            classified = {catalog.by_id(s).name for s in classes.get(klass, [])}
+            for name in names:
+                assert name in classified, (org, klass, name)
+
+    # Only 32 skills exhibit non-Amazon endpoints (Table 14 caption).
+    non_amazon_skills = set()
+    for org, classes in analysis.endpoint_table.items():
+        if org == AMAZON:
+            continue
+        for skills in classes.values():
+            non_amazon_skills.update(skills)
+    assert len(non_amazon_skills) == 32

@@ -1,0 +1,56 @@
+"""Table 1: Amazon, skill-vendor, and third-party domains contacted by
+skills, with per-domain skill counts."""
+
+from collections import defaultdict
+
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+from repro.netsim.endpoints import registrable_domain
+
+
+def bench_table1_domains(benchmark, dataset, world, vendor_by_skill):
+    analysis = benchmark.pedantic(
+        analyze_traffic,
+        args=(dataset, world.org_resolver(), world.filter_list, vendor_by_skill),
+        rounds=2,
+        iterations=1,
+    )
+
+    # Aggregate subdomains per (org class, registrable domain), as the
+    # paper's *(N).domain notation does.
+    grouped = defaultdict(lambda: [set(), set()])  # base -> [subdomains, skills]
+    for domain, skills in analysis.skills_by_domain.items():
+        base = registrable_domain(domain)
+        key = (analysis.domain_class[domain], base)
+        grouped[key][0].add(domain)
+        grouped[key][1].update(skills)
+
+    rows = []
+    for (org_class, base), (subdomains, skills) in sorted(
+        grouped.items(), key=lambda kv: (kv[0][0], -len(kv[1][1]))
+    ):
+        label = base if len(subdomains) == 1 else f"*({len(subdomains)}).{base}"
+        flagged = any(
+            analysis.domain_is_ad_tracking[d] for d in subdomains
+        )
+        rows.append(
+            (org_class, label, len(skills), "A&T" if flagged else "")
+        )
+    print()
+    print(render_table(["org", "domain", "skills", "class"], rows, title="Table 1"))
+
+    amazon = analysis.skills_contacting("amazon")
+    vendor = analysis.skills_contacting("skill vendor")
+    third = analysis.skills_contacting("third party")
+    print(
+        f"\nskills contacting: amazon={len(amazon)} (paper 446), "
+        f"own vendor={len(vendor)} (paper 2), third party={len(third)} (paper 31), "
+        f"failed={len(analysis.failed_skills)} (paper 4)"
+    )
+
+    # Paper shape: ~99% Amazon, exactly Garmin+YouVersion on own domains,
+    # ~31 third-party skills, 4 failures.
+    assert len(amazon) == 446
+    assert len(vendor) == 2
+    assert len(third) == 31
+    assert len(analysis.failed_skills) == 4

@@ -1,0 +1,49 @@
+"""Table 2: distribution of advertising/tracking vs functional traffic by
+organization class."""
+
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+
+
+def bench_table2_adshare(benchmark, dataset, world, vendor_by_skill):
+    analysis = benchmark.pedantic(
+        analyze_traffic,
+        args=(dataset, world.org_resolver(), world.filter_list, vendor_by_skill),
+        rounds=2,
+        iterations=1,
+    )
+    shares = analysis.ad_tracking_traffic_share()
+
+    paper = {
+        ("amazon", False): 0.8893,
+        ("amazon", True): 0.0791,
+        ("skill vendor", False): 0.0017,
+        ("third party", False): 0.0149,
+        ("third party", True): 0.0150,
+    }
+    rows = []
+    for key in sorted(set(shares) | set(paper)):
+        org_class, is_ad = key
+        rows.append(
+            (
+                org_class,
+                "advertising & tracking" if is_ad else "functional",
+                f"{100 * shares.get(key, 0.0):.2f}%",
+                f"{100 * paper.get(key, 0.0):.2f}%",
+            )
+        )
+    print()
+    print(render_table(["org", "traffic class", "measured", "paper"], rows, title="Table 2"))
+
+    amazon_functional = shares.get(("amazon", False), 0)
+    amazon_ad = shares.get(("amazon", True), 0)
+    third_ad = shares.get(("third party", True), 0)
+    # Shape: Amazon dominates; ~5-15% of traffic is A&T overall, with
+    # device-metrics making Amazon's A&T share several times the third
+    # parties'.
+    assert amazon_functional > 0.80
+    assert 0.04 < amazon_ad < 0.15
+    assert 0.005 < third_ad < 0.03
+    assert amazon_ad > third_ad
+    total_ad = sum(v for (cls, ad), v in shares.items() if ad)
+    assert 0.05 < total_ad < 0.15  # paper: 9.4%

@@ -1,0 +1,52 @@
+"""Table 3: advertising/tracking vs functional third-party domains
+contacted per persona."""
+
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+from repro.data import categories as cat
+
+PAPER = {
+    cat.FASHION: (9, 4),
+    cat.CONNECTED_CAR: (7, 0),
+    cat.PETS: (3, 11),
+    cat.RELIGION: (3, 8),
+    cat.DATING: (5, 1),
+    cat.HEALTH: (0, 1),
+    cat.SMART_HOME: (0, 0),
+    cat.WINE: (0, 0),
+    cat.NAVIGATION: (0, 0),
+}
+
+
+def bench_table3_personas(benchmark, dataset, world, vendor_by_skill):
+    analysis = benchmark.pedantic(
+        analyze_traffic,
+        args=(dataset, world.org_resolver(), world.filter_list, vendor_by_skill),
+        rounds=2,
+        iterations=1,
+    )
+    rows = []
+    for persona in cat.ALL_CATEGORIES:
+        at, fn = analysis.persona_third_party.get(persona, (set(), set()))
+        paper_at, paper_fn = PAPER[persona]
+        rows.append(
+            (
+                cat.CATEGORY_DISPLAY[persona],
+                len(at),
+                paper_at,
+                len(fn),
+                paper_fn,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["persona", "A&T", "A&T paper", "functional", "func. paper"],
+            rows,
+            title="Table 3",
+        )
+    )
+    for persona, (paper_at, paper_fn) in PAPER.items():
+        at, fn = analysis.persona_third_party.get(persona, (set(), set()))
+        assert len(at) == paper_at, persona
+        assert len(fn) == paper_fn, persona

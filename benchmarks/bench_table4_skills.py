@@ -1,0 +1,39 @@
+"""Table 4: top-5 skills contacting third-party advertising & tracking
+services."""
+
+from repro.core.report import render_table
+from repro.core.traffic import analyze_traffic
+
+
+def bench_table4_skills(benchmark, dataset, world, vendor_by_skill):
+    analysis = benchmark.pedantic(
+        analyze_traffic,
+        args=(dataset, world.org_resolver(), world.filter_list, vendor_by_skill),
+        rounds=2,
+        iterations=1,
+    )
+    top = analysis.top_ad_tracking_skills(5)
+    rows = [
+        (world.catalog.by_id(skill_id).name, len(domains), ", ".join(sorted(domains)))
+        for skill_id, domains in top
+    ]
+    print()
+    print(render_table(["skill", "#A&T", "A&T domains"], rows, title="Table 4"))
+
+    names = [world.catalog.by_id(sid).name for sid, _ in top]
+    # Paper shape: Garmin leads with 4 A&T services; the fashion/dating
+    # podcast skills follow.
+    assert names[0] == "Garmin"
+    assert len(top[0][1]) == 4
+    assert all(2 <= len(domains) <= 4 for _, domains in top)
+    paper_top = {
+        "Garmin",
+        "Makeup of the Day",
+        "Men's Finest Daily Fashion Tip",
+        "Dating and Relationship Tips and advices",
+        "Charles Stanley Radio",
+        "Gwynnie Bee",
+        "Love Trouble",
+        "Genesis",
+    }
+    assert set(names) <= paper_top

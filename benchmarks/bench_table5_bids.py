@@ -1,0 +1,48 @@
+"""Table 5: median and mean bid values (CPM) for interest vs vanilla
+personas on common ad slots, with interaction."""
+
+from paper_targets import MAX_BID_FACTOR, TABLE5
+
+from repro.core.bids import bid_summary_table
+from repro.core.report import render_table
+from repro.data import categories as cat
+
+
+def bench_table5_bids(benchmark, dataset):
+    rows = benchmark(bid_summary_table, dataset)
+    summaries = {r.persona: r.summary for r in rows}
+
+    table = []
+    for persona in list(cat.ALL_CATEGORIES) + [cat.VANILLA]:
+        summary = summaries[persona]
+        paper_median, paper_mean = TABLE5[persona]
+        table.append(
+            (
+                persona,
+                f"{summary.median:.3f}",
+                f"{paper_median:.3f}",
+                f"{summary.mean:.3f}",
+                f"{paper_mean:.3f}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["persona", "median", "paper", "mean", "paper"], table, title="Table 5"
+        )
+    )
+
+    vanilla = summaries[cat.VANILLA]
+    # Shape: every interest persona's median exceeds vanilla's, most by
+    # >= 2x; means exceed vanilla's; Health & Fitness bids reach ~30x
+    # the vanilla mean.
+    for persona in cat.ALL_CATEGORIES:
+        assert summaries[persona].median > vanilla.median, persona
+        assert summaries[persona].mean > vanilla.mean, persona
+    at_least_2x = sum(
+        1
+        for p in cat.ALL_CATEGORIES
+        if summaries[p].median >= 1.8 * vanilla.median
+    )
+    assert at_least_2x >= 7
+    assert summaries[cat.HEALTH].maximum >= MAX_BID_FACTOR * vanilla.mean

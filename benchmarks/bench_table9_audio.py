@@ -1,0 +1,39 @@
+"""Table 9: fraction of audio ads per streaming skill per persona."""
+
+from paper_targets import AUDIO_TOTAL_ADS, PREMIUM_UPSELL_SHARE, TABLE9
+
+from repro.core.adcontent import analyze_audio_ads
+from repro.core.report import render_table
+from repro.data import categories as cat
+
+
+def bench_table9_audio(benchmark, dataset):
+    analysis = benchmark(analyze_audio_ads, dataset)
+    fractions = analysis.skill_fractions()
+
+    rows = []
+    for (skill, persona), paper_fraction in sorted(TABLE9.items()):
+        measured = fractions.get((skill, persona), 0.0)
+        rows.append(
+            (skill, persona, f"{measured:.3f}", f"{paper_fraction:.3f}")
+        )
+    print()
+    print(render_table(["skill", "persona", "measured", "paper"], rows, title="Table 9"))
+    print(
+        f"\ntotal audio ads {analysis.total_ads} (paper {AUDIO_TOTAL_ADS}); "
+        f"premium upsell {analysis.premium_upsell_share:.3f} "
+        f"(paper {PREMIUM_UPSELL_SHARE})"
+    )
+
+    # Shape assertions:
+    # Connected Car draws ~1/5 of Spotify's ads vs other personas.
+    spotify_cc = fractions[("Spotify", cat.CONNECTED_CAR)]
+    spotify_fashion = fractions[("Spotify", cat.FASHION)]
+    spotify_vanilla = fractions[("Spotify", cat.VANILLA)]
+    assert spotify_cc * 3 < min(spotify_fashion, spotify_vanilla)
+    # Amazon Music is even across personas.
+    amazon = [fractions[("Amazon Music", p)] for p in (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)]
+    assert max(amazon) - min(amazon) < 0.10
+    # Total volume near the paper's 289; premium share near 16.6%.
+    assert 0.7 * AUDIO_TOTAL_ADS <= analysis.total_ads <= 1.3 * AUDIO_TOTAL_ADS
+    assert 0.10 <= analysis.premium_upsell_share <= 0.25

@@ -1,0 +1,46 @@
+"""Benchmark fixtures: the full-scale campaign, run once per session.
+
+Every benchmark regenerates one of the paper's tables or figures from the
+shared dataset, times the analysis, prints the rows the paper reports,
+and asserts the qualitative shape (who wins, rough factors, which
+personas are significant).
+"""
+
+import pytest
+
+from repro.core.experiment import run_cached_experiment
+from repro.core.personas import interest_personas
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The paper-scale campaign (450 skills, 31 crawl iterations, 13
+    personas) under the default seed."""
+    return run_cached_experiment(42)
+
+
+@pytest.fixture(scope="session")
+def world(dataset):
+    return dataset.world
+
+
+@pytest.fixture(scope="session")
+def vendor_by_skill(world):
+    """Skill id -> vendor name, as scraped from store listings."""
+    return {s.skill_id: s.vendor for s in world.catalog}
+
+
+@pytest.fixture(scope="session")
+def vendors_by_persona(world):
+    return {
+        p.name: {s.vendor for s in world.catalog.top_skills(p.category, 50)}
+        for p in interest_personas()
+    }
+
+
+@pytest.fixture(scope="session")
+def skill_names_by_persona(world):
+    return {
+        p.name: [s.name for s in world.catalog.top_skills(p.category, 50)]
+        for p in interest_personas()
+    }

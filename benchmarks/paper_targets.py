@@ -1,0 +1,94 @@
+"""The paper's reported numbers, used by benchmarks for side-by-side
+printing and shape assertions.  Values transcribed from Iqbal et al.
+(IMC 2023), Tables 1-14."""
+
+from repro.data import categories as cat
+
+# Table 5: persona -> (median, mean) CPM with interaction.
+TABLE5 = {
+    cat.CONNECTED_CAR: (0.099, 0.267),
+    cat.DATING: (0.099, 0.198),
+    cat.FASHION: (0.090, 0.403),
+    cat.PETS: (0.156, 0.223),
+    cat.RELIGION: (0.120, 0.323),
+    cat.SMART_HOME: (0.071, 0.218),
+    cat.WINE: (0.065, 0.313),
+    cat.HEALTH: (0.057, 0.310),
+    cat.NAVIGATION: (0.099, 0.255),
+    cat.VANILLA: (0.030, 0.153),
+}
+
+# Table 6: persona -> (no-interaction mean, interaction mean), adjacent windows.
+TABLE6 = {
+    cat.CONNECTED_CAR: (0.364, 0.311),
+    cat.DATING: (0.519, 0.297),
+    cat.FASHION: (0.572, 0.404),
+    cat.PETS: (0.492, 0.373),
+    cat.RELIGION: (0.477, 0.231),
+    cat.SMART_HOME: (0.452, 0.349),
+    cat.WINE: (0.418, 0.522),
+    cat.HEALTH: (0.564, 0.826),
+    cat.NAVIGATION: (0.533, 0.268),
+    cat.VANILLA: (0.539, 0.232),
+}
+
+# Table 7: persona -> (p-value, rank-biserial effect size).
+TABLE7 = {
+    cat.CONNECTED_CAR: (0.003, 0.354),
+    cat.DATING: (0.006, 0.363),
+    cat.FASHION: (0.010, 0.319),
+    cat.PETS: (0.005, 0.428),
+    cat.RELIGION: (0.004, 0.356),
+    cat.SMART_HOME: (0.075, 0.210),
+    cat.WINE: (0.083, 0.192),
+    cat.HEALTH: (0.149, 0.139),
+    cat.NAVIGATION: (0.002, 0.410),
+}
+
+SIGNIFICANT_PERSONAS = {
+    cat.CONNECTED_CAR,
+    cat.DATING,
+    cat.FASHION,
+    cat.PETS,
+    cat.RELIGION,
+    cat.NAVIGATION,
+}
+NON_SIGNIFICANT_PERSONAS = {cat.SMART_HOME, cat.WINE, cat.HEALTH}
+
+# Table 9: (skill, persona) -> fraction of that skill's audio ads.
+TABLE9 = {
+    ("Amazon Music", cat.CONNECTED_CAR): 0.3333,
+    ("Amazon Music", cat.FASHION): 0.3441,
+    ("Amazon Music", cat.VANILLA): 0.3226,
+    ("Spotify", cat.CONNECTED_CAR): 0.0899,
+    ("Spotify", cat.FASHION): 0.5056,
+    ("Spotify", cat.VANILLA): 0.4045,
+    ("Pandora", cat.CONNECTED_CAR): 0.2617,
+    ("Pandora", cat.FASHION): 0.4392,
+    ("Pandora", cat.VANILLA): 0.2991,
+}
+
+# Table 13: data type -> (clear, vague, omitted, no policy).
+TABLE13 = {
+    "voice recording": (20, 18, 147, 258),
+    "customer id": (11, 9, 38, 84),
+    "skill id": (0, 11, 85, 230),
+    "language": (0, 3, 5, 10),
+    "timezone": (0, 3, 5, 10),
+    "other preferences": (0, 40, 139, 255),
+    "audio player events": (0, 60, 99, 226),
+}
+
+# Headline counts.
+TOTAL_ADS = 20210
+N_SYNC_PARTNERS = 41
+N_DOWNSTREAM = 247
+POLICY_LINKS = 214
+POLICIES_DOWNLOADED = 188
+POLICIES_GENERIC = 129
+POLICIES_LINK_AMAZON = 10
+VALIDATION_MICRO_F1 = 0.8741
+VALIDATION_MACRO = (0.9396, 0.7785, 0.8515)
+AUDIO_TOTAL_ADS = 289
+PREMIUM_UPSELL_SHARE = 0.1661
+MAX_BID_FACTOR = 30  # Health & Fitness peak vs vanilla mean

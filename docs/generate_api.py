@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate docs/API.md from the package's docstrings."""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n")[0]
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "Generated from the package's docstrings (`python docs/generate_api.py`).",
+        "",
+    ]
+    for modinfo in sorted(
+        pkgutil.walk_packages(repro.__path__, "repro."), key=lambda m: m.name
+    ):
+        if modinfo.ispkg or modinfo.name.endswith("__main__"):
+            continue
+        module = importlib.import_module(modinfo.name)
+        lines.append(f"## `{modinfo.name}`")
+        lines.append("")
+        lines.append(first_line(module))
+        lines.append("")
+        exported = getattr(module, "__all__", None)
+        if not exported:
+            continue
+        rows = []
+        for symbol in exported:
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                continue
+            if inspect.isclass(obj):
+                kind = "class"
+            elif callable(obj):
+                kind = "function"
+            else:
+                kind = "constant"
+            summary = first_line(obj) if kind != "constant" else ""
+            rows.append((symbol, kind, summary.replace("|", "\\|")))
+        if rows:
+            lines.append("| name | kind | summary |")
+            lines.append("|---|---|---|")
+            lines.extend(
+                f"| `{symbol}` | {kind} | {summary} |" for symbol, kind, summary in rows
+            )
+            lines.append("")
+    target = pathlib.Path(__file__).with_name("API.md")
+    target.write_text("\n".join(lines) + "\n")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The audio-ad personalization study (paper §5.4) standalone.
+
+Streams top-hits sessions on Amazon Music, Spotify, and Pandora for the
+Connected Car, Fashion & Style, and vanilla personas; transcribes the
+recordings; extracts the ads; and looks for persona-exclusive brands.
+"""
+
+import argparse
+
+from repro.adtech.audio import AudioAdServer
+from repro.core.adcontent import AudioAdAnalysis, extract_audio_ads, transcribe_session
+from repro.core.report import render_table
+from repro.data import categories as cat
+from repro.util.rng import Seed
+
+SKILLS = ("Amazon Music", "Spotify", "Pandora")
+PERSONAS = (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    server = AudioAdServer(Seed(args.seed).derive("audio"))
+
+    counts = {}
+    distributions = {}
+    total = 0
+    for skill in SKILLS:
+        for persona in PERSONAS:
+            session = server.stream(skill, persona, hours=args.hours)
+            transcript = transcribe_session(session)
+            brands = extract_audio_ads(transcript)
+            counts[(skill, persona)] = len(brands)
+            total += len(brands)
+            tally = {}
+            for brand in brands:
+                tally[brand] = tally.get(brand, 0) + 1
+            distributions[(skill, persona)] = {
+                b: c for b, c in tally.items() if c >= 2
+            }
+
+    analysis = AudioAdAnalysis(
+        counts=counts,
+        brand_distributions=distributions,
+        total_ads=total,
+        premium_upsell_share=0.0,
+    )
+
+    rows = []
+    for (skill, persona), fraction in sorted(analysis.skill_fractions().items()):
+        rows.append((skill, persona, counts[(skill, persona)], f"{fraction:.3f}"))
+    print(render_table(["skill", "persona", "ads", "fraction"], rows,
+                       title=f"Table 9 — {args.hours:.0f}h per (skill, persona), "
+                             f"{total} ads total"))
+
+    print("\npersona-exclusive brands (played >= 2 times):")
+    for skill in SKILLS:
+        for persona in PERSONAS:
+            exclusive = analysis.exclusive_brands(skill, persona)
+            if exclusive:
+                print(f"  {skill:13s} {persona:18s} -> {sorted(exclusive)}")
+
+
+if __name__ == "__main__":
+    main()

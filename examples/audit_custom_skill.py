@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Audit a skill YOU define — the downstream-user story.
+
+Define a `SkillSpec` for a hypothetical skill (here: a meditation skill
+that quietly ships audio ads from Megaphone and collects persistent
+identifiers while its privacy policy discloses none of it), drop it into
+the catalog, and run the full auditing pipeline against it:
+
+1. per-skill traffic capture → which endpoints it really contacts;
+2. AVS plaintext → which data types it really collects;
+3. filter-list classification → which contacts are ad/tracking;
+4. PoliCheck → whether any of that is disclosed in its policy;
+5. certification audit → whether it violates the advertising policy.
+"""
+
+from repro.alexa import AVSEcho, AmazonAccount, EchoDevice
+from repro.alexa.certification import CertificationChecker, audit_certified_skills
+from repro.core.report import render_kv
+from repro.core.world import build_world
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import PolicySpec, SkillCatalog, SkillSpec, build_catalog
+from repro.policies.corpus import build_corpus
+from repro.policies.policheck.analyzer import PolicheckAnalyzer
+from repro.policies.policheck.extraction import (
+    extract_datatype_flows,
+    extract_endpoint_flows,
+)
+from repro.util.rng import Seed
+
+MY_SKILL = SkillSpec(
+    skill_id="skill-mindful-minutes",
+    name="Mindful Minutes",
+    category=cat.HEALTH,
+    vendor="Calm Harbor Labs",
+    review_count=777,
+    invocation_name="mindful minutes",
+    sample_utterances=(
+        "open mindful minutes",
+        "ask mindful minutes for a breathing exercise",
+    ),
+    amazon_endpoints=(
+        "avs-alexa-16-na.amazon.com",
+        "alexa.amazon.com",
+        "api.amazonalexa.com",
+        "device-metrics-us-2.amazon.com",
+    ),
+    # The quiet part: monetization via Megaphone + Podtrac.
+    other_endpoints=("cdn.megaphone.fm", "play.podtrac.com"),
+    data_types=(dt.VOICE_RECORDING, dt.CUSTOMER_ID, dt.SKILL_ID),
+    is_streaming=False,  # ...which makes the ads a policy violation
+    policy=PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        datatype_disclosures={dt.VOICE_RECORDING: "vague"},
+        # customer id, skill id, Megaphone, Podtrac: all omitted.
+    ),
+)
+
+
+def main() -> None:
+    seed = Seed(42)
+    base = build_catalog(seed)
+    catalog = SkillCatalog(list(base.skills) + [MY_SKILL])
+    world = build_world(seed, catalog=catalog)
+
+    account = AmazonAccount(email="custom@persona.example.com", persona="custom")
+    echo = EchoDevice("echo-custom", account, world.router, world.cloud, seed)
+    avs_account = AmazonAccount(email="custom-avs@persona.example.com", persona="custom-avs")
+    avs = AVSEcho("avs-custom", avs_account, world.router, world.cloud, seed)
+
+    # 1-2. exercise the skill on both devices, capture everything.
+    world.marketplace.install(account, MY_SKILL.skill_id)
+    world.marketplace.install(avs_account, MY_SKILL.skill_id)
+    capture = world.router.start_capture(MY_SKILL.skill_id, device_filter="echo-custom")
+    echo.run_skill_session(MY_SKILL)
+    echo.background_sync(list(MY_SKILL.amazon_endpoints))
+    world.router.stop_capture(capture)
+    avs.run_skill_session(MY_SKILL)
+
+    endpoint_flows = extract_endpoint_flows(
+        {MY_SKILL.skill_id: capture}, world.org_resolver()
+    )
+    data_flows = extract_datatype_flows(avs.plaintext_log)
+
+    # 3. classify contacts.
+    contacted = sorted({p.sni for p in capture if p.sni})
+    ad_hosts = [d for d in contacted if world.filter_list.is_blocked(d)]
+
+    # 4. PoliCheck the skill's own policy.
+    corpus = build_corpus(catalog, seed)
+    analyzer = PolicheckAnalyzer(corpus, org_categories=world.org_categories())
+    datatype_verdicts = {
+        f.data_type: analyzer.classify_datatype_flow(f).classification
+        for f in data_flows
+        if f.skill_id == MY_SKILL.skill_id
+    }
+    endpoint_verdicts = {
+        f.entity: analyzer.classify_endpoint_flow(f).classification
+        for f in endpoint_flows
+    }
+
+    # 5. certification audit.
+    certs = CertificationChecker().review_catalog(catalog)
+    violations = audit_certified_skills(
+        [MY_SKILL],
+        {MY_SKILL.skill_id: contacted},
+        world.filter_list,
+        certs,
+    )
+
+    print(render_kv({
+        "endpoints contacted": len(contacted),
+        "ad/tracking endpoints": ", ".join(ad_hosts) or "none",
+        "data types observed (AVS)": ", ".join(sorted(datatype_verdicts)),
+        "certification outcome": "certified" if certs[MY_SKILL.skill_id].certified else "rejected",
+        "advertising-policy violations": len(violations),
+    }, title=f"Audit of {MY_SKILL.name!r}"))
+
+    print("\nPoliCheck — data types:")
+    for data_type, verdict in sorted(datatype_verdicts.items()):
+        print(f"  {data_type:22s} -> {verdict}")
+    print("PoliCheck — endpoint organizations:")
+    for org, verdict in sorted(endpoint_verdicts.items()):
+        print(f"  {org:28s} -> {verdict}")
+    if violations:
+        print(f"\nVIOLATION: {violations[0].rule}")
+        print(f"evidence: {', '.join(violations[0].evidence)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The paper's §8.1 defenses, demonstrated and measured.
+
+Runs the same skill workload three ways:
+
+1. **stock Echo** — baseline tracking exposure;
+2. **behind a blocking router** — filter-listed ad/tracking endpoints
+   dropped at the network edge (after "Blocking without Breaking" [72]);
+3. **local-processing Echo** — wake word + ASR on device, only text
+   commands uploaded (after Porcupine / Rhasspy).
+"""
+
+from repro.alexa import AVSEcho, AlexaCloud, AmazonAccount, EchoDevice, Marketplace
+from repro.core.report import render_kv, render_table
+from repro.data import categories as cat
+from repro.data.domains import PIHOLE_FILTER_TEXT, build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.defenses import (
+    BlockingRouter,
+    LocalProcessingEcho,
+    evaluate_blocking,
+    voice_exposure,
+)
+from repro.netsim.router import Router
+from repro.orgmap.filterlists import FilterList
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+def main() -> None:
+    seed = Seed(42)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    skills = [s for s in catalog.top_skills(cat.CONNECTED_CAR, 50) if s.active]
+
+    # -- 1. baseline ------------------------------------------------------ #
+    baseline_account = AmazonAccount(email="base@persona.example.com", persona="base")
+    baseline = EchoDevice("echo-base", baseline_account, router, cloud, seed)
+    capture = router.start_capture("baseline", device_filter="echo-base")
+    for spec in skills:
+        marketplace.install(baseline_account, spec.skill_id)
+        baseline.run_skill_session(spec)
+        baseline.background_sync(list(spec.amazon_endpoints))
+    router.stop_capture(capture)
+    filter_list = FilterList.from_text(PIHOLE_FILTER_TEXT)
+    baseline_tracking = sum(
+        1 for p in capture if p.sni and filter_list.is_blocked(p.sni)
+    )
+    print(
+        render_kv(
+            {
+                "packets captured": len(capture),
+                "ad/tracking packets": baseline_tracking,
+            },
+            title="1. stock Echo (baseline)",
+        )
+    )
+
+    # -- 2. blocking router ------------------------------------------------ #
+    blocking = BlockingRouter(router, filter_list)
+    blocked_account = AmazonAccount(email="blk@persona.example.com", persona="blk")
+    blocked_device = EchoDevice("echo-blk", blocked_account, blocking, cloud, seed)
+    evaluation = evaluate_blocking(blocked_device, marketplace, skills, blocking)
+    for spec in skills:
+        blocked_device.background_sync(list(spec.amazon_endpoints))
+    print()
+    print(
+        render_kv(
+            {
+                "skills functional": f"{evaluation.skills_functional}/{evaluation.skills_run}",
+                "breakage rate": f"{100 * evaluation.breakage_rate:.1f}%",
+                "tracking requests blocked": blocking.report.blocked_total,
+                "top blocked hosts": ", ".join(
+                    sorted(blocking.report.blocked, key=blocking.report.blocked.get)[-3:]
+                ),
+            },
+            title="2. behind the blocking router",
+        )
+    )
+
+    # -- 3. local voice processing ----------------------------------------- #
+    rows = []
+    for name, device_cls in (("stock AVS Echo", AVSEcho), ("local-processing", LocalProcessingEcho)):
+        account = AmazonAccount(
+            email=f"{name.split()[0]}@persona.example.com", persona=name
+        )
+        device = device_cls(f"echo-{name.split()[0]}", account, router, cloud, seed)
+        for spec in skills[:10]:
+            marketplace.install(account, spec.skill_id)
+            device.run_skill_session(spec)
+        exposure = voice_exposure(device.plaintext_log)
+        rows.append(
+            (
+                name,
+                exposure["audio_uploads"],
+                exposure["text_uploads"],
+                exposure["skill_voice_fields"],
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["device", "audio uploads", "text uploads", "voice fields to skills"],
+            rows,
+            title="3. local voice processing",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Misactivation study (paper §2.2, after Dubois et al. [59]).
+
+Smart speakers are supposed to record only after the wake word, but they
+misactivate.  This example plays hours of ambient conversation (no wake
+word) at an instrumented AVS Echo and counts how many utterances were
+recorded and uploaded anyway — the privacy failure mode that motivates
+the paper's transparency argument.
+"""
+
+import argparse
+
+from repro.alexa import AVSEcho, AlexaCloud, AmazonAccount
+from repro.core.report import render_kv
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+AMBIENT_LINES = (
+    "did you call the doctor about the appointment",
+    "we should book the flights for december",
+    "the election coverage was exhausting tonight",
+    "i think the rent is going up again",
+    "her test results come back on friday",
+    "let's not tell anyone about the offer yet",
+    "can you believe what he said at dinner",
+    "the baby finally slept through the night",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--utterances", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    seed = Seed(args.seed)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    account = AmazonAccount(email="ambient@persona.example.com", persona="ambient")
+    device = AVSEcho("echo-ambient", account, router, cloud, seed)
+
+    recorded = []
+    for i in range(args.utterances):
+        line = AMBIENT_LINES[i % len(AMBIENT_LINES)]
+        before = len(device.plaintext_log)
+        device.say(line)  # no wake word!
+        if len(device.plaintext_log) > before:
+            recorded.append(line)
+
+    leaked_transcripts = {
+        r.payload["body"]["voice_recording"]
+        for r in device.plaintext_log
+        if r.payload["body"].get("event") == "recognize"
+    }
+
+    print(
+        render_kv(
+            {
+                "ambient utterances played": args.utterances,
+                "misactivations (recorded + uploaded)": len(recorded),
+                "misactivation rate": f"{100 * len(recorded) / args.utterances:.2f}%",
+                "cloud-side misactivation counter": cloud.voice.misactivations,
+                "distinct private sentences now at Amazon": len(leaked_transcripts),
+            },
+            title="Misactivation study",
+        )
+    )
+    if leaked_transcripts:
+        print("\nexamples of what leaked:")
+        for text in sorted(leaked_transcripts)[:4]:
+            print(f"  - {text!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Privacy-policy compliance audit (paper §7) standalone.
+
+Runs a skills-only campaign (no web crawls), extracts data flows from the
+AVS Echo plaintext and endpoint flows from encrypted captures, and checks
+both against each skill's privacy policy with the PoliCheck analyzer.
+"""
+
+import argparse
+
+from repro.core.compliance import (
+    analyze_compliance,
+    policy_availability,
+    run_validation_study,
+)
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.report import render_kv, render_table
+from repro.data import datatypes as dt
+from repro.util.rng import Seed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--with-amazon-policy",
+        action="store_true",
+        help="also consult Amazon's platform policy (the §7.2.2 experiment)",
+    )
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        pre_iterations=0,
+        post_iterations=1,
+        crawl_sites=1,
+        prebid_discovery_target=2,
+        audio_hours=0.1,
+    )
+    print("running the skills campaign ...")
+    dataset = run_experiment(Seed(args.seed), config)
+    world = dataset.world
+
+    availability = policy_availability(dataset)
+    print()
+    print(
+        render_kv(
+            {
+                "skills": availability.total_skills,
+                "with policy link": availability.with_link,
+                "policy downloadable": availability.downloadable,
+                "mention Amazon/Alexa": availability.mention_amazon,
+                "generic (no mention)": availability.generic,
+                "link Amazon's policy": availability.link_amazon_policy,
+            },
+            title="§7.1 policy availability",
+        )
+    )
+
+    compliance = analyze_compliance(
+        dataset,
+        world.corpus,
+        world.org_resolver(),
+        world.org_categories(),
+        include_platform_policy=args.with_amazon_policy,
+    )
+    rows = []
+    for data_type in dt.ALL_DATA_TYPES:
+        counts = compliance.datatype_table.get(data_type, {})
+        rows.append(
+            (
+                data_type,
+                counts.get("clear", 0),
+                counts.get("vague", 0),
+                counts.get("omitted", 0),
+                counts.get("no policy", 0),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["data type", "clear", "vague", "omitted", "no policy"],
+            rows,
+            title="Table 13 — data-type disclosures"
+            + (" (with Amazon's policy)" if args.with_amazon_policy else ""),
+        )
+    )
+
+    rows = []
+    for org, classes in sorted(compliance.endpoint_table.items()):
+        rows.append(
+            (
+                org,
+                len(classes.get("clear", [])),
+                len(classes.get("vague", [])),
+                len(classes.get("omitted", [])),
+                len(classes.get("no policy", [])),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["endpoint organization", "clear", "vague", "omitted", "no policy"],
+            rows,
+            title="Table 14 — endpoint disclosures",
+        )
+    )
+
+    report = run_validation_study(compliance, world.corpus, Seed(args.seed))
+    print()
+    print(
+        render_kv(
+            {
+                "flows validated": report.n_flows,
+                "micro P/R/F1": f"{report.micro_f1:.4f}",
+                "macro precision": f"{report.macro_precision:.4f}",
+                "macro recall": f"{report.macro_recall:.4f}",
+                "macro F1": f"{report.macro_f1:.4f}",
+            },
+            title="§7.2.3 PoliCheck validation vs human coder",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""echo-audit: an auditing framework for tracking, profiling, and ad
+targeting in a simulated Amazon Echo smart speaker ecosystem.
+
+Reproduction of Iqbal et al., *"Your Echos are Heard: Tracking,
+Profiling, and Ad Targeting in the Amazon Smart Speaker Ecosystem"*
+(IMC 2023).
+
+Quickstart::
+
+    from repro import Seed, run_experiment, ExperimentConfig
+    from repro.core import bid_summary_table, detect_cookie_syncing
+
+    dataset = run_experiment(Seed(42))
+    for row in bid_summary_table(dataset):
+        print(row.persona, row.summary.median, row.summary.mean)
+    sync = detect_cookie_syncing(dataset)
+    print(sync.partner_count, "advertisers sync cookies with Amazon")
+
+Package map:
+
+- :mod:`repro.core` — the auditing framework (experiment + analyses)
+- :mod:`repro.alexa` — simulated Echo ecosystem (devices, cloud, DSAR)
+- :mod:`repro.adtech` — header bidding, DSPs, cookie sync, audio ads
+- :mod:`repro.web` — browsers and the OpenWPM-style crawler
+- :mod:`repro.netsim` — packets, TLS opacity, DNS, router, captures
+- :mod:`repro.orgmap` — entity lists, WHOIS, filter lists
+- :mod:`repro.policies` — policy corpus + PoliCheck analysis
+- :mod:`repro.data` — the seeded world and its calibration tables
+"""
+
+from repro.core.experiment import ExperimentConfig, run_cached_experiment, run_experiment
+from repro.util.rng import Seed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "Seed",
+    "__version__",
+    "run_cached_experiment",
+    "run_experiment",
+]

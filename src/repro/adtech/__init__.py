@@ -1,0 +1,39 @@
+"""The simulated advertising ecosystem: header bidding, DSPs, cookie
+syncing, display creatives, and audio-ad insertion."""
+
+from repro.adtech.ads import AdCreative, AdServer
+from repro.adtech.audio import AudioAdServer, AudioSegment, StreamSession
+from repro.adtech.bidder import AuctionContext, Bidder, WEB_SIGNAL_FRACTION
+from repro.adtech.exchange import (
+    BIDDERS_PER_SLOT,
+    SLOT_FAILURE_RATE,
+    AdTechWorld,
+    PersonaState,
+)
+from repro.adtech.prebid import (
+    AdUnit,
+    BidResponse,
+    PrebidSession,
+    register_publisher,
+    slot_id,
+)
+
+__all__ = [
+    "AdCreative",
+    "AdServer",
+    "AdTechWorld",
+    "AdUnit",
+    "AuctionContext",
+    "AudioAdServer",
+    "AudioSegment",
+    "BIDDERS_PER_SLOT",
+    "Bidder",
+    "BidResponse",
+    "PersonaState",
+    "PrebidSession",
+    "SLOT_FAILURE_RATE",
+    "StreamSession",
+    "WEB_SIGNAL_FRACTION",
+    "register_publisher",
+    "slot_id",
+]

@@ -1,0 +1,124 @@
+"""Display-ad creatives and the ad server that selects them.
+
+Creative selection reproduces §5.3's observable facts:
+
+* Amazon house campaigns (Table 8) are scheduled for specific personas
+  and iteration subsets, so e.g. the dehumidifier ad appears 7 times in
+  5 iterations — and *only* — for the Health & Fitness persona.
+* Skill-vendor campaigns (Microsoft, SimpliSafe, Ford, …) appear across
+  personas, which is why the paper finds them non-exclusive and draws no
+  personalization conclusion from them.
+* Everything else is generic brand filler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.data.calibration import (
+    AMAZON_HOUSE_CAMPAIGNS,
+    GENERIC_DISPLAY_BRANDS,
+    VENDOR_CAMPAIGNS,
+    HouseCampaign,
+    VendorCampaign,
+)
+from repro.util.ids import stable_hash
+from repro.util.rng import Seed
+
+__all__ = ["AdCreative", "AdServer"]
+
+#: Crawl iterations after interaction (§3.3).
+N_POST_ITERATIONS = 25
+
+
+@dataclass(frozen=True)
+class AdCreative:
+    """One rendered display ad."""
+
+    creative_id: str
+    advertiser: str
+    product: str
+    #: "amazon-house" | "vendor" | "generic"
+    source: str
+
+    @property
+    def text(self) -> str:
+        return f"{self.product} — by {self.advertiser}"
+
+
+class AdServer:
+    """Chooses the creative rendered into a won ad slot."""
+
+    def __init__(self, seed: Seed) -> None:
+        self._seed = seed
+        self._house_schedule = self._build_house_schedule(seed)
+        self._vendor_rate = {
+            c.advertiser: c.impressions / N_POST_ITERATIONS for c in VENDOR_CAMPAIGNS
+        }
+
+    @staticmethod
+    def _build_house_schedule(
+        seed: Seed,
+    ) -> Dict[Tuple[str, int], List[HouseCampaign]]:
+        """Assign each house campaign's impressions to iterations.
+
+        Returns (persona, iteration) -> campaigns to show, with campaign
+        impressions spread over exactly ``campaign.iterations`` distinct
+        iterations, as Table 8 reports.
+        """
+        schedule: Dict[Tuple[str, int], List[HouseCampaign]] = {}
+        for campaign in AMAZON_HOUSE_CAMPAIGNS:
+            rng = seed.rng("adserver", "house", campaign.product)
+            iterations = sorted(rng.sample(range(N_POST_ITERATIONS), campaign.iterations))
+            # Spread impressions across the chosen iterations (each gets >= 1).
+            counts = [1] * campaign.iterations
+            for _ in range(campaign.impressions - campaign.iterations):
+                counts[rng.randrange(campaign.iterations)] += 1
+            for iteration, count in zip(iterations, counts):
+                key = (campaign.target_persona, iteration)
+                schedule.setdefault(key, []).extend([campaign] * count)
+        return schedule
+
+    def select(
+        self,
+        persona: str,
+        iteration: int,
+        slot_id: str,
+        slot_index: int,
+        interacted: bool,
+    ) -> AdCreative:
+        """Pick the creative for one won slot.
+
+        ``slot_index`` is the slot's position in the iteration's render
+        order; house-campaign impressions are consumed from the front so
+        scheduled counts are exact.
+        """
+        if interacted and iteration >= 0:
+            pending = self._house_schedule.get((persona, iteration), [])
+            if slot_index < len(pending):
+                campaign = pending[slot_index]
+                return AdCreative(
+                    creative_id=stable_hash("house", campaign.product, length=12),
+                    advertiser="Amazon",
+                    product=campaign.product,
+                    source="amazon-house",
+                )
+        rng = self._seed.rng("adserver", "fill", persona, iteration, slot_id)
+        for campaign in VENDOR_CAMPAIGNS:
+            # Impressions/iteration spread over the ~80 candidate renders
+            # an iteration produces (calibrated to Table 8's vendor rows).
+            if rng.random() < self._vendor_rate[campaign.advertiser] / 84.0:
+                return AdCreative(
+                    creative_id=stable_hash("vendor", campaign.advertiser, length=12),
+                    advertiser=campaign.advertiser,
+                    product=campaign.product,
+                    source="vendor",
+                )
+        brand = rng.choice(GENERIC_DISPLAY_BRANDS)
+        return AdCreative(
+            creative_id=stable_hash("generic", brand, rng.random(), length=12),
+            advertiser=brand,
+            product=f"{brand} offer",
+            source="generic",
+        )

@@ -1,0 +1,144 @@
+"""Audio advertising on streaming skills (§3.3, §5.4).
+
+The paper streams six hours of "top hits" per (persona, skill) into an
+insulated room, records the speaker output, transcribes it, and manually
+extracts ads.  Here the streaming service inserts ad breaks at
+persona-dependent rates (advertiser interest differs by audience —
+Table 9), choosing brands from persona-weighted catalogs (Figure 5:
+Ashley/Ross are Fashion-exclusive on Spotify, Swiffer Wet Jet on
+Pandora, etc.).
+
+The output of a session is the *recorded audio* as a sequence of
+segments; downstream, :mod:`repro.core.adcontent` transcribes and labels
+them the way the paper's human coders did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.data.calibration import AUDIO_AD_RATE, AUDIO_BRAND_WEIGHTS
+from repro.util.rng import Seed
+
+__all__ = ["AudioSegment", "StreamSession", "AudioAdServer", "SONG_TITLES"]
+
+SONG_TITLES: Tuple[str, ...] = (
+    "Midnight Drive", "Golden Hour", "Paper Hearts", "Neon Sky", "Wildfire",
+    "Slow Motion", "Gravity Falls", "Echo Chamber", "Silver Lining",
+    "Daydreamer", "Static Love", "Horizon Line",
+)
+
+#: Average song length in seconds (drives how many segments fill 6 hours).
+_SONG_SECONDS = 210.0
+_AD_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class AudioSegment:
+    """One contiguous stretch of recorded speaker output."""
+
+    kind: str  # "song" | "ad"
+    start: float  # seconds into the session
+    duration: float
+    #: Song title or ad brand.
+    label: str
+    #: What the microphone heard (lyrics or ad copy).
+    audio_text: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"song", "ad"}:
+            raise ValueError(f"unknown segment kind: {self.kind}")
+
+
+@dataclass(frozen=True)
+class StreamSession:
+    """A recorded streaming session for one (skill, persona)."""
+
+    skill_name: str
+    persona: str
+    hours: float
+    segments: Tuple[AudioSegment, ...]
+
+    @property
+    def ad_segments(self) -> List[AudioSegment]:
+        return [s for s in self.segments if s.kind == "ad"]
+
+    @property
+    def song_segments(self) -> List[AudioSegment]:
+        return [s for s in self.segments if s.kind == "song"]
+
+
+class AudioAdServer:
+    """Server-side ad insertion for the three streaming skills."""
+
+    def __init__(self, seed: Seed) -> None:
+        self._seed = seed
+
+    def stream(self, skill_name: str, persona: str, hours: float = 6.0) -> StreamSession:
+        """Produce the recorded output of a streaming session."""
+        rates = AUDIO_AD_RATE.get(skill_name)
+        if rates is None:
+            raise KeyError(f"no audio-ad calibration for skill {skill_name}")
+        rate_per_hour = rates.get(persona)
+        if rate_per_hour is None:
+            raise KeyError(f"no audio-ad rate for persona {persona} on {skill_name}")
+
+        rng = self._seed.rng("audio", skill_name, persona)
+        total_seconds = hours * 3600.0
+        expected_ads = rate_per_hour * hours
+        segments: List[AudioSegment] = []
+        elapsed = 0.0
+        # Ads ride in between songs; probability per song boundary is set
+        # so the expected ad count over the session matches calibration.
+        songs_in_session = total_seconds / _SONG_SECONDS
+        ad_probability = min(0.95, expected_ads / songs_in_session)
+
+        while elapsed < total_seconds:
+            title = rng.choice(SONG_TITLES)
+            duration = _SONG_SECONDS * rng.uniform(0.8, 1.2)
+            segments.append(
+                AudioSegment(
+                    kind="song",
+                    start=elapsed,
+                    duration=duration,
+                    label=title,
+                    audio_text=f"now playing {title.lower()} la la la",
+                )
+            )
+            elapsed += duration
+            if elapsed >= total_seconds:
+                break
+            if rng.random() < ad_probability:
+                brand = self._pick_brand(skill_name, persona, rng)
+                segments.append(
+                    AudioSegment(
+                        kind="ad",
+                        start=elapsed,
+                        duration=_AD_SECONDS,
+                        label=brand,
+                        audio_text=(
+                            f"this episode is brought to you by {brand.lower()} "
+                            f"visit our store today"
+                        ),
+                    )
+                )
+                elapsed += _AD_SECONDS
+        return StreamSession(
+            skill_name=skill_name,
+            persona=persona,
+            hours=hours,
+            segments=tuple(segments),
+        )
+
+    @staticmethod
+    def _pick_brand(skill_name: str, persona: str, rng) -> str:
+        catalog = AUDIO_BRAND_WEIGHTS[skill_name]
+        brands: List[str] = []
+        weights: List[float] = []
+        for brand, per_persona in catalog.items():
+            weight = per_persona.get(persona, 0.0)
+            if weight > 0:
+                brands.append(brand)
+                weights.append(weight)
+        return rng.choices(brands, weights=weights, k=1)[0]

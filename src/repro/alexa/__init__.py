@@ -1,0 +1,55 @@
+"""Simulated Amazon Echo ecosystem: devices, cloud, marketplace, DSAR.
+
+The *world side* of the reproduction — what the paper audits.  The Echo
+device emits only TLS-opaque traffic; the instrumented AVS Echo exposes a
+pre-encryption plaintext log; the cloud mediates every skill interaction
+and feeds the interest profiler behind Amazon's ad targeting.
+"""
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.certification import (
+    CertificationChecker,
+    CertificationResult,
+    PolicyViolation,
+    audit_certified_skills,
+)
+from repro.alexa.cloud import VOICE_ENDPOINT, AccountState, AlexaCloud, InteractionRecord
+from repro.alexa.device import AVSEcho, EchoDevice, PlaintextRecord
+from repro.alexa.dsar import AdvertisingInterestsFile, DataExport, DataRequestPortal
+from repro.alexa.marketplace import InstallReceipt, Marketplace, SkillListing
+from repro.alexa.profiler import InterestProfile, InterestProfiler
+from repro.alexa.skill_backend import Directive, SkillBackend, SkillResult
+from repro.alexa.voice import WAKE_WORDS, Transcription, VoiceFrontend
+from repro.alexa.voice_traits import SpeakerProfile, TraitInference, traits_exposed
+
+__all__ = [
+    "AVSEcho",
+    "CertificationChecker",
+    "CertificationResult",
+    "PolicyViolation",
+    "audit_certified_skills",
+    "AccountState",
+    "AdvertisingInterestsFile",
+    "AlexaCloud",
+    "AmazonAccount",
+    "DataExport",
+    "DataRequestPortal",
+    "Directive",
+    "EchoDevice",
+    "InstallReceipt",
+    "InteractionRecord",
+    "InterestProfile",
+    "InterestProfiler",
+    "Marketplace",
+    "PlaintextRecord",
+    "SkillBackend",
+    "SkillListing",
+    "SkillResult",
+    "SpeakerProfile",
+    "TraitInference",
+    "Transcription",
+    "traits_exposed",
+    "VOICE_ENDPOINT",
+    "VoiceFrontend",
+    "WAKE_WORDS",
+]

@@ -1,0 +1,43 @@
+"""Amazon accounts and their client-side identifiers.
+
+One account per persona (§3.1.1).  The account owns the customer id that
+appears in device traffic and the session cookie that links the persona's
+browser profile to Amazon during web crawls (§3.3) — the cross-device
+identifier that makes off-platform targeting possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.ids import stable_hash
+
+__all__ = ["AmazonAccount"]
+
+
+@dataclass
+class AmazonAccount:
+    """A dedicated Amazon account for one persona."""
+
+    email: str
+    persona: str
+    customer_id: str = ""
+    session_cookie: str = ""
+    #: Alexa web companion app linkage (§3.1.1 step 1-4).
+    companion_linked: bool = False
+    #: Number of DSAR data requests issued so far, per exposure epoch.
+    dsar_requests: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if "@" not in self.email:
+            raise ValueError(f"invalid account email: {self.email}")
+        if not self.customer_id:
+            self.customer_id = "A" + stable_hash("customer", self.email, length=13).upper()
+        if not self.session_cookie:
+            self.session_cookie = stable_hash("session-cookie", self.email, length=24)
+
+    @property
+    def amazon_cookies(self) -> Dict[str, str]:
+        """Cookies a logged-in browser profile sends to Amazon properties."""
+        return {"session-id": self.session_cookie, "x-main": self.customer_id}

@@ -1,0 +1,132 @@
+"""Skill certification (paper §2.2, §4.2).
+
+Amazon certifies skills before they publish [5], yet prior work showed
+policy-violating skills get certified [56], [87], and the paper itself
+finds six non-streaming skills shipping advertising/tracking services in
+violation of the Alexa advertising policy [2] — unflagged.
+
+This module implements both sides:
+
+* :class:`CertificationChecker` — the *declared-metadata* review Amazon
+  actually performs: it sees the skill's manifest (category, permissions,
+  streaming flag, policy link), not its runtime traffic.  That blind spot
+  is why the violators pass.
+* :func:`audit_certified_skills` — the auditor's post-hoc check using
+  observed traffic, which is exactly how the paper catches the six.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.data.skill_catalog import SkillCatalog, SkillSpec
+from repro.netsim.endpoints import registrable_domain
+from repro.orgmap.filterlists import FilterList
+
+#: Registrable domains owned by the platform; platform telemetry is not a
+#: skill's advertising (it is Amazon's own tracking, measured in Table 2).
+_PLATFORM_BASE_DOMAINS = frozenset(
+    {
+        "amazon.com",
+        "amcs-tachyon.com",
+        "amazonalexa.com",
+        "cloudfront.net",
+        "amazonaws.com",
+        "alexa.a2z.com",
+        "amazon-dss.com",
+        "amazon-adsystem.com",
+        "acsechocaptiveportal.com",
+        "fireoscaptiveportal.com",
+    }
+)
+
+__all__ = [
+    "CertificationResult",
+    "CertificationChecker",
+    "PolicyViolation",
+    "audit_certified_skills",
+]
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Outcome of the marketplace's pre-publication review."""
+
+    skill_id: str
+    certified: bool
+    notes: Tuple[str, ...] = ()
+
+
+class CertificationChecker:
+    """Amazon's certification review over *declared* skill metadata.
+
+    The checks mirror the published requirements [5]-[7]: a privacy
+    policy is required when permissions are requested, and ads are only
+    allowed on streaming skills.  Crucially, the review never observes
+    the skill's network behaviour — advertising baked into fetched audio
+    content is invisible to it.
+    """
+
+    def review(self, spec: SkillSpec) -> CertificationResult:
+        notes: List[str] = []
+        if spec.permissions and (spec.policy is None or not spec.policy.has_link):
+            notes.append("permissions requested without a privacy policy link")
+        # The declared manifest carries no ad-network information, so the
+        # advertising-policy check can only trust the developer.
+        certified = not notes
+        return CertificationResult(
+            skill_id=spec.skill_id, certified=certified, notes=tuple(notes)
+        )
+
+    def review_catalog(self, catalog: SkillCatalog) -> Dict[str, CertificationResult]:
+        return {s.skill_id: self.review(s) for s in catalog.active_skills}
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """A certified skill whose observed behaviour violates platform policy."""
+
+    skill_id: str
+    rule: str
+    evidence: Tuple[str, ...]
+
+
+def audit_certified_skills(
+    skills: Iterable[SkillSpec],
+    observed_endpoints: Dict[str, Sequence[str]],
+    filter_list: FilterList,
+    certifications: Dict[str, CertificationResult],
+) -> List[PolicyViolation]:
+    """The paper's §4.2 audit: find certified skills that violate the
+    advertising policy in practice.
+
+    ``observed_endpoints`` maps skill id → domains seen in its traffic
+    (from the per-skill captures).  A non-streaming skill contacting
+    advertising/tracking services violates the Alexa advertising policy
+    [2], which restricts ads to streaming skills.
+    """
+    violations: List[PolicyViolation] = []
+    for spec in skills:
+        result = certifications.get(spec.skill_id)
+        if result is None or not result.certified:
+            continue
+        if spec.is_streaming:
+            continue
+        ad_domains = tuple(
+            sorted(
+                d
+                for d in observed_endpoints.get(spec.skill_id, ())
+                if filter_list.is_blocked(d)
+                and registrable_domain(d) not in _PLATFORM_BASE_DOMAINS
+            )
+        )
+        if ad_domains:
+            violations.append(
+                PolicyViolation(
+                    skill_id=spec.skill_id,
+                    rule="non-streaming skill includes advertising/tracking services",
+                    evidence=ad_domains,
+                )
+            )
+    return violations

@@ -1,0 +1,244 @@
+"""The Alexa cloud: voice routing, skill mediation, and interaction logs.
+
+Amazon sits between users and skills (§4.1): every utterance is first
+interpreted by the cloud, which then invokes the skill backend and relays
+directives to the device.  This mediation is why ~99% of skill traffic
+goes to Amazon endpoints — and why Amazon has "the best vantage point to
+track user activity".
+
+The cloud also owns the interaction log that feeds the interest profiler
+(§6.1) and the account/install state used by the marketplace and DSAR
+portal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.skill_backend import SkillBackend, SkillResult
+from repro.alexa.voice import VoiceFrontend
+from repro.data.domains import ALL_DOMAINS, AMAZON_ORG
+from repro.data.skill_catalog import STREAMING_SKILLS, SkillCatalog, SkillSpec
+from repro.netsim.http import HttpRequest, HttpResponse
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+__all__ = ["AlexaCloud", "AccountState", "InteractionRecord", "VOICE_ENDPOINT"]
+
+#: The AVS voice-pipeline endpoint devices talk to.
+VOICE_ENDPOINT = "avs-alexa-16-na.amazon.com"
+
+
+@dataclass(frozen=True)
+class InteractionRecord:
+    """One logged utterance, as retained by Amazon."""
+
+    timestamp: float
+    customer_id: str
+    transcript: str
+    skill_id: Optional[str]
+    skill_category: Optional[str]
+    epoch: int
+
+
+@dataclass
+class AccountState:
+    """Server-side state for one Amazon account."""
+
+    account: AmazonAccount
+    installed: Dict[str, SkillSpec] = field(default_factory=dict)
+    interactions: List[InteractionRecord] = field(default_factory=list)
+    #: 0 = nothing yet / install-only; advanced after each interaction wave.
+    interaction_epoch: int = 0
+    ever_installed: List[str] = field(default_factory=list)
+    #: skill id -> whether its linked-only functionality is available
+    #: (True for skills that need no external account).
+    linked: Dict[str, bool] = field(default_factory=dict)
+
+
+class AlexaCloud:
+    """Amazon's server side, registered on the router for every endpoint."""
+
+    def __init__(
+        self,
+        catalog: SkillCatalog,
+        router: Router,
+        clock: SimClock,
+        seed: Seed,
+    ) -> None:
+        self.catalog = catalog
+        self.router = router
+        self.clock = clock
+        self.voice = VoiceFrontend(seed.derive("cloud"))
+        self._seed = seed
+        self._accounts: Dict[str, AccountState] = {}
+        self._backends: Dict[str, SkillBackend] = {}
+        self.redirected_utterances = 0
+        self._streaming_by_name = {s.name.lower(): s for s in STREAMING_SKILLS}
+        self._register_services()
+
+    # ------------------------------------------------------------------ #
+    # World wiring
+    # ------------------------------------------------------------------ #
+
+    def _register_services(self) -> None:
+        """Install handlers for every domain in the simulated Internet."""
+        for spec in ALL_DOMAINS:
+            if spec.domain == VOICE_ENDPOINT:
+                self.router.register_service(spec.domain, self._handle_voice_request)
+            elif spec.organization == AMAZON_ORG:
+                self.router.register_service(spec.domain, self._handle_amazon_request)
+            else:
+                self.router.register_service(
+                    spec.domain, _make_content_handler(spec.domain)
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accounts & install state
+    # ------------------------------------------------------------------ #
+
+    def register_account(self, account: AmazonAccount) -> AccountState:
+        state = self._accounts.get(account.customer_id)
+        if state is None:
+            state = AccountState(account=account)
+            self._accounts[account.customer_id] = state
+        return state
+
+    def account_state(self, customer_id: str) -> AccountState:
+        state = self._accounts.get(customer_id)
+        if state is None:
+            raise KeyError(f"unknown customer: {customer_id}")
+        return state
+
+    def install_skill(
+        self, customer_id: str, skill_id: str, linked: bool = True
+    ) -> SkillSpec:
+        """Install + enable a skill on the account (companion-app flow)."""
+        state = self.account_state(customer_id)
+        spec = self.catalog.by_id(skill_id)
+        if spec.fails_to_load:
+            raise RuntimeError(f"skill failed to load: {spec.name}")
+        state.installed[skill_id] = spec
+        state.linked[skill_id] = linked
+        if skill_id not in state.ever_installed:
+            state.ever_installed.append(skill_id)
+        return spec
+
+    def uninstall_skill(self, customer_id: str, skill_id: str) -> None:
+        self.account_state(customer_id).installed.pop(skill_id, None)
+
+    def advance_epoch(self, customer_id: str) -> int:
+        """Mark the end of an interaction wave (used by DSAR timing)."""
+        state = self.account_state(customer_id)
+        state.interaction_epoch += 1
+        return state.interaction_epoch
+
+    # ------------------------------------------------------------------ #
+    # Voice pipeline
+    # ------------------------------------------------------------------ #
+
+    def _handle_voice_request(self, request: HttpRequest) -> HttpResponse:
+        """AVS endpoint: transcribe, route, and return skill directives."""
+        body = request.body
+        if body.get("event") != "recognize":
+            return HttpResponse(status=200, body={"ok": True})
+        customer_id = body.get("customer_id", "")
+        if customer_id not in self._accounts:
+            return HttpResponse(status=403, body={"error": "unknown customer"})
+        command = body.get("voice_recording", "")
+        allow_streaming = bool(body.get("allow_streaming", True))
+
+        transcription = self.voice.transcribe(command)
+        state = self._accounts[customer_id]
+        spec = self._route(transcription.text, state)
+        linked = state.linked.get(spec.skill_id, True) if spec else True
+        result = self._invoke(
+            spec, transcription.text, customer_id, allow_streaming, linked
+        )
+
+        state.interactions.append(
+            InteractionRecord(
+                timestamp=self.clock.now,
+                customer_id=customer_id,
+                transcript=transcription.text,
+                skill_id=spec.skill_id if spec and result.handled else None,
+                skill_category=spec.category if spec and result.handled else None,
+                epoch=state.interaction_epoch,
+            )
+        )
+        return HttpResponse(
+            status=200,
+            body={
+                "transcript": transcription.text,
+                "handled_by": result.skill_id if result.handled else "alexa",
+                "directives": [
+                    {
+                        "kind": d.kind,
+                        "url": d.url,
+                        "speech": d.speech,
+                        "data": dict(d.data),
+                    }
+                    for d in result.directives
+                ],
+            },
+        )
+
+    def _route(self, transcript: str, state: AccountState) -> Optional[SkillSpec]:
+        """Match a transcript to an installed (or streaming) skill."""
+        text = transcript.lower()
+        for name, spec in self._streaming_by_name.items():
+            if name in text:
+                return spec
+        candidates = [
+            spec
+            for spec in state.installed.values()
+            if spec.invocation_name in text
+        ]
+        if not candidates:
+            return None
+        # Longest invocation-name match wins, mirroring Alexa's resolver.
+        return max(candidates, key=lambda s: len(s.invocation_name))
+
+    def _invoke(
+        self,
+        spec: Optional[SkillSpec],
+        transcript: str,
+        customer_id: str,
+        allow_streaming: bool,
+        account_linked: bool = True,
+    ) -> SkillResult:
+        if spec is None:
+            return SkillResult(skill_id="alexa", handled=False)
+        backend = self._backends.get(spec.skill_id)
+        if backend is None:
+            backend = SkillBackend(spec, self._seed)
+            self._backends[spec.skill_id] = backend
+        result = backend.invoke(
+            transcript, customer_id, allow_streaming, account_linked=account_linked
+        )
+        if result.redirected_to_alexa:
+            self.redirected_utterances += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Generic Amazon endpoints
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _handle_amazon_request(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(status=200, body={"ok": True})
+
+
+def _make_content_handler(domain: str):
+    """Third-party/vendor content endpoint: 200 with an asset reference."""
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            status=200,
+            body={"content": f"asset from {domain}", "path": request.path},
+        )
+
+    return handler

@@ -1,0 +1,92 @@
+"""The "Request My Data" (DSAR) portal.
+
+The paper requests each persona's data from Amazon three times — after
+skill installation and twice after interaction (§6.1) — and finds that
+the advertising-interest file is simply *absent* from the second
+post-interaction export for five personas, even on re-request.  The
+portal reproduces that quirk, because the paper's conclusion ("Amazon
+cannot be reliably trusted to provide transparency") depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.alexa.cloud import AlexaCloud
+from repro.alexa.profiler import InterestProfiler
+from repro.data.calibration import MISSING_INTEREST_FILE_PERSONAS
+
+__all__ = ["DataRequestPortal", "DataExport", "AdvertisingInterestsFile"]
+
+
+@dataclass(frozen=True)
+class AdvertisingInterestsFile:
+    """Advertising.AdvertisingInterests.csv in the real export."""
+
+    interests: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DataExport:
+    """One DSAR export bundle."""
+
+    customer_id: str
+    request_index: int
+    #: File-name → row count for the always-present files.
+    files: Dict[str, int]
+    #: Voice interaction transcripts (Alexa file).
+    transcripts: Tuple[str, ...]
+    #: None when Amazon omitted the advertising-interests file.
+    advertising_interests: Optional[AdvertisingInterestsFile]
+
+
+@dataclass
+class _RequestLog:
+    total: int = 0
+    post_interaction: int = 0
+
+
+class DataRequestPortal:
+    """Amazon's privacy-central data request endpoint."""
+
+    def __init__(self, cloud: AlexaCloud) -> None:
+        self._cloud = cloud
+        self._profiler = InterestProfiler(cloud.catalog)
+        self._logs: Dict[str, _RequestLog] = {}
+
+    def request_data(self, customer_id: str) -> DataExport:
+        """Issue one data request and return the export bundle."""
+        state = self._cloud.account_state(customer_id)
+        log = self._logs.setdefault(customer_id, _RequestLog())
+        log.total += 1
+        if state.interaction_epoch >= 1:
+            log.post_interaction += 1
+
+        profile = self._profiler.profile(state)
+        interests: Optional[AdvertisingInterestsFile] = AdvertisingInterestsFile(
+            interests=profile.interests
+        )
+        if self._interest_file_missing(state.account.persona, log):
+            interests = None
+
+        transcripts = tuple(r.transcript for r in state.interactions)
+        files = {
+            "Devices.DeviceDiagnostics.csv": 40 + 3 * len(state.ever_installed),
+            "Search-Data.Retail.SearchHistory.csv": 12,
+            "Retail.OrderHistory.csv": 1,
+            "Alexa.SkillsActivity.csv": len(state.interactions),
+        }
+        return DataExport(
+            customer_id=customer_id,
+            request_index=log.total,
+            files=files,
+            transcripts=transcripts,
+            advertising_interests=interests,
+        )
+
+    @staticmethod
+    def _interest_file_missing(persona: str, log: _RequestLog) -> bool:
+        """The §6.1 quirk: the advertising file vanishes from the second
+        post-interaction export for some personas and never comes back."""
+        return persona in MISSING_INTEREST_FILE_PERSONAS and log.post_interaction >= 2

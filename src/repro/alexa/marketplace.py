@@ -1,0 +1,123 @@
+"""The Alexa skill marketplace and the web companion app.
+
+The paper's crawler visits the marketplace through a fresh browser
+profile per persona, sorts each category by review count, and installs
+the top 50 skills, accepting any requested permissions (§3.1.1).  This
+module models the store plus the programmatic install flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.cloud import AlexaCloud
+from repro.data.skill_catalog import SkillCatalog, SkillSpec
+
+__all__ = ["Marketplace", "InstallReceipt", "SkillListing"]
+
+
+@dataclass(frozen=True)
+class SkillListing:
+    """What the store page shows for one skill."""
+
+    skill_id: str
+    name: str
+    category: str
+    review_count: int
+    sample_utterances: Tuple[str, ...]
+    permissions: Tuple[str, ...]
+    requires_account_linking: bool
+    privacy_policy_url: Optional[str]
+
+
+@dataclass(frozen=True)
+class InstallReceipt:
+    """Result of one install attempt."""
+
+    skill_id: str
+    installed: bool
+    granted_permissions: Tuple[str, ...] = ()
+    failure_reason: str = ""
+    #: Whether the skill's external account was linked.  The paper's
+    #: crawler never links accounts (§3.1.1, the iRobot example), so this
+    #: stays False for linking skills and their full functionality is
+    #: gated off.
+    account_linked: bool = False
+
+
+class Marketplace:
+    """Store front + companion-app install API."""
+
+    def __init__(self, catalog: SkillCatalog, cloud: AlexaCloud) -> None:
+        self.catalog = catalog
+        self.cloud = cloud
+
+    def listing(self, skill_id: str) -> SkillListing:
+        """Render the store page for a skill."""
+        spec = self.catalog.by_id(skill_id)
+        return _listing_from_spec(spec)
+
+    def top_skills(self, category: str, count: int = 50) -> List[SkillListing]:
+        """Category page sorted by review count (the paper's install set)."""
+        return [_listing_from_spec(s) for s in self.catalog.top_skills(category, count)]
+
+    def install(
+        self,
+        account: AmazonAccount,
+        skill_id: str,
+        grant_all_permissions: bool = True,
+        link_account: bool = False,
+    ) -> InstallReceipt:
+        """Install and enable a skill for an account.
+
+        Mirrors the crawler behavior: grant every requested permission,
+        but never link external accounts (§3.1.1) — skills that require
+        linking are installed *unlinked* and their linked-only features
+        stay unavailable.
+        """
+        spec = self.catalog.by_id(skill_id)
+        if spec.fails_to_load:
+            return InstallReceipt(
+                skill_id=skill_id, installed=False, failure_reason="skill failed to load"
+            )
+        self.cloud.register_account(account)
+        functional = link_account or not spec.requires_account_linking
+        self.cloud.install_skill(account.customer_id, skill_id, linked=functional)
+        granted = spec.permissions if grant_all_permissions else ()
+        return InstallReceipt(
+            skill_id=skill_id,
+            installed=True,
+            granted_permissions=tuple(granted),
+            account_linked=spec.requires_account_linking and link_account,
+        )
+
+    def uninstall(self, account: AmazonAccount, skill_id: str) -> None:
+        self.cloud.uninstall_skill(account.customer_id, skill_id)
+
+    def privacy_policy_url(self, skill_id: str) -> Optional[str]:
+        """Privacy policy link shown on the store page, if the developer
+        provided one (§7.1)."""
+        spec = self.catalog.by_id(skill_id)
+        if spec.policy is None or not spec.policy.has_link:
+            return None
+        return f"https://policies.example-skills.com/{spec.skill_id}.html"
+
+
+def _listing_from_spec(spec: SkillSpec) -> SkillListing:
+    policy_url = (
+        f"https://policies.example-skills.com/{spec.skill_id}.html"
+        if spec.policy is not None and spec.policy.has_link
+        else None
+    )
+    return SkillListing(
+        skill_id=spec.skill_id,
+        name=spec.name,
+        category=spec.category,
+        review_count=spec.review_count,
+        sample_utterances=spec.sample_utterances,
+        permissions=spec.permissions,
+        requires_account_linking=spec.requires_account_linking,
+        privacy_policy_url=policy_url,
+    )

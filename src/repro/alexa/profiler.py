@@ -1,0 +1,95 @@
+"""Amazon's advertising-interest profiler.
+
+Infers advertising interests from Alexa activity — the behavior the paper
+surfaces through DSAR data requests (§6.1, Table 12) and which appears
+inconsistent with Amazon's public statement that it does "not use voice
+recordings to target ads": the profiler consumes *processed transcripts
+and skill activity*, not raw audio, yet the resulting interests are used
+for ad targeting.
+
+The inference is mechanistic: skill installs and voice interactions
+accumulate evidence per skill category; the category's exposure level
+("installation", "interaction-1", "interaction-2") selects the interest
+set from the calibrated rule table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.alexa.cloud import AccountState
+from repro.data.calibration import INTEREST_RULES
+from repro.data.skill_catalog import SkillCatalog
+
+__all__ = ["InterestProfiler", "InterestProfile"]
+
+
+@dataclass(frozen=True)
+class InterestProfile:
+    """Inferred advertising interests for one customer."""
+
+    customer_id: str
+    #: Interest labels, e.g. "Home & Garden: DIY & Tools".
+    interests: Tuple[str, ...]
+    #: Exposure level used per skill category.
+    evidence: Dict[str, str]
+
+
+class InterestProfiler:
+    """Derives interest profiles from account activity.
+
+    This is *platform-side* code: unlike the auditing framework, it may
+    read the skill catalog directly (Amazon knows its own marketplace).
+    """
+
+    #: Minimum installed skills in a category before install-only evidence
+    #: counts (a whole top-50 install wave easily clears this).
+    MIN_INSTALLS = 25
+    #: Minimum logged skill interactions per category per epoch.
+    MIN_INTERACTIONS = 20
+
+    def __init__(self, catalog: SkillCatalog) -> None:
+        self._catalog = catalog
+
+    def profile(self, state: AccountState) -> InterestProfile:
+        """Compute the current interest profile for an account."""
+        exposure = self._exposure_levels(state)
+        interests: List[str] = []
+        for category, level in sorted(exposure.items()):
+            for interest in INTEREST_RULES.get((category, level), ()):
+                if interest not in interests:
+                    interests.append(interest)
+        return InterestProfile(
+            customer_id=state.account.customer_id,
+            interests=tuple(interests),
+            evidence=exposure,
+        )
+
+    def _exposure_levels(self, state: AccountState) -> Dict[str, str]:
+        """Exposure level per skill category from installs + interactions."""
+        install_counts: Dict[str, int] = {}
+        for skill_id in state.ever_installed:
+            category = self._catalog.by_id(skill_id).category
+            install_counts[category] = install_counts.get(category, 0) + 1
+
+        interaction_counts: Dict[Tuple[str, int], int] = {}
+        for record in state.interactions:
+            if record.skill_category is None:
+                continue
+            key = (record.skill_category, record.epoch)
+            interaction_counts[key] = interaction_counts.get(key, 0) + 1
+
+        levels: Dict[str, str] = {}
+        for category, count in install_counts.items():
+            if count >= self.MIN_INSTALLS:
+                levels[category] = "installation"
+        per_category_epochs: Dict[str, int] = {}
+        for (category, epoch), count in interaction_counts.items():
+            if count >= self.MIN_INTERACTIONS:
+                per_category_epochs[category] = max(
+                    per_category_epochs.get(category, 0), epoch + 1
+                )
+        for category, epochs in per_category_epochs.items():
+            levels[category] = f"interaction-{min(epochs, 2)}"
+        return levels

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        run the full (or scaled) campaign and export artifacts
+``tables``     print the paper's headline tables from a fresh campaign
+``policheck``  run the §7 policy-compliance analysis
+``sync``       run the §5.5 cookie-sync analysis
+``audio``      run the §5.4 audio-ad study
+``defend``     run the §8.1 defense evaluations
+``version``    print the package version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.bids import bid_summary_table, significance_vs_vanilla
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.export import export_dataset
+from repro.core.report import render_kv, render_table
+from repro.core.syncing import detect_cookie_syncing
+from repro.util.rng import Seed
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="echo-audit: smart-speaker ecosystem auditing framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the campaign and export artifacts")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--out", default="results", help="output directory")
+    run.add_argument("--small", action="store_true", help="scaled-down campaign")
+
+    tables = sub.add_parser("tables", help="print headline tables")
+    tables.add_argument("--seed", type=int, default=42)
+    tables.add_argument("--small", action="store_true")
+
+    policheck = sub.add_parser("policheck", help="run the §7 compliance analysis")
+    policheck.add_argument("--seed", type=int, default=42)
+    policheck.add_argument("--with-amazon-policy", action="store_true")
+
+    sync = sub.add_parser("sync", help="run the §5.5 cookie-sync analysis")
+    sync.add_argument("--seed", type=int, default=42)
+    sync.add_argument("--small", action="store_true")
+
+    audio = sub.add_parser("audio", help="run the §5.4 audio-ad study")
+    audio.add_argument("--seed", type=int, default=42)
+    audio.add_argument("--hours", type=float, default=6.0)
+
+    defend = sub.add_parser("defend", help="run the §8.1 defense evaluations")
+    defend.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("version", help="print version")
+    return parser
+
+
+def _config(small: bool) -> ExperimentConfig:
+    if not small:
+        return ExperimentConfig()
+    return ExperimentConfig(
+        skills_per_persona=8,
+        pre_iterations=2,
+        post_iterations=6,
+        crawl_sites=8,
+        prebid_discovery_target=50,
+        audio_hours=2.0,
+    )
+
+
+def _cmd_run(args) -> int:
+    dataset = run_experiment(Seed(args.seed), _config(args.small))
+    counts = export_dataset(dataset, args.out)
+    print(render_kv(counts, title=f"exported to {args.out}/"))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    dataset = run_experiment(Seed(args.seed), _config(args.small))
+    rows = [
+        (r.persona, f"{r.summary.median:.3f}", f"{r.summary.mean:.3f}")
+        for r in bid_summary_table(dataset)
+    ]
+    print(render_table(["persona", "median CPM", "mean CPM"], rows, title="Table 5"))
+    print()
+    rows = [
+        (p, f"{r.p_value:.3f}", f"{r.effect_size:.3f}", "yes" if r.significant else "no")
+        for p, r in significance_vs_vanilla(dataset).items()
+    ]
+    print(render_table(["persona", "p", "effect", "significant"], rows, title="Table 7"))
+    sync = detect_cookie_syncing(dataset)
+    print()
+    print(
+        render_kv(
+            {
+                "partners syncing with Amazon": sync.partner_count,
+                "downstream third parties": sync.downstream_count,
+            },
+            title="§5.5",
+        )
+    )
+    return 0
+
+
+def _cmd_defend(args) -> int:
+    from repro.alexa import AlexaCloud, AmazonAccount, EchoDevice, Marketplace
+    from repro.data import categories as cat
+    from repro.data.domains import PIHOLE_FILTER_TEXT, build_endpoint_registry
+    from repro.data.skill_catalog import build_catalog
+    from repro.defenses import BlockingRouter, evaluate_blocking
+    from repro.netsim.router import Router
+    from repro.orgmap.filterlists import FilterList
+    from repro.util.clock import SimClock
+
+    seed = Seed(args.seed)
+    router = Router(build_endpoint_registry(), SimClock())
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, router.clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    blocking = BlockingRouter(router, FilterList.from_text(PIHOLE_FILTER_TEXT))
+    account = AmazonAccount(email="defend@persona.example.com", persona="defend")
+    device = EchoDevice("echo-defend", account, blocking, cloud, seed)
+    skills = [s for s in catalog.top_skills(cat.FASHION, 50) if s.active]
+    evaluation = evaluate_blocking(device, marketplace, skills, blocking)
+    for spec in skills:
+        device.background_sync(list(spec.amazon_endpoints))
+    print(
+        render_kv(
+            {
+                "skills functional": f"{evaluation.skills_functional}/{evaluation.skills_run}",
+                "breakage rate": f"{100 * evaluation.breakage_rate:.1f}%",
+                "tracking requests blocked": blocking.report.blocked_total,
+            },
+            title="selective blocking",
+        )
+    )
+    return 0
+
+
+def _cmd_policheck(args) -> int:
+    from repro.core.compliance import analyze_compliance, policy_availability
+    from repro.data import datatypes as dt
+
+    config = ExperimentConfig(
+        pre_iterations=0,
+        post_iterations=1,
+        crawl_sites=1,
+        prebid_discovery_target=2,
+        audio_hours=0.1,
+    )
+    dataset = run_experiment(Seed(args.seed), config)
+    world = dataset.world
+    availability = policy_availability(dataset)
+    print(
+        render_kv(
+            {
+                "skills": availability.total_skills,
+                "policy links": availability.with_link,
+                "downloadable": availability.downloadable,
+                "generic (no Amazon mention)": availability.generic,
+            },
+            title="§7.1",
+        )
+    )
+    compliance = analyze_compliance(
+        dataset,
+        world.corpus,
+        world.org_resolver(),
+        world.org_categories(),
+        include_platform_policy=args.with_amazon_policy,
+    )
+    rows = [
+        (
+            data_type,
+            counts.get("clear", 0),
+            counts.get("vague", 0),
+            counts.get("omitted", 0),
+            counts.get("no policy", 0),
+        )
+        for data_type in dt.ALL_DATA_TYPES
+        for counts in [compliance.datatype_table.get(data_type, {})]
+    ]
+    print()
+    print(
+        render_table(
+            ["data type", "clear", "vague", "omitted", "no policy"],
+            rows,
+            title="Table 13",
+        )
+    )
+    return 0
+
+
+def _cmd_sync(args) -> int:
+    dataset = run_experiment(Seed(args.seed), _config(args.small))
+    analysis = detect_cookie_syncing(dataset)
+    print(
+        render_kv(
+            {
+                "sync events": len(analysis.events),
+                "partners syncing with Amazon": analysis.partner_count,
+                "Amazon outbound syncs": len(analysis.amazon_outbound_targets),
+                "downstream third parties": analysis.downstream_count,
+            },
+            title="§5.5 cookie syncing",
+        )
+    )
+    return 0
+
+
+def _cmd_audio(args) -> int:
+    from repro.adtech.audio import AudioAdServer
+    from repro.core.adcontent import extract_audio_ads, transcribe_session
+    from repro.data import categories as cat
+
+    server = AudioAdServer(Seed(args.seed).derive("audio"))
+    rows = []
+    for skill in ("Amazon Music", "Spotify", "Pandora"):
+        for persona in (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA):
+            session = server.stream(skill, persona, hours=args.hours)
+            brands = extract_audio_ads(transcribe_session(session))
+            rows.append((skill, persona, len(brands)))
+    print(render_table(["skill", "persona", "ads"], rows, title="§5.4 audio ads"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    handlers = {
+        "run": _cmd_run,
+        "tables": _cmd_tables,
+        "policheck": _cmd_policheck,
+        "sync": _cmd_sync,
+        "audio": _cmd_audio,
+        "defend": _cmd_defend,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""The auditing framework — the paper's primary contribution.
+
+Orchestrates the measurement campaign (:mod:`repro.core.experiment`) and
+implements every analysis of §4–§7: traffic attribution, bid statistics,
+ad-content labelling, cookie-sync detection, DSAR profiling, and policy
+compliance.
+"""
+
+from repro.core.adcontent import (
+    AudioAdAnalysis,
+    DisplayAdAnalysis,
+    analyze_audio_ads,
+    analyze_display_ads,
+    extract_audio_ads,
+    transcribe_session,
+)
+from repro.core.bids import (
+    bid_summary_table,
+    bids_on_slots,
+    common_slots,
+    echo_vs_web_matrix,
+    figure3_series,
+    figure7_series,
+    holiday_window_means,
+    partner_split,
+    representative_bids,
+    significance_vs_vanilla,
+)
+from repro.core.compliance import (
+    ComplianceAnalysis,
+    PolicyAvailability,
+    analyze_compliance,
+    policy_availability,
+    run_validation_study,
+)
+from repro.core.experiment import (
+    AuditDataset,
+    ExperimentConfig,
+    ExperimentRunner,
+    PersonaArtifacts,
+    PolicyFetch,
+    run_cached_experiment,
+    run_experiment,
+)
+from repro.core.personas import Persona, all_personas, control_personas, interest_personas
+from repro.core.profiling import ProfilingAnalysis, analyze_profiling
+from repro.core.stats import (
+    MannWhitneyResult,
+    effect_size_label,
+    mann_whitney_u,
+    rank_biserial,
+    summarize,
+)
+from repro.core.syncing import SyncAnalysis, SyncEvent, detect_cookie_syncing
+from repro.core.traffic import TrafficAnalysis, analyze_traffic
+from repro.core.world import World, build_world
+
+__all__ = [
+    "AuditDataset",
+    "AudioAdAnalysis",
+    "ComplianceAnalysis",
+    "DisplayAdAnalysis",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "MannWhitneyResult",
+    "Persona",
+    "PersonaArtifacts",
+    "PolicyAvailability",
+    "PolicyFetch",
+    "ProfilingAnalysis",
+    "SyncAnalysis",
+    "SyncEvent",
+    "TrafficAnalysis",
+    "World",
+    "all_personas",
+    "analyze_audio_ads",
+    "analyze_compliance",
+    "analyze_display_ads",
+    "analyze_profiling",
+    "analyze_traffic",
+    "bid_summary_table",
+    "bids_on_slots",
+    "build_world",
+    "common_slots",
+    "control_personas",
+    "detect_cookie_syncing",
+    "echo_vs_web_matrix",
+    "effect_size_label",
+    "extract_audio_ads",
+    "figure3_series",
+    "figure7_series",
+    "holiday_window_means",
+    "interest_personas",
+    "mann_whitney_u",
+    "partner_split",
+    "policy_availability",
+    "rank_biserial",
+    "representative_bids",
+    "run_cached_experiment",
+    "run_experiment",
+    "run_validation_study",
+    "significance_vs_vanilla",
+    "summarize",
+    "transcribe_session",
+]

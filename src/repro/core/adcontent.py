@@ -1,0 +1,308 @@
+"""Ad-content analysis: personalized display ads (§5.3, Table 8) and
+audio ads (§5.4, Table 9, Figure 5).
+
+The display-ad side reproduces the paper's three-condition rule for
+calling an ad *personalized*: (i) the advertiser is an installed skill's
+vendor (including Amazon itself), (ii) the ad is exclusive to one
+persona, and (iii) it references a product in the same industry as an
+installed skill.  Condition (iii) is the human-coder step; it is
+implemented as a keyword thesaurus over installed-skill names.
+
+The audio side transcribes recorded streaming sessions and extracts ads
+from the transcripts by their sponsorship markers, then aggregates
+per-skill / per-persona counts and brand distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.adtech.audio import StreamSession
+from repro.core.experiment import AuditDataset
+from repro.web.openwpm import AdRecord
+
+__all__ = [
+    "ExclusiveAd",
+    "DisplayAdAnalysis",
+    "analyze_display_ads",
+    "TranscriptEntry",
+    "transcribe_session",
+    "extract_audio_ads",
+    "AudioAdAnalysis",
+    "analyze_audio_ads",
+    "vendor_retargeting_check",
+]
+
+# --------------------------------------------------------------------- #
+# Display ads (§5.3)
+# --------------------------------------------------------------------- #
+
+#: Product-keyword → skill-keyword thesaurus standing in for the human
+#: coder's judgement of "same industry as the installed skill".
+_RELEVANCE_THESAURUS: Mapping[str, Tuple[str, ...]] = {
+    "dehumidifier": ("air quality",),
+    "essential oils": ("essential oil",),
+    "vacuum": ("dyson",),
+    "security": ("simplisafe",),
+    "vehicle": ("ford", "jeep", "genesis", "tesla", "garmin"),
+    "pickup": ("ford",),
+}
+
+
+@dataclass(frozen=True)
+class ExclusiveAd:
+    """An ad creative that appeared in exactly one persona."""
+
+    persona: str
+    advertiser: str
+    product: str
+    impressions: int
+    iterations: int
+    #: Human-coder judgement: apparent relevance to the persona's skills.
+    apparent_relevance: bool
+    related_skill: Optional[str]
+
+
+@dataclass
+class DisplayAdAnalysis:
+    """§5.3 results."""
+
+    total_ads: int
+    #: Ads from installed skills' vendors, counted in the persona whose
+    #: skill shares the vendor (the paper's 79).
+    vendor_ad_counts: Dict[Tuple[str, str], int]  # (persona, advertiser) -> count
+    #: Whether any vendor ad was exclusive to the persona with the skill.
+    vendor_ads_exclusive: bool
+    #: Amazon ads filtered per persona (the paper's 255).
+    amazon_ad_count: int
+    #: Amazon ads exclusive to a single persona, with relevance labels.
+    exclusive_amazon_ads: List[ExclusiveAd]
+
+
+def analyze_display_ads(
+    dataset: AuditDataset,
+    vendors_by_persona: Mapping[str, Set[str]],
+    skills_by_persona: Mapping[str, Sequence[str]],
+) -> DisplayAdAnalysis:
+    """Run the §5.3 pipeline over collected ads.
+
+    ``vendors_by_persona`` and ``skills_by_persona`` come from the
+    marketplace listings of each persona's installed skills (vendor
+    names and skill names respectively).
+    """
+    echo_personas = [
+        a for a in dataset.personas.values() if a.persona.kind != "web"
+    ]
+    total = sum(len(a.ads) for a in echo_personas)
+
+    # Which personas saw each creative (exclusivity check).
+    creative_personas: Dict[str, Set[str]] = defaultdict(set)
+    for artifacts in echo_personas:
+        for ad in artifacts.ads:
+            creative_personas[ad.creative.creative_id].add(artifacts.persona.name)
+
+    vendor_counts: Counter = Counter()
+    vendor_exclusive = False
+    amazon_count = 0
+    amazon_by_persona: Dict[Tuple[str, str, str], List[AdRecord]] = defaultdict(list)
+
+    for artifacts in echo_personas:
+        persona = artifacts.persona.name
+        vendors = {v.lower() for v in vendors_by_persona.get(persona, set())}
+        for ad in artifacts.ads:
+            advertiser = ad.creative.advertiser
+            if advertiser == "Amazon":
+                amazon_count += 1
+                amazon_by_persona[(persona, advertiser, ad.creative.product)].append(ad)
+            elif any(advertiser.lower() in v or v in advertiser.lower() for v in vendors):
+                vendor_counts[(persona, advertiser)] += 1
+                if creative_personas[ad.creative.creative_id] == {persona}:
+                    vendor_exclusive = True
+
+    exclusive: List[ExclusiveAd] = []
+    for (persona, advertiser, product), ads in sorted(amazon_by_persona.items()):
+        creative_id = ads[0].creative.creative_id
+        if creative_personas[creative_id] != {persona}:
+            continue
+        relevance, related = _judge_relevance(product, skills_by_persona.get(persona, ()))
+        exclusive.append(
+            ExclusiveAd(
+                persona=persona,
+                advertiser=advertiser,
+                product=product,
+                impressions=len(ads),
+                iterations=len({a.iteration for a in ads}),
+                apparent_relevance=relevance,
+                related_skill=related,
+            )
+        )
+    return DisplayAdAnalysis(
+        total_ads=total,
+        vendor_ad_counts=dict(vendor_counts),
+        vendor_ads_exclusive=vendor_exclusive,
+        amazon_ad_count=amazon_count,
+        exclusive_amazon_ads=exclusive,
+    )
+
+
+def _judge_relevance(
+    product: str, skill_names: Sequence[str]
+) -> Tuple[bool, Optional[str]]:
+    """The simulated human coder's relevance call (condition iii)."""
+    lowered = product.lower()
+    names = [s.lower() for s in skill_names]
+    for keyword, skill_keywords in _RELEVANCE_THESAURUS.items():
+        if keyword not in lowered:
+            continue
+        for skill_keyword in skill_keywords:
+            for name in names:
+                if skill_keyword in name:
+                    return True, name
+    return False, None
+
+
+def vendor_retargeting_check(
+    dataset: AuditDataset,
+    vendors_by_persona: Mapping[str, Set[str]],
+) -> Dict[str, bool]:
+    """§6.2: do any skill vendors *re-target* ads at the personas that
+    installed their skills?
+
+    Returns vendor → True when the vendor's ads appeared exclusively in
+    personas holding its skill (the retargeting signature).  The paper
+    finds none — evidence that Amazon is not sharing data with skills.
+    """
+    vendor_personas: Dict[str, Set[str]] = defaultdict(set)
+    for artifacts in dataset.personas.values():
+        if artifacts.persona.kind == "web":
+            continue
+        for ad in artifacts.ads:
+            advertiser = ad.creative.advertiser
+            if advertiser == "Amazon" or ad.creative.source == "generic":
+                continue
+            vendor_personas[advertiser].add(artifacts.persona.name)
+
+    verdicts: Dict[str, bool] = {}
+    for advertiser, seen_in in vendor_personas.items():
+        holders = {
+            persona
+            for persona, vendors in vendors_by_persona.items()
+            if any(
+                advertiser.lower() in v.lower() or v.lower() in advertiser.lower()
+                for v in vendors
+            )
+        }
+        if not holders:
+            continue
+        verdicts[advertiser] = seen_in <= holders  # exclusivity = retargeting
+    return verdicts
+
+
+# --------------------------------------------------------------------- #
+# Audio ads (§5.4)
+# --------------------------------------------------------------------- #
+
+_AD_MARKERS = ("brought to you by", "visit our store")
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One transcribed stretch of recorded audio."""
+
+    start: float
+    text: str
+
+
+def transcribe_session(session: StreamSession) -> List[TranscriptEntry]:
+    """Automated transcription of a recorded session (§3.3)."""
+    return [
+        TranscriptEntry(start=segment.start, text=segment.audio_text)
+        for segment in session.segments
+    ]
+
+
+def extract_audio_ads(transcript: Sequence[TranscriptEntry]) -> List[str]:
+    """Manual ad extraction, simulated: find sponsorship language and
+    recover the advertised brand."""
+    brands: List[str] = []
+    for entry in transcript:
+        lowered = entry.text.lower()
+        if not any(marker in lowered for marker in _AD_MARKERS):
+            continue
+        # "... brought to you by <brand> visit our store today"
+        after = lowered.split("brought to you by", 1)
+        if len(after) != 2:
+            continue
+        brand = after[1].split("visit our store")[0].strip()
+        if brand:
+            brands.append(brand)
+    return brands
+
+
+@dataclass
+class AudioAdAnalysis:
+    """§5.4 results."""
+
+    #: (skill, persona) -> ad count.
+    counts: Dict[Tuple[str, str], int]
+    #: (skill, persona) -> brand -> count (Figure 5, brands with >= 2 plays).
+    brand_distributions: Dict[Tuple[str, str], Dict[str, int]]
+    total_ads: int
+    #: Share of all ads upselling the streaming services' premium tiers.
+    premium_upsell_share: float
+
+    def skill_fractions(self) -> Dict[Tuple[str, str], float]:
+        """Table 9: per-skill fraction of ads by persona."""
+        totals: Dict[str, int] = defaultdict(int)
+        for (skill, _persona), count in self.counts.items():
+            totals[skill] += count
+        return {
+            (skill, persona): count / totals[skill] if totals[skill] else 0.0
+            for (skill, persona), count in self.counts.items()
+        }
+
+    def exclusive_brands(self, skill: str, persona: str) -> Set[str]:
+        """Brands streamed only to ``persona`` on ``skill``."""
+        mine = set(self.brand_distributions.get((skill, persona), {}))
+        for (other_skill, other_persona), brands in self.brand_distributions.items():
+            if other_skill == skill and other_persona != persona:
+                mine -= set(brands)
+        return mine
+
+
+def analyze_audio_ads(
+    dataset: AuditDataset, min_repetitions: int = 2
+) -> AudioAdAnalysis:
+    """Transcribe + label every recorded session, then aggregate."""
+    counts: Dict[Tuple[str, str], int] = {}
+    distributions: Dict[Tuple[str, str], Dict[str, int]] = {}
+    total = 0
+    premium = 0
+    for artifacts in dataset.personas.values():
+        for session in artifacts.audio_sessions:
+            transcript = transcribe_session(session)
+            brands = extract_audio_ads(transcript)
+            key = (session.skill_name, session.persona)
+            counts[key] = counts.get(key, 0) + len(brands)
+            total += len(brands)
+            premium += sum(
+                1 for b in brands if "premium" in b or "unlimited" in b
+            )
+            tally = Counter(brands)
+            kept = {
+                brand: count
+                for brand, count in tally.items()
+                if count >= min_repetitions
+            }
+            if kept:
+                merged = distributions.setdefault(key, {})
+                for brand, count in kept.items():
+                    merged[brand] = merged.get(brand, 0) + count
+    return AudioAdAnalysis(
+        counts=counts,
+        brand_distributions=distributions,
+        total_ads=total,
+        premium_upsell_share=premium / total if total else 0.0,
+    )

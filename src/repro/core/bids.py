@@ -1,0 +1,221 @@
+"""Bid analysis (paper §5.1–§5.2, §5.5–§5.6).
+
+All statistics run on bids from *common ad slots* — slots that loaded for
+every crawling persona (§3.3 "Interpreting bids") — so slot-mix
+differences cannot masquerade as targeting.
+
+The Mann-Whitney comparisons use one representative bid per common slot
+(the first bid response received on that slot in the final crawl
+iteration).  This keeps the sample at the paper's scale (~40 values per
+persona) so p-values are comparable to Table 7; using all ~8k pooled
+bids would drive every p to zero without changing the effect sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.experiment import AuditDataset, PersonaArtifacts
+from repro.core.stats import DistributionSummary, MannWhitneyResult, mann_whitney_u, summarize
+from repro.data import categories as cat
+from repro.web.openwpm import BidRecord
+
+__all__ = [
+    "common_slots",
+    "bids_on_slots",
+    "representative_bids",
+    "BidTableRow",
+    "bid_summary_table",
+    "holiday_window_means",
+    "significance_vs_vanilla",
+    "partner_split",
+    "echo_vs_web_matrix",
+    "figure3_series",
+    "figure7_series",
+]
+
+
+def common_slots(dataset: AuditDataset) -> Set[str]:
+    """Slots that loaded for every crawling persona."""
+    slot_sets = [a.loaded_slots for a in dataset.personas.values() if a.loaded_slots]
+    if not slot_sets:
+        return set()
+    common = set(slot_sets[0])
+    for slots in slot_sets[1:]:
+        common &= slots
+    return common
+
+
+def bids_on_slots(
+    artifacts: PersonaArtifacts,
+    slots: Set[str],
+    phase: str = "post",
+) -> List[BidRecord]:
+    """Bids restricted to ``slots``; phase is "pre", "post", or "all"."""
+    if phase not in {"pre", "post", "all"}:
+        raise ValueError(f"invalid phase: {phase}")
+    records = []
+    for bid in artifacts.bids:
+        if bid.slot_id not in slots:
+            continue
+        if phase == "pre" and bid.iteration >= 0:
+            continue
+        if phase == "post" and bid.iteration < 0:
+            continue
+        records.append(bid)
+    return records
+
+
+def representative_bids(
+    artifacts: PersonaArtifacts, slots: Set[str], iteration: Optional[int] = None
+) -> List[float]:
+    """One bid per common slot: the first response in ``iteration``.
+
+    When ``iteration`` is None the last post-interaction iteration is
+    used.
+    """
+    post = [b for b in artifacts.bids if b.iteration >= 0 and b.slot_id in slots]
+    if not post:
+        return []
+    target = iteration if iteration is not None else max(b.iteration for b in post)
+    chosen: Dict[str, float] = {}
+    for bid in post:
+        if bid.iteration != target:
+            continue
+        chosen.setdefault(bid.slot_id, bid.cpm)
+    return [chosen[s] for s in sorted(chosen)]
+
+
+@dataclass(frozen=True)
+class BidTableRow:
+    """One row of Table 5 / Table 10."""
+
+    persona: str
+    summary: DistributionSummary
+
+
+def bid_summary_table(dataset: AuditDataset) -> List[BidTableRow]:
+    """Table 5: median/mean CPM per persona on common slots (post)."""
+    slots = common_slots(dataset)
+    rows: List[BidTableRow] = []
+    for artifacts in dataset.personas.values():
+        if artifacts.persona.kind == "web":
+            continue
+        cpms = [b.cpm for b in bids_on_slots(artifacts, slots, "post")]
+        if not cpms:
+            continue
+        rows.append(BidTableRow(persona=artifacts.persona.name, summary=summarize(cpms)))
+    return rows
+
+
+def holiday_window_means(
+    dataset: AuditDataset, window: int = 3
+) -> Dict[str, Tuple[float, float]]:
+    """Table 6: mean CPM in the last ``window`` pre-interaction iterations
+    vs the first ``window`` post-interaction iterations (both inside the
+    holiday season)."""
+    slots = common_slots(dataset)
+    result: Dict[str, Tuple[float, float]] = {}
+    for artifacts in dataset.personas.values():
+        if artifacts.persona.kind == "web":
+            continue
+        pre = [b for b in bids_on_slots(artifacts, slots, "pre")]
+        post = [b for b in bids_on_slots(artifacts, slots, "post")]
+        if not pre or not post:
+            continue
+        pre_last = [b.cpm for b in pre if b.iteration >= -window]
+        post_first = [b.cpm for b in post if b.iteration < window]
+        if not pre_last or not post_first:
+            continue
+        result[artifacts.persona.name] = (
+            summarize(pre_last).mean,
+            summarize(post_first).mean,
+        )
+    return result
+
+
+def significance_vs_vanilla(dataset: AuditDataset) -> Dict[str, MannWhitneyResult]:
+    """Table 7: one-sided Mann-Whitney of each interest persona vs vanilla."""
+    slots = common_slots(dataset)
+    vanilla_sample = representative_bids(dataset.vanilla, slots)
+    results: Dict[str, MannWhitneyResult] = {}
+    for artifacts in dataset.interest_personas:
+        sample = representative_bids(artifacts, slots)
+        if not sample or not vanilla_sample:
+            continue
+        results[artifacts.persona.name] = mann_whitney_u(
+            sample, vanilla_sample, alternative="greater"
+        )
+    return results
+
+
+def partner_split(
+    dataset: AuditDataset, partner_bidders: Set[str]
+) -> Dict[str, Tuple[Optional[DistributionSummary], Optional[DistributionSummary]]]:
+    """Table 10: (partner, non-partner) bid summaries per persona.
+
+    ``partner_bidders`` is the set of bidder codes the cookie-sync
+    analysis identified as syncing with Amazon (§5.5) — the auditor
+    derives it from crawl traffic, not from ground truth.
+    """
+    slots = common_slots(dataset)
+    result = {}
+    for artifacts in dataset.personas.values():
+        if artifacts.persona.kind == "web":
+            continue
+        post = bids_on_slots(artifacts, slots, "post")
+        partner = [b.cpm for b in post if b.bidder in partner_bidders]
+        non_partner = [b.cpm for b in post if b.bidder not in partner_bidders]
+        result[artifacts.persona.name] = (
+            summarize(partner) if partner else None,
+            summarize(non_partner) if non_partner else None,
+        )
+    return result
+
+
+def echo_vs_web_matrix(dataset: AuditDataset) -> Dict[Tuple[str, str], MannWhitneyResult]:
+    """Table 11: two-sided Mann-Whitney of Echo vs web interest personas."""
+    slots = common_slots(dataset)
+    web_samples = {
+        a.persona.category: representative_bids(a, slots)
+        for a in dataset.personas.values()
+        if a.persona.kind == "web"
+    }
+    results: Dict[Tuple[str, str], MannWhitneyResult] = {}
+    for artifacts in dataset.interest_personas:
+        sample = representative_bids(artifacts, slots)
+        for web_category, web_sample in web_samples.items():
+            if not sample or not web_sample:
+                continue
+            results[(artifacts.persona.name, web_category)] = mann_whitney_u(
+                sample, web_sample, alternative="two-sided"
+            )
+    return results
+
+
+def figure3_series(dataset: AuditDataset) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 3: CPM distributions per persona, without/with interaction."""
+    slots = common_slots(dataset)
+    series: Dict[str, Dict[str, List[float]]] = {"pre": {}, "post": {}}
+    for artifacts in dataset.personas.values():
+        if artifacts.persona.kind == "web":
+            continue
+        series["pre"][artifacts.persona.name] = [
+            b.cpm for b in bids_on_slots(artifacts, slots, "pre")
+        ]
+        series["post"][artifacts.persona.name] = [
+            b.cpm for b in bids_on_slots(artifacts, slots, "post")
+        ]
+    return series
+
+
+def figure7_series(dataset: AuditDataset) -> Dict[str, List[float]]:
+    """Figure 7: CPM distributions for vanilla, Echo, and web personas."""
+    slots = common_slots(dataset)
+    series: Dict[str, List[float]] = {}
+    for artifacts in dataset.personas.values():
+        series[artifacts.persona.name] = [
+            b.cpm for b in bids_on_slots(artifacts, slots, "post")
+        ]
+    return series

@@ -1,0 +1,171 @@
+"""Privacy-policy compliance analysis (paper §7).
+
+Drives the PoliCheck pipeline over the collected artifacts:
+
+* §7.1 — policy availability statistics from the policy crawl;
+* §7.2.1 — endpoint analysis on encrypted Echo captures;
+* §7.2.2 — data-type analysis on the AVS Echo plaintext (optionally
+  consulting Amazon's platform policy as well);
+* §7.2.3 — the validation study against a simulated human coder.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.experiment import AuditDataset
+from repro.orgmap.resolver import OrgResolver
+from repro.policies.corpus import PolicyCorpus
+from repro.policies.policheck.analyzer import Disclosure, PolicheckAnalyzer
+from repro.policies.policheck.extraction import (
+    DataFlow,
+    extract_datatype_flows,
+    extract_endpoint_flows,
+)
+from repro.policies.policheck.validation import (
+    ValidationReport,
+    human_code_flows,
+    score_multiclass,
+)
+from repro.util.rng import Seed
+
+__all__ = [
+    "PolicyAvailability",
+    "policy_availability",
+    "ComplianceAnalysis",
+    "analyze_compliance",
+    "run_validation_study",
+]
+
+AMAZON = "Amazon Technologies, Inc."
+
+
+@dataclass(frozen=True)
+class PolicyAvailability:
+    """§7.1 statistics."""
+
+    total_skills: int
+    with_link: int
+    downloadable: int
+    mention_amazon: int
+    generic: int  # downloadable policies that never mention Alexa/Amazon
+    link_amazon_policy: int
+
+
+def policy_availability(dataset: AuditDataset) -> PolicyAvailability:
+    """Compute the §7.1 availability numbers from the policy crawl."""
+    total = len(dataset.policy_fetches)
+    with_link = sum(1 for f in dataset.policy_fetches if f.has_link)
+    downloaded = [f for f in dataset.policy_fetches if f.downloaded]
+    mention = sum(1 for f in downloaded if f.document.mentions_amazon)
+    links_amazon = sum(1 for f in downloaded if f.document.links_amazon_policy)
+    return PolicyAvailability(
+        total_skills=total,
+        with_link=with_link,
+        downloadable=len(downloaded),
+        mention_amazon=mention,
+        generic=len(downloaded) - mention,
+        link_amazon_policy=links_amazon,
+    )
+
+
+@dataclass
+class ComplianceAnalysis:
+    """§7.2 results."""
+
+    #: Per data type: disclosure class -> count of skills (Table 13).
+    datatype_table: Dict[str, Dict[str, int]]
+    #: Per endpoint organization: disclosure class -> skills (Table 14).
+    endpoint_table: Dict[str, Dict[str, List[str]]]
+    datatype_disclosures: List[Disclosure] = field(default_factory=list)
+    endpoint_disclosures: List[Disclosure] = field(default_factory=list)
+
+    def platform_disclosure_counts(self) -> Dict[str, int]:
+        """How Amazon's own data collection is disclosed across skills."""
+        return {
+            klass: len(skills)
+            for klass, skills in self.endpoint_table.get(AMAZON, {}).items()
+        }
+
+
+def analyze_compliance(
+    dataset: AuditDataset,
+    corpus: PolicyCorpus,
+    resolver: OrgResolver,
+    org_categories: Dict[str, Tuple[str, ...]],
+    include_platform_policy: bool = False,
+) -> ComplianceAnalysis:
+    """Run both PoliCheck analyses over all personas' artifacts."""
+    analyzer = PolicheckAnalyzer(
+        corpus,
+        include_platform_policy=include_platform_policy,
+        org_categories=org_categories,
+    )
+
+    datatype_flows: List[DataFlow] = []
+    for artifacts in dataset.interest_personas:
+        datatype_flows.extend(extract_datatype_flows(artifacts.avs_plaintext))
+    datatype_flows = _dedupe(datatype_flows)
+    datatype_disclosures = analyzer.analyze_datatype_flows(datatype_flows)
+
+    endpoint_flows: List[DataFlow] = []
+    for artifacts in dataset.interest_personas:
+        endpoint_flows.extend(
+            extract_endpoint_flows(artifacts.skill_captures, resolver)
+        )
+    endpoint_flows = _dedupe(endpoint_flows)
+    endpoint_disclosures = analyzer.analyze_endpoint_flows(endpoint_flows)
+
+    datatype_table: Dict[str, Dict[str, int]] = defaultdict(Counter)
+    for disclosure in datatype_disclosures:
+        datatype_table[disclosure.flow.data_type][disclosure.classification] += 1
+
+    endpoint_table: Dict[str, Dict[str, List[str]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for disclosure in endpoint_disclosures:
+        endpoint_table[disclosure.flow.entity][disclosure.classification].append(
+            disclosure.flow.skill_id
+        )
+
+    return ComplianceAnalysis(
+        datatype_table={k: dict(v) for k, v in datatype_table.items()},
+        endpoint_table={k: {c: sorted(s) for c, s in v.items()} for k, v in endpoint_table.items()},
+        datatype_disclosures=datatype_disclosures,
+        endpoint_disclosures=endpoint_disclosures,
+    )
+
+
+def run_validation_study(
+    analysis: ComplianceAnalysis,
+    corpus: PolicyCorpus,
+    seed: Seed,
+    sample_size: int = 100,
+) -> ValidationReport:
+    """§7.2.3: score PoliCheck against a human coder on 100 skills."""
+    with_policy = [
+        d
+        for d in analysis.datatype_disclosures
+        if corpus.get(d.flow.skill_id) is not None
+    ]
+    skill_ids = sorted({d.flow.skill_id for d in with_policy})
+    rng = seed.rng("validation", "sample")
+    sampled = set(rng.sample(skill_ids, min(sample_size, len(skill_ids))))
+    disclosures = [d for d in with_policy if d.flow.skill_id in sampled]
+    truth = human_code_flows(disclosures, corpus, seed)
+    predicted = [d.classification for d in disclosures]
+    return score_multiclass(truth, predicted)
+
+
+def _dedupe(flows: List[DataFlow]) -> List[DataFlow]:
+    seen: Set[Tuple[str, Optional[str], str]] = set()
+    out: List[DataFlow] = []
+    for flow in flows:
+        key = (flow.skill_id, flow.data_type, flow.entity)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(flow)
+    return out

@@ -1,0 +1,445 @@
+"""The end-to-end auditing experiment (paper §3, Figure 1).
+
+Timeline (simulated dates mirror the paper's December-2021 campaign):
+
+1.  **Setup** — accounts, Echo + AVS Echo per Echo persona, fresh browser
+    profile per persona, unique IPs, companion-app login.
+2.  **Pre-interaction crawls** — 6 iterations (Dec 10–20) over the
+    prebid crawl set, for Figure 3a / Table 6's no-interaction columns.
+3.  **Skill installation** — top-50 per interest persona; DSAR #1.
+4.  **Interaction wave 1** — per-skill tcpdump-bracketed sessions on the
+    Echo (encrypted captures) and AVS Echo (plaintext log); DSAR #2.
+5.  **Post-interaction crawls** — 25 iterations (Dec 27 – late Jan),
+    collecting bids, rendered ads, and the request log.
+6.  **Audio streaming** — 6 h × 3 skills × 3 personas.
+7.  **Interaction wave 2 + DSAR #3** (and the re-request that reproduces
+    the missing-interest-file quirk).
+8.  **Policy collection** — the Puppeteer-style policy crawl.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.adtech.audio import StreamSession
+from repro.alexa.account import AmazonAccount
+from repro.alexa.device import AVSEcho, EchoDevice, PlaintextRecord
+from repro.alexa.dsar import DataExport
+from repro.core.personas import Persona, all_personas
+from repro.core.world import World, build_world
+from repro.data import categories as cat
+from repro.data.skill_catalog import STREAMING_SKILLS
+from repro.data.websites import WEB_PRIMING_SITES, WebsiteSpec
+from repro.netsim.http import HttpRequest, HttpResponse
+from repro.netsim.pcap import CaptureSession
+from repro.policies.corpus import PolicyDocument
+from repro.util.rng import Seed
+from repro.web.browser import Browser, BrowserProfile
+from repro.web.openwpm import AdRecord, BidRecord, OpenWPMCrawler, discover_prebid_sites
+from repro.web.browser import LoggedRequest
+
+__all__ = [
+    "ExperimentConfig",
+    "PersonaArtifacts",
+    "PolicyFetch",
+    "AuditDataset",
+    "ExperimentRunner",
+    "run_experiment",
+    "run_cached_experiment",
+]
+
+_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs; defaults reproduce the paper's campaign."""
+
+    skills_per_persona: int = 50
+    pre_iterations: int = 6
+    post_iterations: int = 25
+    crawl_sites: int = 20
+    prebid_discovery_target: int = 200
+    audio_hours: float = 6.0
+    audio_personas: tuple = (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)
+    second_interaction_wave: bool = True
+    run_avs_echo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.skills_per_persona < 1 or self.skills_per_persona > 50:
+            raise ValueError("skills_per_persona must be in [1, 50]")
+        if self.pre_iterations < 0 or self.post_iterations < 1:
+            raise ValueError("iteration counts out of range")
+
+
+@dataclass
+class PersonaArtifacts:
+    """Everything the auditor collected for one persona."""
+
+    persona: Persona
+    profile_id: str
+    account: Optional[AmazonAccount] = None
+    skill_captures: Dict[str, CaptureSession] = field(default_factory=dict)
+    install_failures: List[str] = field(default_factory=list)
+    avs_plaintext: List[PlaintextRecord] = field(default_factory=list)
+    bids: List[BidRecord] = field(default_factory=list)
+    ads: List[AdRecord] = field(default_factory=list)
+    request_log: List[LoggedRequest] = field(default_factory=list)
+    loaded_slots: Set[str] = field(default_factory=set)
+    audio_sessions: List[StreamSession] = field(default_factory=list)
+    dsar_exports: List[DataExport] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PolicyFetch:
+    """Outcome of the policy crawl for one skill (§7.1)."""
+
+    skill_id: str
+    url: Optional[str]
+    document: Optional[PolicyDocument]
+
+    @property
+    def has_link(self) -> bool:
+        return self.url is not None
+
+    @property
+    def downloaded(self) -> bool:
+        return self.document is not None
+
+
+@dataclass
+class AuditDataset:
+    """The full artifact bundle the analyses run on."""
+
+    personas: Dict[str, PersonaArtifacts]
+    prebid_sites: List[WebsiteSpec]
+    crawl_sites: List[WebsiteSpec]
+    policy_fetches: List[PolicyFetch]
+    #: World handle — used by benchmarks/tests to compare measured vs
+    #: generative truth.  Analysis code must not consult it.
+    world: World = None  # type: ignore[assignment]
+
+    def artifacts(self, persona_name: str) -> PersonaArtifacts:
+        return self.personas[persona_name]
+
+    @property
+    def interest_personas(self) -> List[PersonaArtifacts]:
+        return [a for a in self.personas.values() if a.persona.kind == "interest"]
+
+    @property
+    def vanilla(self) -> PersonaArtifacts:
+        return self.personas[cat.VANILLA]
+
+
+class ExperimentRunner:
+    """Drives the full measurement campaign against a world."""
+
+    def __init__(self, world: World, config: ExperimentConfig = ExperimentConfig()) -> None:
+        self.world = world
+        self.config = config
+        self._personas = all_personas()
+        self._artifacts: Dict[str, PersonaArtifacts] = {}
+        self._devices: Dict[str, EchoDevice] = {}
+        self._avs_devices: Dict[str, AVSEcho] = {}
+        self._profiles: Dict[str, BrowserProfile] = {}
+        self._crawlers: Dict[str, OpenWPMCrawler] = {}
+
+    # ------------------------------------------------------------------ #
+    # Orchestration
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> AuditDataset:
+        self._setup_personas()
+        crawl_sites, prebid_sites = self._discover_sites()
+        self._run_pre_interaction_crawls(crawl_sites)
+        self._advance_to_day(11)  # Dec 21
+        self._install_all_skills()
+        self._request_dsar_all()  # DSAR #1 (install-only)
+        self._advance_to_day(12)  # Dec 22
+        self._run_interaction_wave(capture=True)
+        self._mark_interacted()
+        self._request_dsar_all()  # DSAR #2
+        self._run_post_interaction_crawls(crawl_sites)
+        self._run_audio_sessions()
+        if self.config.second_interaction_wave:
+            self._run_interaction_wave(capture=False)
+            self._request_dsar_all()  # DSAR #3
+            self._rerequest_missing_interest_files()
+        policy_fetches = self._collect_policies()
+        return AuditDataset(
+            personas=self._artifacts,
+            prebid_sites=prebid_sites,
+            crawl_sites=crawl_sites,
+            policy_fetches=policy_fetches,
+            world=self.world,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: setup
+    # ------------------------------------------------------------------ #
+
+    def _setup_personas(self) -> None:
+        for persona in self._personas:
+            artifacts = PersonaArtifacts(
+                persona=persona, profile_id=f"profile-{persona.name}"
+            )
+            profile = BrowserProfile(
+                profile_id=artifacts.profile_id, persona=persona.name
+            )
+            if persona.uses_echo:
+                account = AmazonAccount(email=persona.email, persona=persona.name)
+                artifacts.account = account
+                device = EchoDevice(
+                    f"echo-{persona.name}",
+                    account,
+                    self.world.router,
+                    self.world.cloud,
+                    self.world.seed,
+                )
+                self._devices[persona.name] = device
+                if self.config.run_avs_echo and persona.kind == "interest":
+                    avs_account = AmazonAccount(
+                        email=f"avs-{persona.name}@persona.example.com",
+                        persona=f"avs-{persona.name}",
+                    )
+                    self._avs_devices[persona.name] = AVSEcho(
+                        f"avs-{persona.name}",
+                        avs_account,
+                        self.world.router,
+                        self.world.cloud,
+                        self.world.seed,
+                    )
+                profile.login_amazon(account)
+            self._profiles[persona.name] = profile
+            self.world.adtech.register_profile(profile)
+            self._crawlers[persona.name] = OpenWPMCrawler(
+                profile,
+                self.world.universe,
+                self.world.adtech,
+                self.world.clock,
+                self.world.seed,
+            )
+            self._artifacts[persona.name] = artifacts
+            if persona.kind == "web":
+                self._prime_web_persona(persona)
+
+    def _prime_web_persona(self, persona: Persona) -> None:
+        """Visit the category's top-50 sites to build browsing history.
+
+        Each priming page embeds a third-party tracking pixel; fetching
+        it is what builds the persona's server-side interest profile —
+        conventional web tracking, no Echo involved (§3.1.2).
+        """
+        browser = self._crawlers[persona.name].browser
+        for domain in WEB_PRIMING_SITES(persona.category):
+            if domain not in self.world.universe:
+                self.world.universe.register(
+                    domain, _make_priming_site_handler(persona.category)
+                )
+            page = browser.get(f"https://{domain}/")
+            for pixel_url in page.body.get("trackers", []):
+                browser.get(pixel_url)
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: site discovery + crawls
+    # ------------------------------------------------------------------ #
+
+    def _discover_sites(self):
+        probe_profile = BrowserProfile(profile_id="probe", persona="probe")
+        self.world.adtech.register_profile(probe_profile)
+        prebid_sites = discover_prebid_sites(
+            self.world.toplist,
+            self.world.universe,
+            self.world.adtech,
+            probe_profile,
+            self.world.clock,
+            target=self.config.prebid_discovery_target,
+        )
+        return prebid_sites[: self.config.crawl_sites], prebid_sites
+
+    def _crawl_all(self, sites: List[WebsiteSpec], iteration: int) -> None:
+        for persona in self._personas:
+            crawler = self._crawlers[persona.name]
+            result = crawler.crawl_iteration(sites, iteration)
+            artifacts = self._artifacts[persona.name]
+            artifacts.bids.extend(result.bids)
+            artifacts.ads.extend(result.ads)
+            artifacts.loaded_slots.update(result.loaded_slots)
+        # Request logs accumulate inside each browser; snapshot at the end.
+
+    def _run_pre_interaction_crawls(self, sites: List[WebsiteSpec]) -> None:
+        for i in range(self.config.pre_iterations):
+            self._advance_to_day(2 * i)  # Dec 10, 12, ..., 20
+            self._crawl_all(sites, iteration=-(self.config.pre_iterations - i))
+
+    def _run_post_interaction_crawls(self, sites: List[WebsiteSpec]) -> None:
+        for i in range(self.config.post_iterations):
+            if i < 3:
+                self._advance_to_day(17 + 2 * i)  # Dec 27, 29, 31
+            else:
+                self._advance_to_day(23 + (i - 3))  # Jan 2 onward
+            self._crawl_all(sites, iteration=i)
+        for persona in self._personas:
+            self._artifacts[persona.name].request_log = list(
+                self._crawlers[persona.name].browser.request_log
+            )
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: skills
+    # ------------------------------------------------------------------ #
+
+    def _skills_for(self, persona: Persona):
+        return self.world.catalog.top_skills(
+            persona.category, self.config.skills_per_persona
+        )
+
+    def _install_all_skills(self) -> None:
+        for persona in self._personas:
+            if persona.kind != "interest":
+                continue
+            artifacts = self._artifacts[persona.name]
+            account = artifacts.account
+            assert account is not None
+            for spec in self._skills_for(persona):
+                receipt = self.world.marketplace.install(account, spec.skill_id)
+                if not receipt.installed:
+                    artifacts.install_failures.append(spec.skill_id)
+                avs = self._avs_devices.get(persona.name)
+                if avs is not None and not spec.fails_to_load:
+                    self.world.marketplace.install(avs.account, spec.skill_id)
+
+    def _run_interaction_wave(self, capture: bool) -> None:
+        """One interaction pass over every installed skill (§3.1.1/§3.2)."""
+        for persona in self._personas:
+            if persona.kind != "interest":
+                continue
+            artifacts = self._artifacts[persona.name]
+            device = self._devices[persona.name]
+            avs = self._avs_devices.get(persona.name)
+            for spec in self._skills_for(persona):
+                if spec.skill_id in artifacts.install_failures:
+                    continue
+                session = None
+                if capture:
+                    session = self.world.router.start_capture(
+                        label=spec.skill_id, device_filter=device.device_id
+                    )
+                device.run_skill_session(spec)
+                device.background_sync(list(spec.amazon_endpoints))
+                if session is not None:
+                    self.world.router.stop_capture(session)
+                    artifacts.skill_captures[spec.skill_id] = session
+                if avs is not None:
+                    avs.run_skill_session(spec)
+                self.world.clock.advance(30.0)
+            self.world.cloud.advance_epoch(artifacts.account.customer_id)
+        # The vanilla account tracks the same experiment phases (its DSAR
+        # requests are timed identically to the interest personas').
+        vanilla = self._artifacts.get(cat.VANILLA)
+        if vanilla is not None and vanilla.account is not None:
+            self.world.cloud.advance_epoch(vanilla.account.customer_id)
+        # Snapshot AVS plaintext after the wave.
+        for persona_name, avs in self._avs_devices.items():
+            self._artifacts[persona_name].avs_plaintext = list(avs.plaintext_log)
+
+    def _mark_interacted(self) -> None:
+        for persona in self._personas:
+            if persona.kind == "interest":
+                self.world.adtech.set_interacted(f"profile-{persona.name}", True)
+
+    # ------------------------------------------------------------------ #
+    # Phase 4: audio
+    # ------------------------------------------------------------------ #
+
+    def _run_audio_sessions(self) -> None:
+        for persona_name in self.config.audio_personas:
+            artifacts = self._artifacts[persona_name]
+            device = self._devices[persona_name]
+            for skill in STREAMING_SKILLS:
+                device.say(f"alexa, play top hits on {skill.invocation_name}")
+                artifacts.audio_sessions.append(
+                    self.world.audio_server.stream(
+                        skill.name, persona_name, hours=self.config.audio_hours
+                    )
+                )
+                self.world.clock.advance(self.config.audio_hours * 3600.0)
+
+    # ------------------------------------------------------------------ #
+    # Phase 5: DSAR
+    # ------------------------------------------------------------------ #
+
+    def _request_dsar_all(self) -> None:
+        for persona in self._personas:
+            if not persona.uses_echo:
+                continue
+            artifacts = self._artifacts[persona.name]
+            export = self.world.dsar.request_data(artifacts.account.customer_id)
+            artifacts.dsar_exports.append(export)
+
+    def _rerequest_missing_interest_files(self) -> None:
+        """Repeat the request when the interests file was absent (§6.1)."""
+        for persona in self._personas:
+            if not persona.uses_echo:
+                continue
+            artifacts = self._artifacts[persona.name]
+            if artifacts.dsar_exports[-1].advertising_interests is None:
+                export = self.world.dsar.request_data(artifacts.account.customer_id)
+                artifacts.dsar_exports.append(export)
+
+    # ------------------------------------------------------------------ #
+    # Phase 6: policies
+    # ------------------------------------------------------------------ #
+
+    def _collect_policies(self) -> List[PolicyFetch]:
+        fetches: List[PolicyFetch] = []
+        for persona in self._personas:
+            if persona.kind != "interest":
+                continue
+            for spec in self._skills_for(persona):
+                url = self.world.marketplace.privacy_policy_url(spec.skill_id)
+                document = (
+                    self.world.corpus.get(spec.skill_id) if url is not None else None
+                )
+                fetches.append(
+                    PolicyFetch(skill_id=spec.skill_id, url=url, document=document)
+                )
+        return fetches
+
+    # ------------------------------------------------------------------ #
+
+    def _advance_to_day(self, day: float) -> None:
+        """Advance the sim clock to ``day`` days after the epoch."""
+        target = day * _DAY
+        if target > self.world.clock.now:
+            self.world.clock.advance(target - self.world.clock.now)
+
+
+def _make_priming_site_handler(category: str):
+    """Content page carrying a third-party tracking pixel for its topic."""
+    from repro.adtech.exchange import TRACKER_DOMAIN
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        pixel = (
+            f"https://{TRACKER_DOMAIN}/t?cat={category}&page={request.host}"
+        )
+        return HttpResponse(
+            status=200, body={"page": request.host, "trackers": [pixel]}
+        )
+
+    return handler
+
+
+def run_experiment(
+    seed: Seed, config: ExperimentConfig = ExperimentConfig()
+) -> AuditDataset:
+    """Build a world for ``seed`` and run the full campaign on it."""
+    world = build_world(seed)
+    return ExperimentRunner(world, config).run()
+
+
+@functools.lru_cache(maxsize=2)
+def run_cached_experiment(seed_root: int = 42) -> AuditDataset:
+    """Full-scale campaign, cached per seed for the benchmark suite."""
+    return run_experiment(Seed(seed_root))

@@ -1,0 +1,183 @@
+"""Dataset and results export.
+
+The paper commits to releasing "all of our code and data".  This module
+produces that release: the raw collected artifacts (bids, ads, flows,
+sync events, DSAR interests, policy stats) as CSV files, and the analysis
+results as a JSON summary — everything needed to re-analyze the campaign
+without re-running it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.bids import bid_summary_table, common_slots, significance_vs_vanilla
+from repro.core.compliance import policy_availability
+from repro.core.experiment import AuditDataset
+from repro.core.profiling import analyze_profiling
+from repro.core.syncing import detect_cookie_syncing
+
+__all__ = ["export_dataset", "export_summary", "EXPORT_FILES"]
+
+EXPORT_FILES = (
+    "bids.csv",
+    "ads.csv",
+    "skill_flows.csv",
+    "sync_events.csv",
+    "dsar_interests.csv",
+    "audio_ads.csv",
+    "summary.json",
+)
+
+
+def _write_csv(path: Path, header: List[str], rows) -> int:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        count = 0
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str, int]:
+    """Write the raw artifacts to ``out_dir``; returns row counts per file."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    counts: Dict[str, int] = {}
+
+    counts["bids.csv"] = _write_csv(
+        out / "bids.csv",
+        ["persona", "iteration", "site", "slot", "bidder", "cpm", "interacted"],
+        (
+            (b.persona, b.iteration, b.site, b.slot_id, b.bidder, b.cpm, b.interacted)
+            for a in dataset.personas.values()
+            for b in a.bids
+        ),
+    )
+
+    counts["ads.csv"] = _write_csv(
+        out / "ads.csv",
+        ["persona", "iteration", "site", "slot", "advertiser", "product", "source"],
+        (
+            (
+                ad.persona,
+                ad.iteration,
+                ad.site,
+                ad.slot_id,
+                ad.creative.advertiser,
+                ad.creative.product,
+                ad.creative.source,
+            )
+            for a in dataset.personas.values()
+            for ad in a.ads
+        ),
+    )
+
+    def flow_rows():
+        for artifacts in dataset.interest_personas:
+            for skill_id, capture in artifacts.skill_captures.items():
+                dns = capture.dns_table()
+                for flow in capture.flows():
+                    if flow.key[3] == "dns":
+                        continue
+                    domain = dns.domain_for_ip(flow.remote_ip) or flow.sni or ""
+                    yield (
+                        artifacts.persona.name,
+                        skill_id,
+                        domain,
+                        flow.remote_ip,
+                        flow.remote_port,
+                        len(flow.packets),
+                        flow.total_bytes,
+                    )
+
+    counts["skill_flows.csv"] = _write_csv(
+        out / "skill_flows.csv",
+        ["persona", "skill_id", "domain", "remote_ip", "port", "packets", "bytes"],
+        flow_rows(),
+    )
+
+    sync = detect_cookie_syncing(dataset)
+    counts["sync_events.csv"] = _write_csv(
+        out / "sync_events.csv",
+        ["persona", "source", "destination", "uid"],
+        ((e.persona, e.source, e.destination_host, e.uid) for e in sync.events),
+    )
+
+    profiling = analyze_profiling(dataset)
+    counts["dsar_interests.csv"] = _write_csv(
+        out / "dsar_interests.csv",
+        ["persona", "request", "file_missing", "interests"],
+        (
+            (
+                obs.persona,
+                obs.request_label,
+                obs.file_missing,
+                "; ".join(obs.interests or ()),
+            )
+            for obs in profiling.observations
+        ),
+    )
+
+    counts["audio_ads.csv"] = _write_csv(
+        out / "audio_ads.csv",
+        ["persona", "skill", "start_seconds", "brand"],
+        (
+            (s.persona, s.skill_name, seg.start, seg.label)
+            for a in dataset.personas.values()
+            for s in a.audio_sessions
+            for seg in s.ad_segments
+        ),
+    )
+
+    summary = export_summary(dataset)
+    (out / "summary.json").write_text(json.dumps(summary, indent=2, sort_keys=True))
+    counts["summary.json"] = 1
+    return counts
+
+
+def export_summary(dataset: AuditDataset) -> dict:
+    """Headline analysis results as a JSON-serializable mapping."""
+    sync = detect_cookie_syncing(dataset)
+    availability = policy_availability(dataset)
+    slots = common_slots(dataset)
+    significance = {
+        persona: {
+            "p_value": result.p_value,
+            "effect_size": result.effect_size,
+            "significant": result.significant,
+        }
+        for persona, result in significance_vs_vanilla(dataset).items()
+    }
+    return {
+        "personas": sorted(dataset.personas),
+        "common_ad_slots": len(slots),
+        "bid_summaries": {
+            row.persona: {
+                "median": row.summary.median,
+                "mean": row.summary.mean,
+                "max": row.summary.maximum,
+                "n": row.summary.n,
+            }
+            for row in bid_summary_table(dataset)
+        },
+        "significance_vs_vanilla": significance,
+        "cookie_sync": {
+            "partners": sync.partner_count,
+            "downstream": sync.downstream_count,
+            "amazon_outbound": len(sync.amazon_outbound_targets),
+        },
+        "policy_availability": {
+            "total_skills": availability.total_skills,
+            "with_link": availability.with_link,
+            "downloadable": availability.downloadable,
+            "mention_amazon": availability.mention_amazon,
+            "generic": availability.generic,
+            "link_amazon_policy": availability.link_amazon_policy,
+        },
+    }

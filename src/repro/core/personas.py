@@ -1,0 +1,70 @@
+"""Persona definitions (§3.1).
+
+Nine interest personas (one per skill category), the vanilla control
+(Amazon account + Echo, no skills), and three web controls primed by
+browsing top sites of a web category instead of using an Echo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.data import categories as cat
+
+__all__ = ["Persona", "interest_personas", "control_personas", "all_personas"]
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One experimental identity with its own account, device, and IP."""
+
+    name: str
+    kind: str  # "interest" | "vanilla" | "web"
+    #: Skill category (interest personas) or web category (web personas).
+    category: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"interest", "vanilla", "web"}:
+            raise ValueError(f"invalid persona kind: {self.kind}")
+
+    @property
+    def email(self) -> str:
+        return f"{self.name}@persona.example.com"
+
+    @property
+    def display_name(self) -> str:
+        if self.kind == "interest":
+            return cat.CATEGORY_DISPLAY[self.category]
+        if self.kind == "vanilla":
+            return "Vanilla"
+        return {
+            cat.WEB_HEALTH: "Web Health",
+            cat.WEB_SCIENCE: "Web Science",
+            cat.WEB_COMPUTERS: "Web Computers",
+        }[self.category]
+
+    @property
+    def uses_echo(self) -> bool:
+        return self.kind in {"interest", "vanilla"}
+
+
+def interest_personas() -> List[Persona]:
+    """The nine interest personas, in the paper's table order."""
+    return [
+        Persona(name=category, kind="interest", category=category)
+        for category in cat.ALL_CATEGORIES
+    ]
+
+
+def control_personas() -> List[Persona]:
+    """Vanilla plus the three web-primed controls (§3.1.2)."""
+    personas = [Persona(name=cat.VANILLA, kind="vanilla", category=cat.VANILLA)]
+    personas.extend(
+        Persona(name=web, kind="web", category=web) for web in cat.WEB_CATEGORIES
+    )
+    return personas
+
+
+def all_personas() -> List[Persona]:
+    return interest_personas() + control_personas()

@@ -1,0 +1,91 @@
+"""Data-profiling analysis (paper §6.1, Table 12).
+
+Consumes the DSAR exports collected by the experiment: which advertising
+interests Amazon inferred per persona at each request, and which exports
+were missing the advertising-interests file entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.experiment import AuditDataset
+
+__all__ = ["InterestObservation", "ProfilingAnalysis", "analyze_profiling"]
+
+#: Request labels in collection order.
+REQUEST_LABELS = ("installation", "interaction-1", "interaction-2")
+
+
+@dataclass(frozen=True)
+class InterestObservation:
+    """Interests observed for one persona at one DSAR request."""
+
+    persona: str
+    request_label: str
+    interests: Optional[Tuple[str, ...]]  # None == file missing
+
+    @property
+    def file_missing(self) -> bool:
+        return self.interests is None
+
+
+@dataclass
+class ProfilingAnalysis:
+    """§6.1 results."""
+
+    observations: List[InterestObservation]
+    #: Personas whose interests file was missing at interaction-2 —
+    #: including after a re-request.
+    personas_missing_file: List[str]
+
+    def interests_for(
+        self, persona: str, request_label: str
+    ) -> Optional[Tuple[str, ...]]:
+        for obs in self.observations:
+            if obs.persona == persona and obs.request_label == request_label:
+                return obs.interests
+        return None
+
+    def personas_with_interests(self, request_label: str) -> List[str]:
+        return sorted(
+            obs.persona
+            for obs in self.observations
+            if obs.request_label == request_label and obs.interests
+        )
+
+
+def analyze_profiling(dataset: AuditDataset) -> ProfilingAnalysis:
+    """Line up each persona's DSAR exports with the request schedule."""
+    observations: List[InterestObservation] = []
+    missing: List[str] = []
+    for artifacts in dataset.personas.values():
+        if not artifacts.dsar_exports:
+            continue
+        persona = artifacts.persona.name
+        for label, export in zip(REQUEST_LABELS, artifacts.dsar_exports):
+            interests = (
+                export.advertising_interests.interests
+                if export.advertising_interests is not None
+                else None
+            )
+            observations.append(
+                InterestObservation(
+                    persona=persona, request_label=label, interests=interests
+                )
+            )
+        # A fourth export exists only when the auditor re-requested after
+        # a missing file; still missing => the quirk is persistent.
+        if len(artifacts.dsar_exports) > len(REQUEST_LABELS):
+            rerequest = artifacts.dsar_exports[len(REQUEST_LABELS)]
+            if rerequest.advertising_interests is None:
+                missing.append(persona)
+        elif (
+            len(artifacts.dsar_exports) >= 3
+            and artifacts.dsar_exports[2].advertising_interests is None
+        ):
+            missing.append(persona)
+    return ProfilingAnalysis(
+        observations=observations, personas_missing_file=sorted(set(missing))
+    )

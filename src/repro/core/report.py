@@ -1,0 +1,72 @@
+"""Text rendering of the paper's tables and figure series.
+
+Every renderer takes analysis results and returns the table as a string,
+so benchmarks can ``print`` exactly the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["render_table", "render_kv", "format_float", "render_distribution"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render key/value findings (headline counts etc.)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{key.ljust(width)} : {value}" for key, value in pairs.items())
+    return "\n".join(lines)
+
+
+def render_distribution(
+    series: Mapping[str, Sequence[float]], title: str = ""
+) -> str:
+    """Render per-key distribution summaries (stand-in for box plots)."""
+    import numpy as np
+
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for key, values in series.items():
+        if not values:
+            continue
+        arr = np.asarray(list(values), dtype=float)
+        rows.append(
+            (
+                key,
+                format_float(float(np.percentile(arr, 25))),
+                format_float(float(np.median(arr))),
+                format_float(float(arr.mean())),
+                format_float(float(np.percentile(arr, 75))),
+            )
+        )
+    return render_table(
+        ["series", "p25", "median", "mean", "p75"], rows, title=title
+    )

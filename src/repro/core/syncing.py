@@ -1,0 +1,130 @@
+"""Cookie-sync detection from crawl traffic (paper §5.5).
+
+Works purely on the browsers' request logs: a sync is a request whose URL
+carries a user identifier to another party's sync endpoint.  The detector
+looks for the classic patterns — ``uid=`` parameters on known sync paths
+(``/cm``, ``/setuid``, ``/x/cm``, ``/match``) and redirect-chain pairs —
+and classifies who is syncing with whom.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+from urllib.parse import parse_qsl, urlparse
+
+from repro.core.experiment import AuditDataset
+from repro.web.browser import LoggedRequest
+
+__all__ = ["SyncEvent", "SyncAnalysis", "detect_cookie_syncing"]
+
+_SYNC_PATHS = re.compile(r"/(cm|setuid|match|x/cm|usersync|pixel)(/|$|\?)")
+_ID_PARAMS = ("uid", "user_id", "puid", "external_id", "buyeruid")
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One observed cookie-sync request."""
+
+    persona: str
+    source: str  # party that initiated the sync (owns the uid)
+    destination_host: str
+    uid: str
+    url: str
+
+
+@dataclass
+class SyncAnalysis:
+    """Aggregated view of cookie syncing across personas (§5.5)."""
+
+    events: List[SyncEvent] = field(default_factory=list)
+    #: Bidder codes observed syncing their uid TO Amazon.
+    amazon_partners: Set[str] = field(default_factory=set)
+    #: Parties Amazon pushed its own identifier to (expected: none).
+    amazon_outbound_targets: Set[str] = field(default_factory=set)
+    #: Downstream third-party hosts partners synced with.
+    downstream_parties: Set[str] = field(default_factory=set)
+    #: partner code -> downstream hosts.
+    partner_downstream: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def partner_count(self) -> int:
+        return len(self.amazon_partners)
+
+    @property
+    def downstream_count(self) -> int:
+        return len(self.downstream_parties)
+
+    def sync_graph(self) -> "nx.DiGraph":
+        """Directed data-propagation graph: edge A→B when A pushed a user
+        identifier to B.  Nodes carry a ``role`` attribute (``amazon`` /
+        ``partner`` / ``downstream``)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_node("amazon", role="amazon")
+        for partner in self.amazon_partners:
+            graph.add_node(partner, role="partner")
+            graph.add_edge(partner, "amazon")
+        for partner, downstream in self.partner_downstream.items():
+            for host in downstream:
+                graph.add_node(host, role="downstream")
+                graph.add_edge(partner, host)
+        return graph
+
+    def propagation_reach(self) -> Dict[str, int]:
+        """How many parties each partner's data reaches (graph out-degree)."""
+        graph = self.sync_graph()
+        return {
+            node: graph.out_degree(node)
+            for node, data in graph.nodes(data=True)
+            if data.get("role") == "partner"
+        }
+
+
+def detect_cookie_syncing(dataset: AuditDataset) -> SyncAnalysis:
+    """Scan every persona's request log for cookie-sync traffic."""
+    analysis = SyncAnalysis(partner_downstream=defaultdict(set))
+    for artifacts in dataset.personas.values():
+        for request in artifacts.request_log:
+            event = _parse_sync(request, artifacts.persona.name)
+            if event is None:
+                continue
+            analysis.events.append(event)
+            destination = event.destination_host
+            if "amazon-adsystem" in destination:
+                analysis.amazon_partners.add(event.source)
+            elif _is_amazon_source(event):
+                analysis.amazon_outbound_targets.add(destination)
+            else:
+                analysis.downstream_parties.add(destination)
+                analysis.partner_downstream[event.source].add(destination)
+    analysis.partner_downstream = dict(analysis.partner_downstream)
+    return analysis
+
+
+def _parse_sync(request: LoggedRequest, persona: str) -> SyncEvent | None:
+    parsed = urlparse(request.url)
+    if not _SYNC_PATHS.search(parsed.path):
+        return None
+    params = dict(parse_qsl(parsed.query))
+    uid = next((params[p] for p in _ID_PARAMS if p in params), None)
+    if uid is None:
+        return None
+    source = params.get("bidder") or params.get("partner") or params.get("source")
+    if source is None:
+        # Fall back to the redirect chain's origin host.
+        source = urlparse(request.chain_root).netloc
+    return SyncEvent(
+        persona=persona,
+        source=source,
+        destination_host=parsed.netloc,
+        uid=uid,
+        url=request.url,
+    )
+
+
+def _is_amazon_source(event: SyncEvent) -> bool:
+    return "amazon" in event.source.lower()

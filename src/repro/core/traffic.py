@@ -1,0 +1,202 @@
+"""Network-traffic analysis (paper §4: Tables 1–4, Figure 2).
+
+Consumes only auditor-observable artifacts: per-skill encrypted captures
+(router vantage), DNS answers seen on the wire, the entity database,
+WHOIS, and filter lists.  Ground truth from :mod:`repro.data` is never
+read here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.core.experiment import AuditDataset
+from repro.netsim.pcap import CaptureSession
+from repro.orgmap.filterlists import FilterList
+from repro.orgmap.resolver import OrgResolver
+
+__all__ = [
+    "SkillTraffic",
+    "TrafficAnalysis",
+    "OrgClass",
+    "analyze_traffic",
+]
+
+AMAZON = "Amazon Technologies, Inc."
+
+#: Domains owned by a skill's own vendor (first party).  The auditor
+#: derives this from the store listing's vendor name vs the domain's
+#: resolved organization.
+OrgClass = str  # "amazon" | "skill vendor" | "third party"
+
+
+@dataclass
+class SkillTraffic:
+    """Per-skill view of contacted domains."""
+
+    skill_id: str
+    persona: str
+    #: domain -> (organization, request count)
+    domains: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def organizations(self) -> Set[str]:
+        return {org for org, _ in self.domains.values()}
+
+
+@dataclass
+class TrafficAnalysis:
+    """All §4 aggregates, ready for table rendering."""
+
+    per_skill: List[SkillTraffic]
+    #: domain -> set of skill ids contacting it (Table 1 counts).
+    skills_by_domain: Dict[str, Set[str]]
+    #: domain -> organization.
+    domain_org: Dict[str, str]
+    #: domain -> "amazon" | "skill vendor" | "third party".
+    domain_class: Dict[str, OrgClass]
+    #: domain -> True when the filter list flags it (Table 2 shading).
+    domain_is_ad_tracking: Dict[str, bool]
+    #: request counts per (org class, ad/tracking flag) for Table 2.
+    traffic_matrix: Dict[Tuple[OrgClass, bool], int]
+    #: persona -> (ad/tracking third-party domains, functional ones) — Table 3.
+    persona_third_party: Dict[str, Tuple[Set[str], Set[str]]]
+    #: skill id -> set of ad/tracking domains it contacts — Table 4.
+    skill_ad_tracking: Dict[str, Set[str]]
+    #: skill id -> org classes its traffic reaches ("amazon" / "skill
+    #: vendor" / "third party"), classified with that skill's own vendor.
+    skill_classes: Dict[str, Set[OrgClass]]
+    failed_skills: List[str]
+
+    # -- headline counts (§4.1) ----------------------------------------- #
+
+    def skills_contacting(self, org_class: OrgClass) -> Set[str]:
+        return {
+            skill_id
+            for skill_id, classes in self.skill_classes.items()
+            if org_class in classes
+        }
+
+    def top_ad_tracking_skills(self, count: int = 5) -> List[Tuple[str, Set[str]]]:
+        """Table 4: skills ranked by distinct A&T third-party domains."""
+        ranked = sorted(
+            (
+                (skill_id, domains)
+                for skill_id, domains in self.skill_ad_tracking.items()
+                if domains
+            ),
+            key=lambda item: (-len(item[1]), item[0]),
+        )
+        return ranked[:count]
+
+    def ad_tracking_traffic_share(self) -> Dict[Tuple[OrgClass, bool], float]:
+        """Table 2: share of request volume per (org class, A&T flag)."""
+        total = sum(self.traffic_matrix.values())
+        if total == 0:
+            return {}
+        return {key: count / total for key, count in self.traffic_matrix.items()}
+
+
+def analyze_traffic(
+    dataset: AuditDataset,
+    resolver: OrgResolver,
+    filter_list: FilterList,
+    vendor_by_skill: Mapping[str, str],
+) -> TrafficAnalysis:
+    """Run the §4 pipeline over all per-skill captures.
+
+    ``vendor_by_skill`` comes from store listings (skill id → vendor
+    name), which the auditor scrapes from the marketplace — it is used
+    only to tell first-party (vendor-owned) endpoints from third parties,
+    exactly as the paper does.
+    """
+    per_skill: List[SkillTraffic] = []
+    skills_by_domain: Dict[str, Set[str]] = defaultdict(set)
+    domain_org: Dict[str, str] = {}
+    traffic_matrix: Counter = Counter()
+    persona_third_party: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    skill_ad_tracking: Dict[str, Set[str]] = defaultdict(set)
+    skill_classes: Dict[str, Set[OrgClass]] = defaultdict(set)
+    failed: List[str] = []
+
+    for artifacts in dataset.interest_personas:
+        persona = artifacts.persona.name
+        at_set, fn_set = persona_third_party.setdefault(persona, (set(), set()))
+        failed.extend(artifacts.install_failures)
+        for skill_id, capture in artifacts.skill_captures.items():
+            traffic = _skill_traffic(skill_id, persona, capture, resolver)
+            per_skill.append(traffic)
+            vendor = vendor_by_skill.get(skill_id, "")
+            for domain, (org, requests) in traffic.domains.items():
+                skills_by_domain[domain].add(skill_id)
+                domain_org[domain] = org
+                org_class = _classify_org(org, vendor)
+                skill_classes[skill_id].add(org_class)
+                is_ad = filter_list.is_blocked(domain)
+                traffic_matrix[(org_class, is_ad)] += requests
+                if org_class == "third party":
+                    (at_set if is_ad else fn_set).add(domain)
+                    if is_ad:
+                        skill_ad_tracking[skill_id].add(domain)
+
+    domain_class: Dict[str, OrgClass] = {}
+    domain_is_ad: Dict[str, bool] = {}
+    for domain, org in domain_org.items():
+        vendors = {
+            vendor_by_skill.get(s, "") for s in skills_by_domain[domain]
+        }
+        domain_class[domain] = _classify_org(
+            org, next(iter(vendors)) if len(vendors) == 1 else ""
+        )
+        domain_is_ad[domain] = filter_list.is_blocked(domain)
+
+    return TrafficAnalysis(
+        per_skill=per_skill,
+        skills_by_domain=dict(skills_by_domain),
+        domain_org=domain_org,
+        domain_class=domain_class,
+        domain_is_ad_tracking=domain_is_ad,
+        traffic_matrix=dict(traffic_matrix),
+        persona_third_party=persona_third_party,
+        skill_ad_tracking=dict(skill_ad_tracking),
+        skill_classes=dict(skill_classes),
+        failed_skills=sorted(set(failed)),
+    )
+
+
+def _skill_traffic(
+    skill_id: str,
+    persona: str,
+    capture: CaptureSession,
+    resolver: OrgResolver,
+) -> SkillTraffic:
+    """Resolve one capture's flows to domains and organizations."""
+    dns_table = capture.dns_table()
+    traffic = SkillTraffic(skill_id=skill_id, persona=persona)
+    for flow in capture.flows():
+        if flow.key[3] == "dns":
+            continue
+        attribution = resolver.attribute_ip(flow.remote_ip, dns_table, sni=flow.sni)
+        domain = attribution.domain
+        if domain is None:
+            continue
+        org, count = traffic.domains.get(domain, (attribution.organization, 0))
+        traffic.domains[domain] = (org, count + len(flow.packets))
+    return traffic
+
+
+def _classify_org(org: str, vendor: str) -> OrgClass:
+    if org == AMAZON:
+        return "amazon"
+    if vendor and _vendor_matches(org, vendor):
+        return "skill vendor"
+    return "third party"
+
+
+def _vendor_matches(org: str, vendor: str) -> bool:
+    """Fuzzy vendor/organization match on significant name tokens."""
+    stop = {"inc", "inc.", "llc", "ltd", "international", "the", "b.v.", "co"}
+    org_tokens = {t.strip(",.").lower() for t in org.split()} - stop
+    vendor_tokens = {t.strip(",.").lower() for t in vendor.split()} - stop
+    return bool(org_tokens & vendor_tokens)

@@ -1,0 +1,117 @@
+"""World assembly: everything the lab stands up before auditing begins.
+
+One :func:`build_world` call constructs the simulated Internet (endpoint
+registry + router), the Amazon side (catalog, cloud, marketplace, DSAR
+portal, audio ads), the browser-side web (universe, ad-tech world,
+toplist), the policy corpus, and the auditor's own knowledge bases
+(entity DB, WHOIS, filter list) — all derived from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adtech.audio import AudioAdServer
+from repro.adtech.exchange import AdTechWorld
+from repro.alexa.cloud import AlexaCloud
+from repro.alexa.dsar import DataRequestPortal
+from repro.alexa.marketplace import Marketplace
+from repro.data.domains import (
+    ORG_ENTITIES,
+    PIHOLE_FILTER_TEXT,
+    build_endpoint_registry,
+    build_entity_database,
+)
+from repro.data.skill_catalog import SkillCatalog, build_catalog
+from repro.data.websites import WebsiteSpec, build_toplist
+from repro.netsim.endpoints import EndpointRegistry
+from repro.netsim.router import Router
+from repro.orgmap.entity_db import EntityDatabase
+from repro.orgmap.filterlists import FilterList
+from repro.orgmap.resolver import OrgResolver
+from repro.orgmap.whois import WhoisService
+from repro.policies.corpus import PolicyCorpus, build_corpus
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+from repro.web.browser import WebUniverse
+
+__all__ = ["World", "build_world"]
+
+
+@dataclass
+class World:
+    """Handles to every subsystem of the simulated lab."""
+
+    seed: Seed
+    clock: SimClock
+    # Home-network side
+    registry: EndpointRegistry
+    router: Router
+    # Amazon side
+    catalog: SkillCatalog
+    cloud: AlexaCloud
+    marketplace: Marketplace
+    dsar: DataRequestPortal
+    audio_server: AudioAdServer
+    # Web side
+    universe: WebUniverse
+    adtech: AdTechWorld
+    toplist: List[WebsiteSpec]
+    # Policies
+    corpus: PolicyCorpus
+    # Auditor-side knowledge
+    entity_db: EntityDatabase
+    whois: WhoisService
+    filter_list: FilterList
+
+    def org_resolver(self) -> OrgResolver:
+        return OrgResolver(self.entity_db, self.whois)
+
+    def org_categories(self) -> dict:
+        """Ontology categories per org (for PoliCheck endpoint analysis)."""
+        return {entity.name: entity.categories for entity in ORG_ENTITIES}
+
+
+def build_world(seed: Seed, catalog: SkillCatalog = None) -> World:
+    """Stand up the whole simulated lab for one seed.
+
+    Pass a custom ``catalog`` to audit your own skills: any
+    :class:`~repro.data.skill_catalog.SkillSpec` whose endpoints exist in
+    the domain catalog can be installed, exercised, captured, and checked
+    against its policy exactly like the built-in 450.
+    """
+    clock = SimClock()
+    registry = build_endpoint_registry()
+    router = Router(registry, clock)
+    if catalog is None:
+        catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    dsar = DataRequestPortal(cloud)
+    audio_server = AudioAdServer(seed.derive("audio"))
+    universe = WebUniverse()
+    adtech = AdTechWorld(seed, universe)
+    toplist = build_toplist(seed)
+    corpus = build_corpus(catalog, seed)
+    entity_db = build_entity_database()
+    whois = WhoisService(registry, seed)
+    filter_list = FilterList.from_text(PIHOLE_FILTER_TEXT)
+    return World(
+        seed=seed,
+        clock=clock,
+        registry=registry,
+        router=router,
+        catalog=catalog,
+        cloud=cloud,
+        marketplace=marketplace,
+        dsar=dsar,
+        audio_server=audio_server,
+        universe=universe,
+        adtech=adtech,
+        toplist=toplist,
+        corpus=corpus,
+        entity_db=entity_db,
+        whois=whois,
+        filter_list=filter_list,
+    )

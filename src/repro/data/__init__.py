@@ -1,0 +1,18 @@
+"""Seeded world data: domains, skills, websites, and calibration tables.
+
+Everything the simulated ecosystem is built from.  The auditing framework
+(:mod:`repro.core`) must never import ground truth from here — it works
+only from observable artifacts.  Benchmarks import from here only to
+*compare* measured results against the generative targets.
+"""
+
+from repro.data import calibration, categories, datatypes, domains, skill_catalog, websites
+
+__all__ = [
+    "calibration",
+    "categories",
+    "datatypes",
+    "domains",
+    "skill_catalog",
+    "websites",
+]

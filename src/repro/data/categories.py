@@ -1,0 +1,66 @@
+"""Skill categories and persona naming shared across the package."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "CONNECTED_CAR",
+    "DATING",
+    "FASHION",
+    "PETS",
+    "RELIGION",
+    "SMART_HOME",
+    "WINE",
+    "HEALTH",
+    "NAVIGATION",
+    "ALL_CATEGORIES",
+    "CATEGORY_DISPLAY",
+    "WEB_HEALTH",
+    "WEB_SCIENCE",
+    "WEB_COMPUTERS",
+    "WEB_CATEGORIES",
+    "VANILLA",
+]
+
+CONNECTED_CAR = "connected-car"
+DATING = "dating"
+FASHION = "fashion-and-style"
+PETS = "pets-and-animals"
+RELIGION = "religion-and-spirituality"
+SMART_HOME = "smart-home"
+WINE = "wine-and-beverages"
+HEALTH = "health-and-fitness"
+NAVIGATION = "navigation-and-trip-planners"
+
+#: The nine skill categories of §3.1.1, in the paper's table order.
+ALL_CATEGORIES: Tuple[str, ...] = (
+    CONNECTED_CAR,
+    DATING,
+    FASHION,
+    PETS,
+    RELIGION,
+    SMART_HOME,
+    WINE,
+    HEALTH,
+    NAVIGATION,
+)
+
+CATEGORY_DISPLAY: Dict[str, str] = {
+    CONNECTED_CAR: "Connected Car",
+    DATING: "Dating",
+    FASHION: "Fashion & Style",
+    PETS: "Pets & Animals",
+    RELIGION: "Religion & Spirituality",
+    SMART_HOME: "Smart Home",
+    WINE: "Wine & Beverages",
+    HEALTH: "Health & Fitness",
+    NAVIGATION: "Navigation & Trip Planners",
+}
+
+#: Control persona identifiers (§3.1.2).
+VANILLA = "vanilla"
+WEB_HEALTH = "web-health"
+WEB_SCIENCE = "web-science"
+WEB_COMPUTERS = "web-computers"
+WEB_CATEGORIES: Tuple[str, ...] = (WEB_HEALTH, WEB_SCIENCE, WEB_COMPUTERS)

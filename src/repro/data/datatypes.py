@@ -1,0 +1,53 @@
+"""Data-type vocabulary shared by skills, AVS traffic, and PoliCheck.
+
+The seven data types of Table 13, grouped into the paper's four categories
+(voice inputs, persistent identifiers, user preferences, device events).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "VOICE_RECORDING",
+    "CUSTOMER_ID",
+    "SKILL_ID",
+    "LANGUAGE",
+    "TIMEZONE",
+    "OTHER_PREFERENCES",
+    "AUDIO_PLAYER_EVENTS",
+    "ALL_DATA_TYPES",
+    "DATA_TYPE_CATEGORIES",
+    "PERSISTENT_ID_TYPES",
+]
+
+VOICE_RECORDING = "voice recording"
+CUSTOMER_ID = "customer id"
+SKILL_ID = "skill id"
+LANGUAGE = "language"
+TIMEZONE = "timezone"
+OTHER_PREFERENCES = "other preferences"
+AUDIO_PLAYER_EVENTS = "audio player events"
+
+ALL_DATA_TYPES: Tuple[str, ...] = (
+    VOICE_RECORDING,
+    CUSTOMER_ID,
+    SKILL_ID,
+    LANGUAGE,
+    TIMEZONE,
+    OTHER_PREFERENCES,
+    AUDIO_PLAYER_EVENTS,
+)
+
+PERSISTENT_ID_TYPES: Tuple[str, ...] = (CUSTOMER_ID, SKILL_ID)
+
+#: Table 13 row grouping.
+DATA_TYPE_CATEGORIES: Dict[str, str] = {
+    VOICE_RECORDING: "Voice inputs",
+    CUSTOMER_ID: "Persistent IDs",
+    SKILL_ID: "Persistent IDs",
+    LANGUAGE: "User preferences",
+    TIMEZONE: "User preferences",
+    OTHER_PREFERENCES: "User preferences",
+    AUDIO_PLAYER_EVENTS: "Device events",
+}

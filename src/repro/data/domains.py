@@ -1,0 +1,330 @@
+"""Canonical domain/organization catalog for the simulated ecosystem.
+
+The domain universe mirrors Tables 1 and 14 of the paper: Amazon's own
+service endpoints, the two skill-vendor domains, and the thirteen
+third-party organizations observed in skill traffic.  Each entry carries
+its ground-truth organization and category; the auditor re-derives both
+through :mod:`repro.orgmap` (entity lists + WHOIS + filter lists).
+
+Categories
+----------
+``functional``      ordinary service traffic
+``advertising``     ad delivery / monetization
+``tracking``        analytics / metrics collection
+``cdn``             content distribution
+``content``         first-party content hosting
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netsim.endpoints import EndpointRegistry
+from repro.orgmap.entity_db import EntityDatabase, OrgEntity
+
+__all__ = [
+    "DomainSpec",
+    "AMAZON_DOMAINS",
+    "SKILL_VENDOR_DOMAINS",
+    "THIRD_PARTY_DOMAINS",
+    "AD_EXCHANGE_DOMAINS",
+    "ALL_DOMAINS",
+    "ORG_ENTITIES",
+    "PIHOLE_FILTER_TEXT",
+    "build_endpoint_registry",
+    "build_entity_database",
+    "AMAZON_ORG",
+    "AMAZON_ADS_DOMAIN",
+]
+
+AMAZON_ORG = "Amazon Technologies, Inc."
+
+#: Amazon's ad-exchange/sync endpoint used during web crawls (§5.5).
+AMAZON_ADS_DOMAIN = "s.amazon-adsystem.com"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One endpoint in the simulated Internet."""
+
+    domain: str
+    organization: str
+    category: str
+
+
+# --------------------------------------------------------------------- #
+# Amazon platform endpoints (Table 1, "Amazon" block)
+# --------------------------------------------------------------------- #
+
+AMAZON_DOMAINS: Tuple[DomainSpec, ...] = tuple(
+    DomainSpec(domain, AMAZON_ORG, category)
+    for domain, category in [
+        # *(11).amazon.com — the voice pipeline and device management
+        ("avs-alexa-16-na.amazon.com", "functional"),
+        ("alexa.amazon.com", "functional"),
+        ("api.amazon.com", "functional"),
+        ("dcape-na.amazon.com", "functional"),
+        ("dp-gw-na.amazon.com", "functional"),
+        ("softwareupdates.amazon.com", "functional"),
+        ("todo-ta-g7g.amazon.com", "functional"),
+        ("kindle-time.amazon.com", "functional"),
+        ("arcus-uswest.amazon.com", "functional"),
+        ("msh.amazon.com", "functional"),
+        ("unagi-na.amazon.com", "tracking"),
+        # Device metrics — the dominant tracking endpoint (§4.2)
+        ("device-metrics-us-2.amazon.com", "tracking"),
+        ("prod.amcs-tachyon.com", "functional"),
+        ("api.amazonalexa.com", "functional"),
+        # *(7).cloudfront.net — skill hosting CDN
+        ("d1s31zyz7dcc2d.cloudfront.net", "cdn"),
+        ("d3p8zr0ffa9t17.cloudfront.net", "cdn"),
+        ("dtm5qzpa8mrbl.cloudfront.net", "cdn"),
+        ("d2c1wgm0pbpm6k.cloudfront.net", "cdn"),
+        ("d38b8me95wjkbc.cloudfront.net", "cdn"),
+        ("d1f0esyv34gzvq.cloudfront.net", "cdn"),
+        ("d2gfdmu30u15x7.cloudfront.net", "cdn"),
+        # *(4).amazonaws.com — skill backends on AWS
+        ("s3.us-east-1.amazonaws.com", "functional"),
+        ("lambda.us-east-1.amazonaws.com", "functional"),
+        ("kinesis.us-east-1.amazonaws.com", "functional"),
+        ("skills-store.amazonaws.com", "functional"),
+        ("acsechocaptiveportal.com", "functional"),
+        ("fireoscaptiveportal.com", "functional"),
+        ("ingestion.us-east-1.prod.arteries.alexa.a2z.com", "tracking"),
+        ("ffs-provisioner-config.amazon-dss.com", "functional"),
+        # Ad exchange endpoint seen from browsers, not Echos
+        (AMAZON_ADS_DOMAIN, "advertising"),
+        ("aax.amazon-adsystem.com", "advertising"),
+    ]
+)
+
+# --------------------------------------------------------------------- #
+# Skill vendor (first-party) endpoints — only Garmin and YouVersion
+# Bible send traffic to their own domains (§4.1)
+# --------------------------------------------------------------------- #
+
+SKILL_VENDOR_DOMAINS: Tuple[DomainSpec, ...] = (
+    DomainSpec("static.garmincdn.com", "Garmin International", "content"),
+    DomainSpec("api.youversionapi.com", "Life Covenant Church, Inc.", "content"),
+    DomainSpec("events.youversionapi.com", "Life Covenant Church, Inc.", "content"),
+)
+
+# --------------------------------------------------------------------- #
+# Third-party endpoints (Table 1 third-party block / Table 14 orgs)
+# --------------------------------------------------------------------- #
+
+THIRD_PARTY_DOMAINS: Tuple[DomainSpec, ...] = (
+    # Dilli Labs — content backend for the pet-sounds skill family
+    DomainSpec("dillilabs.com", "Dilli Labs LLC", "content"),
+    DomainSpec("api.dillilabs.com", "Dilli Labs LLC", "content"),
+    DomainSpec("media.dillilabs.com", "Dilli Labs LLC", "content"),
+    DomainSpec("sounds.dillilabs.com", "Dilli Labs LLC", "content"),
+    DomainSpec("static.dillilabs.com", "Dilli Labs LLC", "content"),
+    DomainSpec("img.dillilabs.com", "Dilli Labs LLC", "content"),
+    # Megaphone — audio advertising, owned by Spotify AB
+    DomainSpec("cdn.megaphone.fm", "Spotify AB", "advertising"),
+    DomainSpec("adbarker.megaphone.fm", "Spotify AB", "advertising"),
+    DomainSpec("spclient.wg.spotify.com", "Spotify AB", "advertising"),
+    # Voice Apps — multi-skill content platform
+    DomainSpec("cdn2.voiceapps.com", "Voice Apps LLC", "content"),
+    DomainSpec("cdn1.voiceapps.com", "Voice Apps LLC", "content"),
+    DomainSpec("static.voiceapps.com", "Voice Apps LLC", "content"),
+    # Podtrac — podcast audience measurement
+    DomainSpec("play.podtrac.com", "Podtrac Inc", "tracking"),
+    DomainSpec("dts.podtrac.com", "Podtrac Inc", "tracking"),
+    # NPR — podcast content
+    DomainSpec("play.pod.npr.org", "National Public Radio, Inc.", "content"),
+    DomainSpec("ondemand.pod.npr.org", "National Public Radio, Inc.", "content"),
+    # Chartable — podcast attribution/analytics
+    DomainSpec("chtbl.com", "Chartable Holding Inc", "tracking"),
+    # DataCamp Limited — CDN77 content distribution
+    DomainSpec("1432239411.rsc.cdn77.org", "DataCamp Limited", "content"),
+    DomainSpec("1432239412.rsc.cdn77.org", "DataCamp Limited", "content"),
+    # Liberated Syndication — podcast hosting + monetization
+    DomainSpec("traffic.libsyn.com", "Liberated Syndication", "advertising"),
+    DomainSpec("ssl.libsyn.com", "Liberated Syndication", "advertising"),
+    # Triton Digital — streaming audio + ad insertion
+    DomainSpec("live.streamtheworld.com", "Triton Digital, Inc.", "advertising"),
+    DomainSpec("playerservices.streamtheworld.com", "Triton Digital, Inc.", "advertising"),
+    DomainSpec("ondemand.streamtheworld.com", "Triton Digital, Inc.", "advertising"),
+    DomainSpec("turnernetworksales.mc.tritondigital.com", "Triton Digital, Inc.", "advertising"),
+    DomainSpec("traffic.omny.fm", "Triton Digital, Inc.", "advertising"),
+    # Philips Hue discovery — smart-light skills
+    DomainSpec("discovery.meethue.com", "Philips International B.V.", "content"),
+)
+
+# --------------------------------------------------------------------- #
+# Web ad-exchange endpoints contacted by browsers during crawls (§5.5).
+# These never appear in Echo traffic; they exist for cookie syncing and
+# header bidding on publisher pages.
+# --------------------------------------------------------------------- #
+
+_EXCHANGE_ORGS: Tuple[Tuple[str, str], ...] = (
+    ("sync.adx-one.com", "AdX One"),
+    ("px.bidswitch-x.net", "BidSwitch-X"),
+    ("cm.openbidder.io", "OpenBidder"),
+    ("ssp.rubiconx.com", "RubiconX"),
+    ("ads.pubmatic-x.com", "PubMatic-X"),
+    ("sync.criteo-x.com", "Criteo-X"),
+    ("ib.adnxs-x.com", "AppNexus-X"),
+    ("eus.rqtrk.eu", "RQ Track"),
+    ("match.taboola-x.com", "Taboola-X"),
+    ("pixel.mediamath-x.com", "MediaMath-X"),
+)
+
+AD_EXCHANGE_DOMAINS: Tuple[DomainSpec, ...] = tuple(
+    DomainSpec(domain, org, "advertising") for domain, org in _EXCHANGE_ORGS
+)
+
+ALL_DOMAINS: Tuple[DomainSpec, ...] = (
+    AMAZON_DOMAINS + SKILL_VENDOR_DOMAINS + THIRD_PARTY_DOMAINS + AD_EXCHANGE_DOMAINS
+)
+
+# --------------------------------------------------------------------- #
+# Auditor-side knowledge: entity list (Table 14 ontology categories)
+# --------------------------------------------------------------------- #
+
+ORG_ENTITIES: Tuple[OrgEntity, ...] = (
+    OrgEntity(
+        AMAZON_ORG,
+        categories=(
+            "analytic provider",
+            "advertising network",
+            "content provider",
+            "platform provider",
+            "voice assistant service",
+        ),
+        domains=(
+            "amazon.com",
+            "amcs-tachyon.com",
+            "amazonalexa.com",
+            "cloudfront.net",
+            "amazonaws.com",
+            "acsechocaptiveportal.com",
+            "fireoscaptiveportal.com",
+            "alexa.a2z.com",
+            "amazon-dss.com",
+            "amazon-adsystem.com",
+        ),
+    ),
+    OrgEntity(
+        "Chartable Holding Inc",
+        categories=("analytic provider", "advertising network"),
+        domains=("chtbl.com",),
+    ),
+    OrgEntity(
+        "DataCamp Limited",
+        categories=("content provider",),
+        domains=("cdn77.org",),
+    ),
+    OrgEntity(
+        "Dilli Labs LLC",
+        categories=("content provider",),
+        domains=("dillilabs.com",),
+    ),
+    OrgEntity(
+        "Garmin International",
+        categories=("content provider",),
+        domains=("garmincdn.com",),
+    ),
+    OrgEntity(
+        "Liberated Syndication",
+        categories=("analytic provider", "advertising network"),
+        domains=("libsyn.com",),
+    ),
+    OrgEntity(
+        "National Public Radio, Inc.",
+        categories=("content provider",),
+        domains=("npr.org",),
+    ),
+    OrgEntity(
+        "Philips International B.V.",
+        categories=("content provider",),
+        domains=("meethue.com",),
+    ),
+    OrgEntity(
+        "Podtrac Inc",
+        categories=("analytic provider", "advertising network"),
+        domains=("podtrac.com",),
+    ),
+    OrgEntity(
+        "Spotify AB",
+        categories=("analytic provider", "advertising network"),
+        domains=("megaphone.fm", "spotify.com"),
+    ),
+    OrgEntity(
+        "Triton Digital, Inc.",
+        categories=("analytic provider", "advertising network"),
+        domains=("streamtheworld.com", "tritondigital.com", "omny.fm"),
+    ),
+    OrgEntity(
+        "Voice Apps LLC",
+        categories=("content provider",),
+        domains=("voiceapps.com",),
+    ),
+    OrgEntity(
+        "Life Covenant Church, Inc.",
+        categories=("content provider",),
+        domains=("youversionapi.com",),
+    ),
+) + tuple(
+    OrgEntity(org, categories=("advertising network",), domains=(domain.split(".", 1)[1],))
+    for domain, org in _EXCHANGE_ORGS
+)
+
+# --------------------------------------------------------------------- #
+# Pi-hole-style filter list used for ad/tracking classification (§4.2).
+# Deliberately written in raw Adblock syntax and parsed by the auditor's
+# own filter-list engine.
+# --------------------------------------------------------------------- #
+
+PIHOLE_FILTER_TEXT = """\
+! Title: sim-firebog consolidated blocklist
+! Advertising & tracking hosts observed in smart-speaker ecosystems
+||device-metrics-us-2.amazon.com^
+||unagi-na.amazon.com^
+||arteries.alexa.a2z.com^
+||amazon-adsystem.com^
+||megaphone.fm^
+||spclient.wg.spotify.com^
+||podtrac.com^
+||chtbl.com^
+||libsyn.com^
+||streamtheworld.com^
+||tritondigital.com^
+||omny.fm^
+||adx-one.com^
+||bidswitch-x.net^
+||openbidder.io^
+||rubiconx.com^
+||pubmatic-x.com^
+||criteo-x.com^
+||adnxs-x.com^
+||rqtrk.eu^
+||taboola-x.com^
+||mediamath-x.com^
+! NPR podcast delivery is content, not tracking
+@@||pod.npr.org^
+"""
+
+
+def build_endpoint_registry() -> EndpointRegistry:
+    """Instantiate the full simulated-Internet endpoint registry."""
+    registry = EndpointRegistry()
+    for spec in ALL_DOMAINS:
+        registry.register(spec.domain, organization=spec.organization, category=spec.category)
+    return registry
+
+
+def build_entity_database() -> EntityDatabase:
+    """Instantiate the auditor's entity database (Tracker-Radar analogue)."""
+    return EntityDatabase(ORG_ENTITIES)
+
+
+def domains_by_org() -> Dict[str, List[str]]:
+    """Ground-truth org → domains view, used by world-building code."""
+    result: Dict[str, List[str]] = {}
+    for spec in ALL_DOMAINS:
+        result.setdefault(spec.organization, []).append(spec.domain)
+    return result

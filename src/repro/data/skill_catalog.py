@@ -1,0 +1,990 @@
+"""The 450-skill catalog (9 categories × top-50) behind the simulation.
+
+The catalog reproduces, skill-for-skill, every named skill in the paper's
+Tables 4, 8, 12, and 14 — with the endpoints it contacts, the data types
+it collects, and the shape of its privacy policy — and fills the remaining
+slots with generated skills whose attributes are drawn to satisfy the
+aggregate quotas of Tables 1, 3, 13 and §7.1.
+
+The catalog is *world* data: the simulated marketplace serves it and skill
+backends execute it.  The auditing framework never reads it directly — it
+must rediscover these facts from captures, ads, and policy text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.util.rng import Seed
+
+__all__ = [
+    "PolicySpec",
+    "SkillSpec",
+    "SkillCatalog",
+    "build_catalog",
+    "STREAMING_SKILLS",
+    "QUOTAS",
+]
+
+
+# --------------------------------------------------------------------- #
+# Specs
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Shape of a skill's privacy policy, from which text is generated.
+
+    ``platform_disclosure`` / ``endpoint_disclosures`` / ``datatype_disclosures``
+    use the PoliCheck disclosure classes ``clear`` / ``vague`` / ``omitted``.
+    """
+
+    has_link: bool
+    downloadable: bool
+    mentions_amazon: bool = False
+    links_amazon_policy: bool = False
+    platform_disclosure: str = "omitted"
+    endpoint_disclosures: Mapping[str, str] = field(default_factory=dict)
+    datatype_disclosures: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.downloadable and not self.has_link:
+            raise ValueError("a policy cannot be downloadable without a link")
+        for value in (
+            self.platform_disclosure,
+            *self.endpoint_disclosures.values(),
+            *self.datatype_disclosures.values(),
+        ):
+            if value not in {"clear", "vague", "omitted"}:
+                raise ValueError(f"invalid disclosure class: {value}")
+
+
+@dataclass(frozen=True)
+class SkillSpec:
+    """Ground truth for one marketplace skill."""
+
+    skill_id: str
+    name: str
+    category: str
+    vendor: str
+    review_count: int
+    invocation_name: str
+    sample_utterances: Tuple[str, ...]
+    amazon_endpoints: Tuple[str, ...] = ()
+    other_endpoints: Tuple[str, ...] = ()
+    data_types: Tuple[str, ...] = ()
+    is_streaming: bool = False
+    fails_to_load: bool = False
+    permissions: Tuple[str, ...] = ()
+    requires_account_linking: bool = False
+    policy: Optional[PolicySpec] = None
+
+    @property
+    def active(self) -> bool:
+        return not self.fails_to_load
+
+    @property
+    def contacts_third_party(self) -> bool:
+        """True when any non-Amazon, non-vendor-owned endpoint is contacted."""
+        return any(d not in _VENDOR_OWNED.get(self.vendor, ()) for d in self.other_endpoints)
+
+
+#: Domains that are first-party for a given vendor (§4.1: only Garmin and
+#: YouVersion Bible talk to their own domains).
+_VENDOR_OWNED: Dict[str, Tuple[str, ...]] = {
+    "Garmin International": ("static.garmincdn.com",),
+    "Life Covenant Church, Inc.": ("api.youversionapi.com", "events.youversionapi.com"),
+}
+
+
+# --------------------------------------------------------------------- #
+# Amazon endpoint mix
+# --------------------------------------------------------------------- #
+
+#: Every active skill session touches the core voice pipeline.
+CORE_AMAZON_ENDPOINTS: Tuple[str, ...] = (
+    "avs-alexa-16-na.amazon.com",
+    "alexa.amazon.com",
+)
+
+#: Optional Amazon endpoints with target skill counts from Table 1
+#: (probability = target / 446 active skills).
+OPTIONAL_AMAZON_ENDPOINTS: Tuple[Tuple[str, float], ...] = (
+    ("prod.amcs-tachyon.com", 305 / 446),
+    ("api.amazonalexa.com", 173 / 446),
+    ("d1s31zyz7dcc2d.cloudfront.net", 0.12),
+    ("d3p8zr0ffa9t17.cloudfront.net", 0.07),
+    ("dtm5qzpa8mrbl.cloudfront.net", 0.05),
+    ("d2c1wgm0pbpm6k.cloudfront.net", 0.04),
+    ("d38b8me95wjkbc.cloudfront.net", 0.02),
+    ("d1f0esyv34gzvq.cloudfront.net", 0.01),
+    ("d2gfdmu30u15x7.cloudfront.net", 0.01),
+    ("device-metrics-us-2.amazon.com", 123 / 446),
+    ("s3.us-east-1.amazonaws.com", 0.05),
+    ("lambda.us-east-1.amazonaws.com", 0.04),
+    ("kinesis.us-east-1.amazonaws.com", 0.02),
+    ("skills-store.amazonaws.com", 0.01),
+    ("acsechocaptiveportal.com", 27 / 446),
+    ("fireoscaptiveportal.com", 20 / 446),
+    ("ingestion.us-east-1.prod.arteries.alexa.a2z.com", 7 / 446),
+    ("ffs-provisioner-config.amazon-dss.com", 2 / 446),
+    ("api.amazon.com", 0.30),
+    ("dcape-na.amazon.com", 0.20),
+    ("dp-gw-na.amazon.com", 0.15),
+    ("softwareupdates.amazon.com", 0.10),
+    ("todo-ta-g7g.amazon.com", 0.05),
+    ("kindle-time.amazon.com", 0.05),
+    ("arcus-uswest.amazon.com", 0.08),
+    ("msh.amazon.com", 0.06),
+    ("unagi-na.amazon.com", 0.10),
+)
+
+
+# --------------------------------------------------------------------- #
+# Aggregate quotas (Tables 13, §7.1) used by the filler generator
+# --------------------------------------------------------------------- #
+
+QUOTAS = {
+    "total_skills": 450,
+    "failed_skills": 4,
+    "policy_links": 214,  # §7.1: 47.6 % of 450
+    "policies_downloadable": 188,
+    "policies_mention_amazon": 59,
+    "policies_link_amazon_policy": 10,
+    "platform_disclosure": {"clear": 10, "vague": 136, "omitted": 42},
+    # data type -> (clear, vague, omitted, no_policy) collector counts
+    "datatype_disclosure": {
+        dt.VOICE_RECORDING: (20, 18, 150, 258),
+        dt.CUSTOMER_ID: (11, 9, 38, 84),
+        dt.SKILL_ID: (0, 11, 85, 230),
+        dt.LANGUAGE: (0, 3, 5, 10),
+        dt.TIMEZONE: (0, 3, 5, 10),
+        dt.OTHER_PREFERENCES: (0, 40, 139, 255),
+        dt.AUDIO_PLAYER_EVENTS: (0, 60, 99, 226),
+    },
+}
+
+
+# --------------------------------------------------------------------- #
+# Named skills (Tables 4, 8, 12, 14)
+# --------------------------------------------------------------------- #
+
+def _utterances(invocation: str, *extra: str) -> Tuple[str, ...]:
+    return (f"open {invocation}", *extra)
+
+
+def _named_skill(
+    name: str,
+    category: str,
+    vendor: str,
+    reviews: int,
+    other_endpoints: Sequence[str] = (),
+    streaming: bool = False,
+    permissions: Sequence[str] = (),
+    extra_utterances: Sequence[str] = (),
+) -> SkillSpec:
+    invocation = name.lower().replace("&", "and").replace("!", "").strip()
+    slug = invocation.replace(" ", "-").replace("'", "").replace(",", "")
+    return SkillSpec(
+        skill_id=f"skill-{slug}",
+        name=name,
+        category=category,
+        vendor=vendor,
+        review_count=reviews,
+        invocation_name=invocation,
+        sample_utterances=_utterances(invocation, *extra_utterances),
+        other_endpoints=tuple(other_endpoints),
+        is_streaming=streaming,
+        permissions=tuple(permissions),
+    )
+
+
+def _named_skills() -> List[SkillSpec]:
+    """All skills named in the paper, with their Table 4/14 endpoints."""
+    return [
+        # ---- Connected Car -------------------------------------------------
+        _named_skill(
+            "Garmin", cat.CONNECTED_CAR, "Garmin International", 1250,
+            other_endpoints=(
+                "chtbl.com",
+                "traffic.omny.fm",
+                "dts.podtrac.com",
+                "turnernetworksales.mc.tritondigital.com",
+                "static.garmincdn.com",
+            ),
+            streaming=True,
+            extra_utterances=("ask garmin for a driving podcast",),
+        ),
+        _named_skill(
+            "My Tesla (Unofficial)", cat.CONNECTED_CAR, "Tesla Fans United", 310,
+            other_endpoints=("chtbl.com",),
+            extra_utterances=("ask my tesla about charge status",),
+        ),
+        _named_skill(
+            "Genesis", cat.CONNECTED_CAR, "Genesis Motors", 398,
+            other_endpoints=("play.podtrac.com", "cdn.megaphone.fm", "adbarker.megaphone.fm"),
+            extra_utterances=("ask genesis about remote start",),
+        ),
+        _named_skill(
+            "FordPass", cat.CONNECTED_CAR, "Ford", 2200,
+            permissions=("email",),
+            extra_utterances=("ask fordpass to check my fuel level",),
+        ),
+        _named_skill(
+            "Jeep", cat.CONNECTED_CAR, "Jeep", 820,
+            extra_utterances=("ask jeep to lock my doors",),
+        ),
+        # ---- Fashion & Style ----------------------------------------------
+        _named_skill(
+            "Makeup of the Day", cat.FASHION, "Xeline Development", 640,
+            other_endpoints=(
+                "cdn.megaphone.fm",
+                "adbarker.megaphone.fm",
+                "play.podtrac.com",
+                "chtbl.com",
+                "play.pod.npr.org",
+                "1432239412.rsc.cdn77.org",
+            ),
+            streaming=True,
+            extra_utterances=("ask makeup of the day for a look",),
+        ),
+        _named_skill(
+            "Men's Finest Daily Fashion Tip", cat.FASHION, "Men's Finest", 13,
+            other_endpoints=(
+                "play.podtrac.com",
+                "cdn.megaphone.fm",
+                "adbarker.megaphone.fm",
+                "spclient.wg.spotify.com",
+                "ondemand.pod.npr.org",
+            ),
+            extra_utterances=("give me a fashion tip",),
+        ),
+        _named_skill(
+            "Gwynnie Bee", cat.FASHION, "Gwynnie Bee Inc", 150,
+            other_endpoints=(
+                "dts.podtrac.com",
+                "traffic.libsyn.com",
+                "ssl.libsyn.com",
+                "traffic.omny.fm",
+                "1432239411.rsc.cdn77.org",
+            ),
+            streaming=True,
+            extra_utterances=("ask gwynnie bee what's trending",),
+        ),
+        _named_skill(
+            "Outfit Check!", cat.FASHION, "StyleWorks", 95,
+            extra_utterances=("ask outfit check how i look",),
+        ),
+        # ---- Dating --------------------------------------------------------
+        _named_skill(
+            "Dating and Relationship Tips and advices", cat.DATING, "Aaron Spelling", 210,
+            other_endpoints=("play.podtrac.com", "cdn.megaphone.fm", "adbarker.megaphone.fm"),
+            extra_utterances=("give me a dating tip",),
+        ),
+        _named_skill(
+            "Love Trouble", cat.DATING, "HeartWise Media", 77,
+            other_endpoints=("dts.podtrac.com", "cdn.megaphone.fm", "spclient.wg.spotify.com"),
+            extra_utterances=("ask love trouble for advice",),
+        ),
+        _named_skill(
+            "Angry Girlfriend", cat.DATING, "Heart Apps Studio", 44,
+            other_endpoints=("discovery.meethue.com",),
+            extra_utterances=("ask angry girlfriend why she is mad",),
+        ),
+        # ---- Pets & Animals -------------------------------------------------
+        _named_skill(
+            "VCA Animal Hospitals", cat.PETS, "VCA Inc", 120,
+            other_endpoints=("dillilabs.com", "api.dillilabs.com"),
+            extra_utterances=("ask vca animal hospitals for pet advice",),
+        ),
+        _named_skill(
+            "EcoSmart Live", cat.PETS, "EcoSmart", 60,
+            other_endpoints=("dillilabs.com", "discovery.meethue.com"),
+            extra_utterances=("ask ecosmart live to set aquarium lights",),
+        ),
+        _named_skill(
+            "Dog Squeaky Toy", cat.PETS, "Pet Audio Works", 530,
+            other_endpoints=("dillilabs.com", "media.dillilabs.com"),
+            extra_utterances=("play a squeaky toy sound",),
+        ),
+        _named_skill(
+            "Relax My Pet", cat.PETS, "Pet Audio Works", 410,
+            other_endpoints=("dillilabs.com", "sounds.dillilabs.com"),
+            streaming=True,
+            extra_utterances=("play relaxing pet music",),
+        ),
+        _named_skill(
+            "Dinosaur Sounds", cat.PETS, "Pet Audio Works", 330,
+            other_endpoints=("dillilabs.com", "media.dillilabs.com"),
+            extra_utterances=("play a dinosaur sound",),
+        ),
+        _named_skill(
+            "Cat Sounds", cat.PETS, "Pet Audio Works", 290,
+            other_endpoints=("dillilabs.com", "sounds.dillilabs.com"),
+            extra_utterances=("play a cat sound",),
+        ),
+        _named_skill(
+            "Hush Puppy", cat.PETS, "Pet Audio Works", 180,
+            other_endpoints=("dillilabs.com", "cdn1.voiceapps.com"),
+            extra_utterances=("ask hush puppy to calm my dog",),
+        ),
+        _named_skill(
+            "Calm My Dog", cat.PETS, "Pet Audio Works", 260,
+            other_endpoints=("dillilabs.com", "static.dillilabs.com"),
+            streaming=True,
+            extra_utterances=("play calming dog sounds",),
+        ),
+        _named_skill(
+            "Calm My Pet", cat.PETS, "Pet Audio Works", 240,
+            other_endpoints=("dillilabs.com", "img.dillilabs.com", "ssl.libsyn.com"),
+            streaming=True,
+            extra_utterances=("play pet meditation",),
+        ),
+        _named_skill(
+            "Al's Dog Training Tips", cat.PETS, "Al Longstaff", 140,
+            other_endpoints=("traffic.libsyn.com", "chtbl.com", "play.pod.npr.org"),
+            extra_utterances=("ask al for a dog training tip",),
+        ),
+        _named_skill(
+            "Comfort My Dog", cat.PETS, "PawSounds", 105,
+            other_endpoints=("1432239411.rsc.cdn77.org",),
+            streaming=True,
+            extra_utterances=("comfort my dog",),
+        ),
+        _named_skill(
+            "Calm My Cat", cat.PETS, "PawSounds", 88,
+            other_endpoints=("1432239412.rsc.cdn77.org",),
+            streaming=True,
+            extra_utterances=("calm my cat",),
+        ),
+        _named_skill(
+            "My Dog", cat.PETS, "PetCo Labs", 75,
+            extra_utterances=("ask my dog how he feels",),
+        ),
+        _named_skill(
+            "My Cat", cat.PETS, "PetCo Labs", 71,
+            extra_utterances=("ask my cat for a meow",),
+        ),
+        _named_skill(
+            "Pet Buddy", cat.PETS, "PetCo Labs", 66,
+            extra_utterances=("ask pet buddy for a fact",),
+        ),
+        # ---- Religion & Spirituality ----------------------------------------
+        _named_skill(
+            "Charles Stanley Radio", cat.RELIGION, "In Touch Ministries", 480,
+            other_endpoints=(
+                "live.streamtheworld.com",
+                "playerservices.streamtheworld.com",
+                "cdn2.voiceapps.com",
+            ),
+            streaming=True,
+            extra_utterances=("play charles stanley radio",),
+        ),
+        _named_skill(
+            "Prayer Time", cat.RELIGION, "Faith Skills Co", 350,
+            other_endpoints=("cdn2.voiceapps.com",),
+            extra_utterances=("when is prayer time",),
+        ),
+        _named_skill(
+            "Morning Bible Inspiration", cat.RELIGION, "Faith Skills Co", 270,
+            other_endpoints=("cdn2.voiceapps.com", "ondemand.pod.npr.org"),
+            streaming=True,
+            extra_utterances=("give me morning inspiration",),
+        ),
+        _named_skill(
+            "Holy Rosary", cat.RELIGION, "Faith Skills Co", 310,
+            other_endpoints=("cdn2.voiceapps.com", "cdn1.voiceapps.com"),
+            extra_utterances=("pray the holy rosary",),
+        ),
+        _named_skill(
+            "meal prayer", cat.RELIGION, "Faith Skills Co", 190,
+            other_endpoints=("cdn2.voiceapps.com", "1432239411.rsc.cdn77.org"),
+            extra_utterances=("say a meal prayer",),
+        ),
+        _named_skill(
+            "Halloween Sounds", cat.RELIGION, "Faith Skills Co", 160,
+            other_endpoints=("cdn2.voiceapps.com", "ondemand.streamtheworld.com"),
+            streaming=True,
+            extra_utterances=("play halloween sounds",),
+        ),
+        _named_skill(
+            "Bible Trivia", cat.RELIGION, "Faith Skills Co", 420,
+            other_endpoints=("cdn2.voiceapps.com", "static.voiceapps.com"),
+            extra_utterances=("play bible trivia",),
+        ),
+        _named_skill(
+            "Say a Prayer", cat.RELIGION, "Prayer Apps Studio", 130,
+            other_endpoints=("discovery.meethue.com",),
+            extra_utterances=("say a prayer",),
+        ),
+        _named_skill(
+            "YouVersion Bible", cat.RELIGION, "Life Covenant Church, Inc.", 900,
+            other_endpoints=("api.youversionapi.com", "events.youversionapi.com"),
+            extra_utterances=("read the verse of the day",),
+        ),
+        _named_skill(
+            "Lords Prayer", cat.RELIGION, "Faith Audio Works", 110,
+            other_endpoints=("api.youversionapi.com", "events.youversionapi.com"),
+            extra_utterances=("say the lords prayer",),
+        ),
+        _named_skill(
+            "Salah Time", cat.RELIGION, "Crescent Apps", 230,
+            extra_utterances=("when is salah time",),
+        ),
+        _named_skill(
+            "Single Decade Short Rosary", cat.RELIGION, "Faith Audio Works", 85,
+            extra_utterances=("pray a short rosary",),
+        ),
+        _named_skill(
+            "Islamic Prayer Times", cat.RELIGION, "Crescent Apps", 340,
+            extra_utterances=("when is the next prayer",),
+        ),
+        _named_skill(
+            "Rain Storm by Healing FM", cat.HEALTH, "Healing FM", 520,
+            streaming=True,
+            extra_utterances=("play a rain storm",),
+        ),
+        # ---- Smart Home ------------------------------------------------------
+        _named_skill(
+            "Sonos", cat.SMART_HOME, "Sonos Inc", 3100,
+            extra_utterances=("ask sonos to play in the kitchen",),
+        ),
+        _named_skill(
+            "Harmony", cat.SMART_HOME, "Logitech", 2500,
+            extra_utterances=("ask harmony to turn on the tv",),
+        ),
+        _named_skill(
+            "Dyson", cat.SMART_HOME, "Dyson Limited", 760,
+            extra_utterances=("ask dyson to set fan speed to five",),
+        ),
+        _named_skill(
+            "SimpliSafe Home Security", cat.SMART_HOME, "SimpliSafe", 1900,
+            permissions=("email",),
+            extra_utterances=("ask simplisafe to arm my system",),
+        ),
+        _named_skill(
+            "SmartThings", cat.SMART_HOME, "Samsung", 4200,
+            extra_utterances=("ask smartthings to turn off the lights",),
+        ),
+        _named_skill(
+            "LG ThinQ", cat.SMART_HOME, "LG", 880,
+            extra_utterances=("ask lg to start the washer",),
+        ),
+        _named_skill(
+            "Xbox", cat.SMART_HOME, "Microsoft", 5100,
+            extra_utterances=("ask xbox to turn on",),
+        ),
+        # Requires linking a physical robot vacuum — the paper's example
+        # of a skill whose account-linking step the crawler skips (§3.1.1).
+        replace(
+            _named_skill(
+                "iRobot Home", cat.SMART_HOME, "iRobot", 1600,
+                extra_utterances=("ask irobot to start cleaning",),
+            ),
+            requires_account_linking=True,
+        ),
+        # ---- Health & Fitness -------------------------------------------------
+        _named_skill(
+            "Air Quality Report", cat.HEALTH, "ICM", 430,
+            extra_utterances=("what is the air quality today",),
+        ),
+        _named_skill(
+            "Essential Oil Benefits", cat.HEALTH, "ttm", 260,
+            extra_utterances=("tell me about lavender oil",),
+        ),
+        _named_skill(
+            "Relaxing Sounds: Spa Music", cat.HEALTH, "Invoked Apps", 2800,
+            other_endpoints=("1432239411.rsc.cdn77.org",),
+            streaming=True,
+            extra_utterances=("play spa music",),
+        ),
+        # ---- Navigation -------------------------------------------------------
+        _named_skill(
+            "AAA Road Service", cat.NAVIGATION, "AAA", 610,
+            permissions=("email", "location"),
+            extra_utterances=("ask triple a for roadside help",),
+        ),
+    ]
+
+
+#: Skills whose policies the paper quotes; used to force policy shapes.
+_NAMED_POLICY_OVERRIDES: Dict[str, PolicySpec] = {
+    "Sonos": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        mentions_amazon=True,
+        links_amazon_policy=True,
+        platform_disclosure="clear",
+        datatype_disclosures={dt.VOICE_RECORDING: "clear"},
+    ),
+    "Harmony": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        datatype_disclosures={dt.AUDIO_PLAYER_EVENTS: "vague"},
+    ),
+    "Garmin": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        mentions_amazon=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={
+            "Garmin International": "clear",
+            "Chartable Holding Inc": "omitted",
+            "Podtrac Inc": "omitted",
+            "Triton Digital, Inc.": "omitted",
+        },
+        datatype_disclosures={dt.CUSTOMER_ID: "clear", dt.VOICE_RECORDING: "vague"},
+    ),
+    "YouVersion Bible": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        mentions_amazon=True,
+        links_amazon_policy=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={"Life Covenant Church, Inc.": "clear"},
+        datatype_disclosures={dt.CUSTOMER_ID: "clear", dt.VOICE_RECORDING: "vague"},
+    ),
+    "Charles Stanley Radio": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={
+            "Triton Digital, Inc.": "vague",
+            "Voice Apps LLC": "vague",
+        },
+        datatype_disclosures={dt.VOICE_RECORDING: "vague"},
+    ),
+    "VCA Animal Hospitals": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={"Dilli Labs LLC": "vague"},
+        datatype_disclosures={dt.OTHER_PREFERENCES: "vague"},
+    ),
+    "Gwynnie Bee": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={
+            "Podtrac Inc": "vague",
+            "Liberated Syndication": "omitted",
+            "Triton Digital, Inc.": "omitted",
+            "DataCamp Limited": "omitted",
+        },
+        datatype_disclosures={dt.VOICE_RECORDING: "vague"},
+    ),
+    "Makeup of the Day": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="vague",
+        endpoint_disclosures={
+            "Spotify AB": "vague",
+            "Podtrac Inc": "omitted",
+            "Chartable Holding Inc": "omitted",
+            "National Public Radio, Inc.": "omitted",
+            "DataCamp Limited": "omitted",
+        },
+        datatype_disclosures={dt.VOICE_RECORDING: "vague"},
+    ),
+    "Genesis": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="omitted",
+        endpoint_disclosures={"Podtrac Inc": "omitted", "Spotify AB": "omitted"},
+    ),
+    "My Tesla (Unofficial)": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="omitted",
+        endpoint_disclosures={"Chartable Holding Inc": "omitted"},
+    ),
+    "Al's Dog Training Tips": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="omitted",
+        endpoint_disclosures={
+            "Liberated Syndication": "omitted",
+            "Chartable Holding Inc": "omitted",
+            "National Public Radio, Inc.": "omitted",
+        },
+    ),
+    "Love Trouble": PolicySpec(
+        has_link=True,
+        downloadable=True,
+        platform_disclosure="omitted",
+        endpoint_disclosures={"Podtrac Inc": "omitted", "Spotify AB": "omitted"},
+    ),
+}
+
+#: The ten skills Table 14 shows with *clear* platform disclosures.
+_PLATFORM_CLEAR_SKILLS: Tuple[str, ...] = (
+    "AAA Road Service",
+    "Salah Time",
+    "My Dog",
+    "My Cat",
+    "Outfit Check!",
+    "Pet Buddy",
+    "Rain Storm by Healing FM",
+    "Single Decade Short Rosary",
+    "Islamic Prayer Times",
+    "Sonos",
+)
+
+
+# --------------------------------------------------------------------- #
+# Streaming skills used for the audio-ad study (§3.3) — installed on top
+# of the catalog, not part of the 450.
+# --------------------------------------------------------------------- #
+
+STREAMING_SKILLS: Tuple[SkillSpec, ...] = (
+    SkillSpec(
+        skill_id="skill-amazon-music",
+        name="Amazon Music",
+        category="music",
+        vendor="Amazon Technologies, Inc.",
+        review_count=82000,
+        invocation_name="amazon music",
+        sample_utterances=("play top hits on amazon music",),
+        is_streaming=True,
+        data_types=(dt.VOICE_RECORDING, dt.CUSTOMER_ID, dt.AUDIO_PLAYER_EVENTS),
+    ),
+    SkillSpec(
+        skill_id="skill-spotify",
+        name="Spotify",
+        category="music",
+        vendor="Spotify AB",
+        review_count=41000,
+        invocation_name="spotify",
+        sample_utterances=("play top hits on spotify",),
+        other_endpoints=("spclient.wg.spotify.com",),
+        is_streaming=True,
+        data_types=(dt.VOICE_RECORDING, dt.CUSTOMER_ID, dt.AUDIO_PLAYER_EVENTS),
+    ),
+    SkillSpec(
+        skill_id="skill-pandora",
+        name="Pandora",
+        category="music",
+        vendor="Pandora Media",
+        review_count=28000,
+        invocation_name="pandora",
+        sample_utterances=("play top hits on pandora",),
+        is_streaming=True,
+        data_types=(dt.VOICE_RECORDING, dt.CUSTOMER_ID, dt.AUDIO_PLAYER_EVENTS),
+    ),
+)
+
+
+# --------------------------------------------------------------------- #
+# Filler generation + quota assignment
+# --------------------------------------------------------------------- #
+
+_FILLER_THEMES: Dict[str, Tuple[str, ...]] = {
+    cat.CONNECTED_CAR: ("Car Care", "Road Trip", "EV Charge", "Auto Quiz", "Garage Genie"),
+    cat.DATING: ("Date Night", "Match Maker", "Icebreakers", "Romance Radio", "First Date"),
+    cat.FASHION: ("Style Guide", "Wardrobe", "Trend Watch", "Runway", "Color Match"),
+    cat.PETS: ("Pet Trivia", "Bird Songs", "Aquarium", "Vet Tips", "Puppy Play"),
+    cat.RELIGION: ("Daily Verse", "Meditation", "Psalms", "Gospel Hour", "Zen Garden"),
+    cat.SMART_HOME: ("Home Hub", "Light Magic", "Thermo Pal", "Plug Smart", "Cam View"),
+    cat.WINE: ("Wine Pairings", "Sommelier", "Cocktail Hour", "Brew Guide", "Vineyard"),
+    cat.HEALTH: ("Workout", "Sleep Sounds", "Calorie Count", "Yoga Flow", "Hydrate"),
+    cat.NAVIGATION: ("Commute", "Transit Times", "Trail Finder", "Gas Finder", "Flight Info"),
+}
+
+
+def _filler_skills(named: Sequence[SkillSpec], seed: Seed) -> List[SkillSpec]:
+    """Generate anonymous skills so each category reaches 50."""
+    per_category: Dict[str, int] = {c: 0 for c in cat.ALL_CATEGORIES}
+    for spec in named:
+        per_category[spec.category] += 1
+    rng = seed.rng("catalog", "filler")
+    fillers: List[SkillSpec] = []
+    for category in cat.ALL_CATEGORIES:
+        themes = _FILLER_THEMES[category]
+        needed = 50 - per_category[category]
+        if needed < 0:
+            raise ValueError(f"category {category} exceeds 50 named skills")
+        for index in range(needed):
+            theme = themes[index % len(themes)]
+            name = f"{theme} {index // len(themes) + 1}"
+            invocation = name.lower()
+            slug = f"{category}-{invocation.replace(' ', '-')}"
+            fillers.append(
+                SkillSpec(
+                    skill_id=f"skill-{slug}",
+                    name=name,
+                    category=category,
+                    vendor=f"{theme} Studios",
+                    review_count=rng.randint(10, 9000),
+                    invocation_name=invocation,
+                    sample_utterances=_utterances(invocation, f"ask {invocation} for more"),
+                    is_streaming=rng.random() < 0.12,
+                )
+            )
+    return fillers
+
+
+def _assign_amazon_endpoints(skills: List[SkillSpec], seed: Seed) -> List[SkillSpec]:
+    """Give every active skill its Amazon endpoint mix (Table 1 shape)."""
+    rng = seed.rng("catalog", "amazon-endpoints")
+    out: List[SkillSpec] = []
+    for spec in skills:
+        if spec.fails_to_load:
+            out.append(replace(spec, amazon_endpoints=()))
+            continue
+        endpoints = list(CORE_AMAZON_ENDPOINTS)
+        endpoints.extend(
+            domain for domain, p in OPTIONAL_AMAZON_ENDPOINTS if rng.random() < p
+        )
+        out.append(replace(spec, amazon_endpoints=tuple(endpoints)))
+    return out
+
+
+def _mark_failures(skills: List[SkillSpec], seed: Seed) -> List[SkillSpec]:
+    """Mark 4 filler skills (no policy, no third-party role) as failing."""
+    rng = seed.rng("catalog", "failures")
+    eligible = [
+        i
+        for i, s in enumerate(skills)
+        if not s.other_endpoints and s.name not in _NAMED_POLICY_OVERRIDES
+        and s.name not in _PLATFORM_CLEAR_SKILLS
+    ]
+    chosen = set(rng.sample(eligible, QUOTAS["failed_skills"]))
+    return [
+        replace(s, fails_to_load=True) if i in chosen else s
+        for i, s in enumerate(skills)
+    ]
+
+
+def _assign_policies(skills: List[SkillSpec], seed: Seed) -> List[SkillSpec]:
+    """Assign policy shapes honoring §7.1 and Table 13/14 quotas."""
+    rng = seed.rng("catalog", "policies")
+    by_name = {s.name: i for i, s in enumerate(skills)}
+    assigned: Dict[int, PolicySpec] = {}
+
+    # 1. Named overrides first.
+    for name, policy in _NAMED_POLICY_OVERRIDES.items():
+        assigned[by_name[name]] = policy
+
+    # 2. The ten platform-clear skills (Sonos is already in the overrides).
+    for name in _PLATFORM_CLEAR_SKILLS:
+        index = by_name[name]
+        if index in assigned:
+            continue
+        assigned[index] = PolicySpec(
+            has_link=True,
+            downloadable=True,
+            mentions_amazon=True,
+            links_amazon_policy=False,
+            platform_disclosure="clear",
+        )
+
+    # 3. Fill the downloadable-policy pool to quota with fillers.
+    downloadable_target = QUOTAS["policies_downloadable"]
+    remaining = [
+        i for i, s in enumerate(skills) if i not in assigned and not s.fails_to_load
+    ]
+    rng.shuffle(remaining)
+    platform_vague_left = QUOTAS["platform_disclosure"]["vague"] - sum(
+        1 for p in assigned.values() if p.platform_disclosure == "vague"
+    )
+    mention_left = QUOTAS["policies_mention_amazon"] - sum(
+        1 for p in assigned.values() if p.mentions_amazon
+    )
+    link_amazon_left = QUOTAS["policies_link_amazon_policy"] - sum(
+        1 for p in assigned.values() if p.links_amazon_policy
+    )
+    while sum(1 for p in assigned.values() if p.downloadable) < downloadable_target:
+        index = remaining.pop()
+        if platform_vague_left > 0:
+            disclosure = "vague"
+            platform_vague_left -= 1
+        else:
+            disclosure = "omitted"
+        mentions = mention_left > 0
+        if mentions:
+            mention_left -= 1
+        links = mentions and link_amazon_left > 0
+        if links:
+            link_amazon_left -= 1
+        assigned[index] = PolicySpec(
+            has_link=True,
+            downloadable=True,
+            mentions_amazon=mentions,
+            links_amazon_policy=links,
+            platform_disclosure=disclosure,
+        )
+
+    # 4. Link-only policies (has link, not downloadable).
+    link_only = QUOTAS["policy_links"] - downloadable_target
+    for _ in range(link_only):
+        index = remaining.pop()
+        assigned[index] = PolicySpec(has_link=True, downloadable=False)
+
+    return [
+        replace(s, policy=assigned.get(i)) if i in assigned else s
+        for i, s in enumerate(skills)
+    ]
+
+
+def _assign_data_types(skills: List[SkillSpec], seed: Seed) -> List[SkillSpec]:
+    """Assign collected data types + disclosure classes to hit Table 13."""
+    rng = seed.rng("catalog", "datatypes")
+    has_policy = [
+        i for i, s in enumerate(skills)
+        if s.active and s.policy is not None and s.policy.downloadable
+    ]
+    no_policy = [
+        i for i, s in enumerate(skills)
+        if s.active and (s.policy is None or not s.policy.downloadable)
+    ]
+
+    collected: Dict[int, Dict[str, str]] = {i: {} for i in range(len(skills))}
+
+    def draw(pool: List[int], count: int, *, prefer: Optional[List[int]] = None) -> List[int]:
+        """Sample ``count`` indices, honoring a preferred subset first."""
+        chosen: List[int] = []
+        if prefer:
+            preferred = [i for i in pool if i in set(prefer)]
+            rng.shuffle(preferred)
+            chosen.extend(preferred[:count])
+        rest = [i for i in pool if i not in set(chosen)]
+        rng.shuffle(rest)
+        chosen.extend(rest[: count - len(chosen)])
+        if len(chosen) < count:
+            raise ValueError("quota exceeds available skills")
+        return chosen
+
+    # Persistent-ID constraint: customer-id collectors ⊆ skill-id collectors,
+    # and third-party-contacting skills preferentially collect skill ids
+    # (§4.1: 8.59 % of persistent-ID collectors contact third parties ⇒ 28).
+    third_party = [i for i, s in enumerate(skills) if s.active and s.contacts_third_party]
+    tp_with_ids = draw(
+        [i for i in third_party], min(28, len(third_party))
+    )
+
+    quotas = QUOTAS["datatype_disclosure"]
+
+    def assign_type(
+        data_type: str,
+        restrict_policy: Optional[List[int]] = None,
+        restrict_no_policy: Optional[List[int]] = None,
+        prefer: Optional[List[int]] = None,
+    ) -> None:
+        clear_n, vague_n, omitted_n, no_policy_n = quotas[data_type]
+        named_done = [
+            i for i in has_policy
+            if skills[i].policy is not None
+            and data_type in skills[i].policy.datatype_disclosures
+        ]
+        # Honor named-override disclosures before quota sampling.
+        counts = {"clear": clear_n, "vague": vague_n, "omitted": omitted_n}
+        for i in named_done:
+            cls = skills[i].policy.datatype_disclosures[data_type]
+            if counts[cls] > 0:
+                counts[cls] -= 1
+            collected[i][data_type] = cls
+        pool = [i for i in has_policy if data_type not in collected[i]]
+        if restrict_policy is not None:
+            pool = [i for i in pool if i in set(restrict_policy)]
+        for cls in ("clear", "vague", "omitted"):
+            for i in draw(pool, counts[cls], prefer=prefer):
+                collected[i][data_type] = cls
+                pool.remove(i)
+        np_pool = [i for i in no_policy if data_type not in collected[i]]
+        if restrict_no_policy is not None:
+            np_pool = [i for i in np_pool if i in set(restrict_no_policy)]
+        for i in draw(np_pool, no_policy_n, prefer=prefer):
+            collected[i][data_type] = "no policy"
+
+    # Voice is collected by every active skill; classes come from quotas.
+    assign_type(dt.VOICE_RECORDING)
+    assign_type(dt.SKILL_ID, prefer=tp_with_ids)
+    skill_id_collectors = [i for i, c in collected.items() if dt.SKILL_ID in c]
+    assign_type(
+        dt.CUSTOMER_ID,
+        restrict_policy=[i for i in skill_id_collectors if i in set(has_policy)],
+        restrict_no_policy=[i for i in skill_id_collectors if i in set(no_policy)],
+    )
+    assign_type(dt.LANGUAGE)
+    # Timezone collectors are the language collectors (same settings bundle).
+    lang = [i for i, c in collected.items() if dt.LANGUAGE in c]
+    for i in lang:
+        collected[i][dt.TIMEZONE] = collected[i][dt.LANGUAGE]
+    assign_type(dt.OTHER_PREFERENCES)
+    assign_type(dt.AUDIO_PLAYER_EVENTS)
+
+    out: List[SkillSpec] = []
+    for i, spec in enumerate(skills):
+        types = tuple(t for t in dt.ALL_DATA_TYPES if t in collected[i])
+        policy = spec.policy
+        if policy is not None and policy.downloadable:
+            merged = dict(policy.datatype_disclosures)
+            for data_type, cls in collected[i].items():
+                if cls in {"clear", "vague", "omitted"}:
+                    merged.setdefault(data_type, cls)
+            policy = replace(policy, datatype_disclosures=merged)
+        out.append(replace(spec, data_types=types, policy=policy))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------- #
+
+
+class SkillCatalog:
+    """Queryable view over the generated skill population."""
+
+    def __init__(self, skills: Sequence[SkillSpec]) -> None:
+        self.skills: Tuple[SkillSpec, ...] = tuple(skills)
+        self._by_id: Dict[str, SkillSpec] = {s.skill_id: s for s in self.skills}
+        if len(self._by_id) != len(self.skills):
+            raise ValueError("duplicate skill ids in catalog")
+
+    def by_id(self, skill_id: str) -> SkillSpec:
+        spec = self._by_id.get(skill_id)
+        if spec is None:
+            raise KeyError(f"no such skill: {skill_id}")
+        return spec
+
+    def by_name(self, name: str) -> SkillSpec:
+        for spec in self.skills:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no such skill: {name}")
+
+    def in_category(self, category: str) -> List[SkillSpec]:
+        return [s for s in self.skills if s.category == category]
+
+    def top_skills(self, category: str, count: int = 50) -> List[SkillSpec]:
+        """Top-N by review count — the paper's install set per persona."""
+        ranked = sorted(
+            self.in_category(category), key=lambda s: (-s.review_count, s.skill_id)
+        )
+        return ranked[:count]
+
+    @property
+    def active_skills(self) -> List[SkillSpec]:
+        return [s for s in self.skills if s.active]
+
+    def __len__(self) -> int:
+        return len(self.skills)
+
+    def __iter__(self):
+        return iter(self.skills)
+
+
+def build_catalog(seed: Seed) -> SkillCatalog:
+    """Build the full 450-skill catalog for the given seed."""
+    skills = _named_skills()
+    skills.extend(_filler_skills(skills, seed))
+    skills = _mark_failures(skills, seed)
+    skills = _assign_policies(skills, seed)
+    skills = _assign_data_types(skills, seed)
+    skills = _assign_amazon_endpoints(skills, seed)
+    return SkillCatalog(skills)

@@ -1,0 +1,79 @@
+"""Simulated web publisher universe (Tranco-like toplist + prebid support).
+
+The paper crawls the Tranco toplist probing for ``prebid.js`` until 200
+supporting websites are found (§3.3), then collects bids on those.  We
+generate a deterministic toplist where roughly a third of sites support
+prebid, so the probing loop in :mod:`repro.web` exercises the same logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.rng import Seed
+
+__all__ = ["WebsiteSpec", "build_toplist", "N_PREBID_TARGET", "WEB_PRIMING_SITES"]
+
+#: The paper stops probing after identifying this many prebid sites.
+N_PREBID_TARGET = 200
+
+_SITE_WORDS = (
+    "daily", "global", "metro", "prime", "urban", "alpha", "rapid", "vivid",
+    "nova", "clear", "bright", "solid", "smart", "quick", "fresh", "true",
+)
+_SITE_TOPICS = (
+    "news", "times", "post", "herald", "journal", "tribune", "report",
+    "gazette", "review", "digest", "wire", "chronicle",
+)
+
+
+@dataclass(frozen=True)
+class WebsiteSpec:
+    """One publisher site on the toplist."""
+
+    domain: str
+    rank: int
+    supports_prebid: bool
+    prebid_version: str
+    #: Number of header-bidding ad slots on the page.
+    ad_slots: int
+
+
+def build_toplist(seed: Seed, size: int = 1000) -> List[WebsiteSpec]:
+    """Generate the Tranco-like toplist.
+
+    ~33% of sites support prebid with 2-4 ad slots each, so probing the
+    first ~600 ranks yields the 200-site crawl set.
+    """
+    rng = seed.rng("websites", "toplist")
+    sites: List[WebsiteSpec] = []
+    seen = set()
+    rank = 0
+    while len(sites) < size:
+        word = rng.choice(_SITE_WORDS)
+        topic = rng.choice(_SITE_TOPICS)
+        number = rng.randint(1, 999)
+        domain = f"{word}{topic}{number}.com"
+        if domain in seen:
+            continue
+        seen.add(domain)
+        rank += 1
+        supports = rng.random() < 0.33
+        sites.append(
+            WebsiteSpec(
+                domain=domain,
+                rank=rank,
+                supports_prebid=supports,
+                prebid_version="6.18.0" if supports else "",
+                ad_slots=rng.randint(2, 4) if supports else 0,
+            )
+        )
+    return sites
+
+
+#: Top-50 priming sites per web-control category (§3.1.2).
+def WEB_PRIMING_SITES(category: str) -> Tuple[str, ...]:
+    """Top-50 sites for a web persona's priming crawl."""
+    short = category.replace("web-", "")
+    return tuple(f"top-{short}-{i:02d}.example.org" for i in range(1, 51))

@@ -1,0 +1,18 @@
+"""Possible defenses (paper §8.1), implemented and measurable.
+
+* :mod:`repro.defenses.blocking` — router-level selective blocking of
+  non-essential (advertising/tracking) skill traffic, after [72].
+* :mod:`repro.defenses.local_voice` — on-device wake word + transcription
+  so only text commands reach the platform, after Porcupine/Rhasspy.
+"""
+
+from repro.defenses.blocking import BlockingRouter, BlockReport, evaluate_blocking
+from repro.defenses.local_voice import LocalProcessingEcho, voice_exposure
+
+__all__ = [
+    "BlockReport",
+    "BlockingRouter",
+    "LocalProcessingEcho",
+    "evaluate_blocking",
+    "voice_exposure",
+]

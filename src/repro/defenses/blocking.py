@@ -1,0 +1,135 @@
+"""Router-level selective traffic blocking (paper §8.1, after [72]).
+
+"Another example of a possible user defense is to selectively block
+network traffic that is not essential for the skill to work."
+
+:class:`BlockingRouter` wraps the stock router with a filter-list-driven
+drop policy.  The evaluation question from *Blocking without Breaking*
+applies here too: how much tracking disappears, and do skills still
+function?  :func:`evaluate_blocking` measures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.netsim.http import HttpRequest, HttpResponse
+from repro.netsim.router import NetworkError, Router
+from repro.orgmap.filterlists import FilterList
+
+__all__ = ["BlockingRouter", "BlockReport", "evaluate_blocking"]
+
+
+@dataclass
+class BlockReport:
+    """What the blocking policy did during a measurement window."""
+
+    blocked: Dict[str, int] = field(default_factory=dict)
+    allowed: int = 0
+
+    @property
+    def blocked_total(self) -> int:
+        return sum(self.blocked.values())
+
+    @property
+    def block_rate(self) -> float:
+        total = self.blocked_total + self.allowed
+        return self.blocked_total / total if total else 0.0
+
+
+class BlockingRouter:
+    """A drop-in `Router` facade that drops filter-listed destinations.
+
+    Essential (functional) traffic passes through to the wrapped router;
+    requests to advertising/tracking hosts fail exactly like a PiHole'd
+    network: DNS resolves to nothing useful, the connection dies, and the
+    device's error handling decides whether the skill degrades.
+    """
+
+    def __init__(
+        self,
+        inner: Router,
+        blocklist: FilterList,
+        allowlist: Optional[Set[str]] = None,
+    ) -> None:
+        self._inner = inner
+        self.blocklist = blocklist
+        #: Hosts never blocked even if listed (user overrides).
+        self.allowlist = set(allowlist or ())
+        self.report = BlockReport()
+
+    # Facade: everything a device touches on the router.
+    @property
+    def clock(self):
+        return self._inner.clock
+
+    @property
+    def registry(self):
+        return self._inner.registry
+
+    def attach_device(self, device_id: str) -> str:
+        return self._inner.attach_device(device_id)
+
+    def device_ip(self, device_id: str) -> str:
+        return self._inner.device_ip(device_id)
+
+    def register_service(self, domain: str, handler) -> None:
+        self._inner.register_service(domain, handler)
+
+    def start_capture(self, label: str, device_filter: Optional[str] = None):
+        return self._inner.start_capture(label, device_filter)
+
+    def stop_capture(self, session):
+        return self._inner.stop_capture(session)
+
+    def send(self, device_id: str, request: HttpRequest) -> HttpResponse:
+        host = request.host
+        if host not in self.allowlist and self.blocklist.is_blocked(host):
+            self.report.blocked[host] = self.report.blocked.get(host, 0) + 1
+            raise NetworkError(f"blocked by policy: {host}")
+        self.report.allowed += 1
+        return self._inner.send(device_id, request)
+
+
+@dataclass(frozen=True)
+class BlockingEvaluation:
+    """Outcome of running a skill set with blocking enabled."""
+
+    skills_run: int
+    skills_functional: int
+    tracking_requests_blocked: int
+    functional_requests_allowed: int
+
+    @property
+    def breakage_rate(self) -> float:
+        if not self.skills_run:
+            return 0.0
+        return 1.0 - self.skills_functional / self.skills_run
+
+
+def evaluate_blocking(
+    device,
+    marketplace,
+    skills,
+    blocking_router: BlockingRouter,
+) -> BlockingEvaluation:
+    """Run each skill through ``device`` behind the blocking router.
+
+    A skill counts as *functional* when at least one invocation produced
+    a spoken response — the "without breaking" criterion of [72].
+    """
+    functional = 0
+    for spec in skills:
+        receipt = marketplace.install(device.account, spec.skill_id)
+        if not receipt.installed:
+            continue
+        replies = device.run_skill_session(spec)
+        if any(r is not None for r in replies):
+            functional += 1
+    return BlockingEvaluation(
+        skills_run=len(skills),
+        skills_functional=functional,
+        tracking_requests_blocked=blocking_router.report.blocked_total,
+        functional_requests_allowed=blocking_router.report.allowed,
+    )

@@ -1,0 +1,118 @@
+"""Local voice processing (paper §8.1, after Porcupine/Rhasspy).
+
+"We can limit the sharing of this additional data by offloading the
+wake-word detection and transcription functions ... and just send to the
+Alexa platform the transcribed commands using their textual API with no
+loss of functionality."
+
+:class:`LocalProcessingEcho` runs wake-word detection and ASR on-device
+and uploads *text only*.  The voice recording — with its inferable
+physical/emotional characteristics — never leaves the home, which is
+directly observable in the device's plaintext log and in what skills can
+collect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.alexa.cloud import VOICE_ENDPOINT
+from repro.alexa.device import AVSEcho
+from repro.alexa.voice import VoiceFrontend
+from repro.data import datatypes as dt
+
+__all__ = ["LocalProcessingEcho", "voice_exposure"]
+
+
+class LocalProcessingEcho(AVSEcho):
+    """An Echo variant with on-device wake word + transcription.
+
+    Inherits the AVS Echo's plaintext tap so experiments can verify what
+    actually leaves the device.  Unlike the stock device it sends a
+    ``recognize-text`` event carrying only the local transcript.
+    """
+
+    allows_non_amazon = True  # it is a normal consumer device otherwise
+    allows_streaming = True
+
+    #: On-device ASR is slightly worse than the cloud's (the price of the
+    #: defense — still "no loss of functionality" for command routing).
+    LOCAL_WORD_ERROR_RATE = 0.04
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        from repro.util.rng import Seed
+
+        self._local_asr = VoiceFrontend(
+            Seed(0).derive("local-asr", self.device_id),
+            word_error_rate=self.LOCAL_WORD_ERROR_RATE,
+        )
+
+    def say(self, utterance: str) -> Optional[str]:
+        command = self._local_asr.detect_wake_word(utterance)
+        if command is None:
+            return None
+        transcript = self._local_asr.transcribe(command)
+        response = self._send(
+            VOICE_ENDPOINT,
+            body={
+                "event": "recognize",
+                # The textual API: the transcript plays the role the raw
+                # recording would, but carries no audio signal.
+                "voice_recording": transcript.text,
+                "input_modality": "text",
+                "customer_id": self.account.customer_id,
+                "device_id": self.device_id,
+                "allow_streaming": self.allows_streaming,
+            },
+        )
+        if not response.ok:
+            return None
+        self._current_skill = (
+            response.body.get("handled_by")
+            if response.body.get("handled_by") != "alexa"
+            else None
+        )
+        speech = self._execute_directives(response.body.get("directives", []))
+        self._current_skill = None
+        return speech
+
+    def _execute_directives(self, directives):
+        # Strip the audio payload from any data-collection upload: the
+        # device never recorded audio, so there is nothing to send.
+        sanitized = []
+        for directive in directives:
+            if directive.get("kind") == "upload":
+                data = {
+                    k: v
+                    for k, v in directive.get("data", {}).items()
+                    if k != dt.VOICE_RECORDING
+                }
+                directive = {**directive, "data": data}
+            sanitized.append(directive)
+        return super()._execute_directives(sanitized)
+
+
+def voice_exposure(plaintext_log) -> dict:
+    """Count what voice-derived data left a device, from its plaintext tap.
+
+    Returns ``{"audio_uploads": n, "text_uploads": n, "skill_voice_fields": n}``
+    — the before/after comparison for the defense.
+    """
+    audio = text = skill_voice = 0
+    for record in plaintext_log:
+        body = record.payload.get("body", {})
+        if body.get("event") == "recognize":
+            if body.get("input_modality") == "text":
+                text += 1
+            else:
+                audio += 1
+        if body.get("event") == "skill-data" and dt.VOICE_RECORDING in body.get(
+            "data", {}
+        ):
+            skill_voice += 1
+    return {
+        "audio_uploads": audio,
+        "text_uploads": text,
+        "skill_voice_fields": skill_voice,
+    }

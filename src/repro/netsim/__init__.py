@@ -1,0 +1,35 @@
+"""Network simulation substrate.
+
+Models the slice of the Internet an auditor can observe from a home
+router: packets with TLS-opaque payloads, cleartext DNS, HTTP messages,
+and tcpdump-style capture sessions.
+"""
+
+from repro.netsim.dns import DnsRecord, DnsServer, DnsTable, build_dns_table
+from repro.netsim.endpoints import Endpoint, EndpointRegistry, registrable_domain
+from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
+from repro.netsim.packet import Direction, Flow, Packet, Protocol, group_flows
+from repro.netsim.pcap import CaptureSession
+from repro.netsim.router import NetworkError, Router, ServiceHandler
+
+__all__ = [
+    "CaptureSession",
+    "Direction",
+    "DnsRecord",
+    "DnsServer",
+    "DnsTable",
+    "Endpoint",
+    "EndpointRegistry",
+    "Flow",
+    "HttpRequest",
+    "HttpResponse",
+    "NetworkError",
+    "Packet",
+    "Protocol",
+    "Router",
+    "ServiceHandler",
+    "build_dns_table",
+    "estimate_size",
+    "group_flows",
+    "registrable_domain",
+]

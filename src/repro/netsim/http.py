@@ -1,0 +1,127 @@
+"""HTTP message models.
+
+Application traffic in the simulation is HTTP(-over-TLS).  These models are
+what a device hands to the router; whether an observer sees the parsed
+message or only ciphertext metadata is decided by the vantage point
+(:mod:`repro.netsim.router`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qsl, urlencode, urlparse
+
+__all__ = ["HttpRequest", "HttpResponse", "estimate_size"]
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request issued by a device or browser.
+
+    ``body`` carries the parsed application payload (e.g. the data types a
+    skill uploads); ``cookies`` carry client-side identifiers, which is what
+    cookie-sync detection inspects.
+    """
+
+    method: str
+    url: str
+    headers: Mapping[str, str] = field(default_factory=dict)
+    cookies: Mapping[str, str] = field(default_factory=dict)
+    body: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in {"GET", "POST", "PUT", "DELETE", "HEAD"}:
+            raise ValueError(f"unsupported HTTP method: {self.method}")
+        parsed = urlparse(self.url)
+        if parsed.scheme not in {"http", "https"} or not parsed.netloc:
+            raise ValueError(f"invalid URL: {self.url}")
+
+    @property
+    def host(self) -> str:
+        return urlparse(self.url).netloc.split(":")[0]
+
+    @property
+    def path(self) -> str:
+        return urlparse(self.url).path or "/"
+
+    @property
+    def query(self) -> Dict[str, str]:
+        return dict(parse_qsl(urlparse(self.url).query))
+
+    @property
+    def is_https(self) -> bool:
+        return urlparse(self.url).scheme == "https"
+
+    def with_query(self, **params: str) -> "HttpRequest":
+        """Return a copy with extra query parameters merged in."""
+        parsed = urlparse(self.url)
+        merged = dict(parse_qsl(parsed.query))
+        merged.update(params)
+        rebuilt = parsed._replace(query=urlencode(merged)).geturl()
+        return HttpRequest(
+            method=self.method,
+            url=rebuilt,
+            headers=self.headers,
+            cookies=self.cookies,
+            body=self.body,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialize into a packet payload mapping."""
+        return {
+            "kind": "http-request",
+            "method": self.method,
+            "url": self.url,
+            "host": self.host,
+            "path": self.path,
+            "query": self.query,
+            "headers": dict(self.headers),
+            "cookies": dict(self.cookies),
+            "body": dict(self.body),
+        }
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response delivered back to the client."""
+
+    status: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    set_cookies: Mapping[str, str] = field(default_factory=dict)
+    body: Mapping[str, Any] = field(default_factory=dict)
+    #: Follow-up URL for 3xx responses — how cookie-sync redirect chains run.
+    redirect_url: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"invalid HTTP status: {self.status}")
+        if self.redirect_url is not None and not 300 <= self.status <= 399:
+            raise ValueError("redirect_url requires a 3xx status")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": "http-response",
+            "status": self.status,
+            "headers": dict(self.headers),
+            "set_cookies": dict(self.set_cookies),
+            "body": dict(self.body),
+            "redirect_url": self.redirect_url,
+        }
+
+
+def estimate_size(payload: Mapping[str, Any]) -> int:
+    """Rough wire size (bytes) of a parsed message, for flow statistics."""
+
+    def measure(value: Any) -> int:
+        if isinstance(value, Mapping):
+            return sum(len(str(k)) + measure(v) + 4 for k, v in value.items())
+        if isinstance(value, (list, tuple)):
+            return sum(measure(v) + 2 for v in value)
+        return len(str(value))
+
+    return 64 + measure(payload)  # 64 ≈ framing overhead

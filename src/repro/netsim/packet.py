@@ -1,0 +1,158 @@
+"""Packet and flow primitives.
+
+A :class:`Packet` models what a passive observer at a given vantage point
+can see.  The crucial distinction for the auditing framework is between
+
+* packets captured on the router from a real Echo: TLS-encrypted, so only
+  the 5-tuple, SNI, and sizes are visible (``payload is None``); and
+* packets tapped pre-encryption on the instrumented AVS Echo: the full
+  application payload is visible.
+
+Payloads are plain dictionaries (parsed application messages) rather than
+byte strings — the paper's analysis operates on parsed fields, and keeping
+them structured avoids a redundant serialize/parse round trip while still
+modelling visibility correctly via the ``payload``/``None`` distinction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Direction", "Protocol", "Packet", "Flow", "FlowKey", "group_flows"]
+
+
+class Direction(enum.Enum):
+    """Direction of a packet relative to the monitored device."""
+
+    OUTBOUND = "outbound"
+    INBOUND = "inbound"
+
+
+class Protocol(enum.Enum):
+    """Application protocol carried by a packet."""
+
+    TLS = "tls"
+    HTTP = "http"
+    DNS = "dns"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single captured datagram/record.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated seconds since the experiment epoch.
+    src_ip, dst_ip, src_port, dst_port:
+        The 5-tuple (protocol being the fifth element).
+    protocol:
+        Application protocol.
+    size:
+        Payload size in bytes (modelled, not serialized).
+    direction:
+        Relative to the monitored device.
+    sni:
+        TLS Server Name Indication, when the packet opens a TLS session.
+        Visible even for encrypted traffic — this is how the paper maps
+        encrypted flows to domains when no DNS answer was seen.
+    payload:
+        Parsed application message.  ``None`` for traffic observed only in
+        encrypted form.
+    device_id:
+        The monitored device that sent/received this packet.
+    """
+
+    timestamp: float
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: Protocol
+    size: int
+    direction: Direction
+    device_id: str
+    sni: Optional[str] = None
+    payload: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be non-negative, got {self.size}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"port out of range: {port}")
+
+    @property
+    def is_encrypted(self) -> bool:
+        """True when the application payload is not observable."""
+        return self.payload is None
+
+    @property
+    def remote_ip(self) -> str:
+        """IP of the non-device end of the packet."""
+        return self.dst_ip if self.direction is Direction.OUTBOUND else self.src_ip
+
+
+FlowKey = Tuple[str, str, int, str]
+"""(device_id, remote_ip, remote_port, protocol value)"""
+
+
+@dataclass
+class Flow:
+    """All packets between one device and one remote endpoint/port."""
+
+    key: FlowKey
+    packets: List[Packet] = field(default_factory=list)
+
+    @property
+    def device_id(self) -> str:
+        return self.key[0]
+
+    @property
+    def remote_ip(self) -> str:
+        return self.key[1]
+
+    @property
+    def remote_port(self) -> int:
+        return self.key[2]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self.packets)
+
+    @property
+    def sni(self) -> Optional[str]:
+        """First SNI observed on the flow, if any."""
+        for packet in self.packets:
+            if packet.sni is not None:
+                return packet.sni
+        return None
+
+    @property
+    def first_timestamp(self) -> float:
+        if not self.packets:
+            raise ValueError("flow has no packets")
+        return min(p.timestamp for p in self.packets)
+
+
+def group_flows(packets: Iterable[Packet]) -> List[Flow]:
+    """Group packets into flows by (device, remote ip, remote port, proto)."""
+    flows: Dict[FlowKey, Flow] = {}
+    for packet in packets:
+        remote_port = (
+            packet.dst_port if packet.direction is Direction.OUTBOUND else packet.src_port
+        )
+        key: FlowKey = (
+            packet.device_id,
+            packet.remote_ip,
+            remote_port,
+            packet.protocol.value,
+        )
+        flow = flows.get(key)
+        if flow is None:
+            flow = Flow(key=key)
+            flows[key] = flow
+        flow.packets.append(packet)
+    return list(flows.values())

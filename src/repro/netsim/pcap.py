@@ -1,0 +1,64 @@
+"""tcpdump-style capture sessions.
+
+The paper's methodology brackets each skill's lifecycle with
+``tcpdump`` enable/disable on the RPi router so traffic can be attributed
+cleanly per skill (§3.2).  :class:`CaptureSession` reproduces that: while a
+session is active on the router, every packet the router forwards is
+appended to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.netsim.dns import DnsTable, build_dns_table
+from repro.netsim.packet import Flow, Packet, group_flows
+
+__all__ = ["CaptureSession"]
+
+
+@dataclass
+class CaptureSession:
+    """A bounded window of captured packets, labelled for attribution.
+
+    Attributes
+    ----------
+    label:
+        Attribution label, e.g. the skill id being exercised.
+    device_filter:
+        When set, only packets from/to this device are recorded (the paper
+        gives each persona's Echo a unique IP for the same reason).
+    """
+
+    label: str
+    device_filter: Optional[str] = None
+    packets: List[Packet] = field(default_factory=list)
+    active: bool = True
+
+    def observe(self, packet: Packet) -> None:
+        """Record a packet if the session is active and the filter matches."""
+        if not self.active:
+            return
+        if self.device_filter is not None and packet.device_id != self.device_filter:
+            return
+        self.packets.append(packet)
+
+    def stop(self) -> "CaptureSession":
+        """Freeze the session; further packets are ignored."""
+        self.active = False
+        return self
+
+    def flows(self) -> List[Flow]:
+        """Group the captured packets into flows."""
+        return group_flows(self.packets)
+
+    def dns_table(self) -> DnsTable:
+        """IP→domain mapping recovered from this capture's DNS answers."""
+        return build_dns_table(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)

@@ -1,0 +1,208 @@
+"""The RPi bridged-access-point router.
+
+All device traffic transits the router, which is where the auditor's
+vantage point sits.  The router:
+
+* assigns each attached device a unique LAN IP (one persona per IP, §3.1);
+* answers DNS from the endpoint registry, emitting cleartext DNS packets;
+* forwards HTTP(S) requests to registered service handlers and emits
+  request/response packets into every active capture session — with the
+  payload stripped when the transport is TLS, since the router cannot
+  decrypt it.
+
+Services (the Alexa cloud, skill backends, ad servers, websites) register a
+handler per domain.  This keeps the "Internet" a single dispatch table
+while letting every subsystem implement arbitrarily rich behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.dns import DNS_PORT, DnsServer
+from repro.netsim.endpoints import Endpoint, EndpointRegistry
+from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
+from repro.netsim.packet import Direction, Packet, Protocol
+from repro.netsim.pcap import CaptureSession
+from repro.util.clock import SimClock
+from repro.util.ids import IdFactory
+
+__all__ = ["Router", "ServiceHandler", "NetworkError"]
+
+ServiceHandler = Callable[[HttpRequest], HttpResponse]
+
+
+class NetworkError(Exception):
+    """Raised when a request cannot be delivered (no DNS, no service)."""
+
+
+class Router:
+    """Simulated RPi router + the Internet behind it."""
+
+    LAN_PREFIX = "192.168.7."
+
+    def __init__(self, registry: EndpointRegistry, clock: SimClock) -> None:
+        self.registry = registry
+        self.clock = clock
+        self.dns = DnsServer(registry)
+        self._ids = IdFactory()
+        self._device_ips: Dict[str, str] = {}
+        self._services: Dict[str, ServiceHandler] = {}
+        self._captures: List[CaptureSession] = []
+        self.packets_forwarded = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def attach_device(self, device_id: str) -> str:
+        """Attach a device and return its unique LAN IP."""
+        if device_id in self._device_ips:
+            return self._device_ips[device_id]
+        host = len(self._device_ips) + 10
+        if host > 250:
+            raise NetworkError("LAN address pool exhausted")
+        ip = f"{self.LAN_PREFIX}{host}"
+        self._device_ips[device_id] = ip
+        return ip
+
+    def device_ip(self, device_id: str) -> str:
+        ip = self._device_ips.get(device_id)
+        if ip is None:
+            raise NetworkError(f"device not attached: {device_id}")
+        return ip
+
+    def register_service(self, domain: str, handler: ServiceHandler) -> None:
+        """Install the handler that answers requests for ``domain``."""
+        if domain not in self.registry:
+            raise NetworkError(
+                f"cannot register service for unknown endpoint {domain}; "
+                "register it in the EndpointRegistry first"
+            )
+        self._services[domain] = handler
+
+    # ------------------------------------------------------------------ #
+    # Capture
+    # ------------------------------------------------------------------ #
+
+    def start_capture(
+        self, label: str, device_filter: Optional[str] = None
+    ) -> CaptureSession:
+        """Begin a tcpdump-style capture; returns the live session."""
+        session = CaptureSession(label=label, device_filter=device_filter)
+        self._captures.append(session)
+        return session
+
+    def stop_capture(self, session: CaptureSession) -> CaptureSession:
+        """Stop and detach a capture session."""
+        session.stop()
+        if session in self._captures:
+            self._captures.remove(session)
+        return session
+
+    def _emit(self, packet: Packet) -> None:
+        self.packets_forwarded += 1
+        for session in self._captures:
+            session.observe(packet)
+
+    # ------------------------------------------------------------------ #
+    # Forwarding
+    # ------------------------------------------------------------------ #
+
+    def send(self, device_id: str, request: HttpRequest) -> HttpResponse:
+        """Deliver ``request`` on behalf of ``device_id``.
+
+        Emits DNS packets (cleartext), then the request/response pair —
+        with payloads visible only when the transport is plain HTTP.
+        Raises :class:`NetworkError` for unknown hosts or unhandled
+        services, mirroring NXDOMAIN / connection-refused.
+        """
+        device_ip = self.device_ip(device_id)
+        endpoint = self._resolve(device_id, device_ip, request.host)
+        handler = self._services.get(request.host)
+        if handler is None:
+            raise NetworkError(f"connection refused: no service at {request.host}")
+
+        encrypted = request.is_https
+        src_port = 49152 + self._ids.count("ephemeral-port") % 16000
+        self._ids.next("ephemeral-port")
+        request_payload = None if encrypted else request.to_payload()
+        self._emit(
+            Packet(
+                timestamp=self.clock.now,
+                src_ip=device_ip,
+                dst_ip=endpoint.ip,
+                src_port=src_port,
+                dst_port=endpoint.port,
+                protocol=Protocol.TLS if encrypted else Protocol.HTTP,
+                size=estimate_size(request.to_payload()),
+                direction=Direction.OUTBOUND,
+                device_id=device_id,
+                sni=request.host if encrypted else None,
+                payload=request_payload,
+            )
+        )
+
+        self.clock.advance(0.05)  # network + service latency
+        response = handler(request)
+
+        response_payload = None if encrypted else response.to_payload()
+        self._emit(
+            Packet(
+                timestamp=self.clock.now,
+                src_ip=endpoint.ip,
+                dst_ip=device_ip,
+                src_port=endpoint.port,
+                dst_port=src_port,
+                protocol=Protocol.TLS if encrypted else Protocol.HTTP,
+                size=estimate_size(response.to_payload()),
+                direction=Direction.INBOUND,
+                device_id=device_id,
+                sni=request.host if encrypted else None,
+                payload=response_payload,
+            )
+        )
+        return response
+
+    def _resolve(self, device_id: str, device_ip: str, host: str) -> Endpoint:
+        """Resolve ``host``, emitting the DNS query/response packets."""
+        endpoint = self.registry.lookup_domain(host)
+        if endpoint is None:
+            raise NetworkError(f"NXDOMAIN: {host}")
+        record = self.dns.resolve(host)
+        dns_server_ip = f"{self.LAN_PREFIX}1"
+        query_payload = {"kind": "dns-query", "domain": host}
+        response_payload = {
+            "kind": "dns-response",
+            "answers": [{"domain": record.domain, "ip": record.ip, "ttl": record.ttl}],
+        }
+        common = dict(
+            timestamp=self.clock.now,
+            protocol=Protocol.DNS,
+            device_id=device_id,
+        )
+        self._emit(
+            Packet(
+                src_ip=device_ip,
+                dst_ip=dns_server_ip,
+                src_port=5353,
+                dst_port=DNS_PORT,
+                size=estimate_size(query_payload),
+                direction=Direction.OUTBOUND,
+                payload=query_payload,
+                **common,
+            )
+        )
+        self._emit(
+            Packet(
+                src_ip=dns_server_ip,
+                dst_ip=device_ip,
+                src_port=DNS_PORT,
+                dst_port=5353,
+                size=estimate_size(response_payload),
+                direction=Direction.INBOUND,
+                payload=response_payload,
+                **common,
+            )
+        )
+        return endpoint

@@ -1,0 +1,24 @@
+"""Organization mapping: entity lists, WHOIS, filter lists, and resolution.
+
+The auditor-side knowledge used to turn raw endpoints from captures into
+organizations and advertising/tracking labels (paper §3.2, §4.2).
+"""
+
+from repro.orgmap.entity_db import EntityDatabase, OrgEntity
+from repro.orgmap.filterlists import FilterList, FilterRule, parse_rules
+from repro.orgmap.resolver import UNKNOWN_ORG, Attribution, OrgResolver
+from repro.orgmap.whois import REDACTED, WhoisRecord, WhoisService
+
+__all__ = [
+    "Attribution",
+    "EntityDatabase",
+    "FilterList",
+    "FilterRule",
+    "OrgEntity",
+    "OrgResolver",
+    "REDACTED",
+    "UNKNOWN_ORG",
+    "WhoisRecord",
+    "WhoisService",
+    "parse_rules",
+]

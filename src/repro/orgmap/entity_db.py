@@ -1,0 +1,73 @@
+"""Domain → organization entity database.
+
+The auditor's equivalent of the DuckDuckGo Tracker Radar entity list
+(§3.2 "Inferring origin"): a curated mapping from registrable domains to
+parent organizations, with organization metadata.  It is deliberately a
+*separate* source of truth from the simulation's own endpoint registry —
+the auditor is only as good as its public data, and the tests exercise the
+gap (unknown domains fall back to WHOIS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.netsim.endpoints import registrable_domain
+
+__all__ = ["OrgEntity", "EntityDatabase"]
+
+
+@dataclass(frozen=True)
+class OrgEntity:
+    """A parent organization as known to public entity lists.
+
+    ``categories`` mirrors the ontology labels used in Table 14:
+    ``analytic provider``, ``advertising network``, ``content provider``,
+    ``platform provider``, ``voice assistant service``.
+    """
+
+    name: str
+    categories: Tuple[str, ...] = ()
+    domains: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("organization name must be non-empty")
+
+
+class EntityDatabase:
+    """Lookup table from registrable domain to :class:`OrgEntity`."""
+
+    def __init__(self, entities: Iterable[OrgEntity] = ()) -> None:
+        self._entities: Dict[str, OrgEntity] = {}
+        self._domain_index: Dict[str, OrgEntity] = {}
+        for entity in entities:
+            self.add(entity)
+
+    def add(self, entity: OrgEntity) -> None:
+        """Register an entity and index all of its domains."""
+        if entity.name in self._entities:
+            raise ValueError(f"entity already registered: {entity.name}")
+        self._entities[entity.name] = entity
+        for domain in entity.domains:
+            base = registrable_domain(domain)
+            existing = self._domain_index.get(base)
+            if existing is not None and existing.name != entity.name:
+                raise ValueError(
+                    f"domain {base} claimed by both {existing.name} and {entity.name}"
+                )
+            self._domain_index[base] = entity
+
+    def entity_for_domain(self, domain: str) -> Optional[OrgEntity]:
+        """Look up the owning entity of ``domain`` (any subdomain depth)."""
+        return self._domain_index.get(registrable_domain(domain))
+
+    def entity_by_name(self, name: str) -> Optional[OrgEntity]:
+        return self._entities.get(name)
+
+    def __iter__(self) -> Iterator[OrgEntity]:
+        return iter(self._entities.values())
+
+    def __len__(self) -> int:
+        return len(self._entities)

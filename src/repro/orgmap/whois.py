@@ -1,0 +1,63 @@
+"""Simulated WHOIS service.
+
+The paper falls back to WHOIS when DuckDuckGo/Crunchbase entity data does
+not cover a domain.  Our WHOIS database is seeded from the simulation's
+endpoint registry but — like the real thing — is lossy: a configurable
+fraction of records is privacy-redacted, forcing the resolver to report
+``unknown`` for those registrants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.netsim.endpoints import EndpointRegistry, registrable_domain
+from repro.util.rng import Seed
+
+__all__ = ["WhoisRecord", "WhoisService", "REDACTED"]
+
+REDACTED = "REDACTED FOR PRIVACY"
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """A WHOIS response for a registrable domain."""
+
+    domain: str
+    registrant_org: str
+    registrar: str = "SimRegistrar, Inc."
+
+    @property
+    def is_redacted(self) -> bool:
+        return self.registrant_org == REDACTED
+
+
+class WhoisService:
+    """WHOIS lookups over the simulated domain universe."""
+
+    def __init__(
+        self,
+        registry: EndpointRegistry,
+        seed: Seed,
+        redaction_rate: float = 0.15,
+    ) -> None:
+        if not 0.0 <= redaction_rate <= 1.0:
+            raise ValueError(f"redaction_rate must be in [0, 1], got {redaction_rate}")
+        self._records: Dict[str, WhoisRecord] = {}
+        rng = seed.rng("whois", "redaction")
+        for endpoint in registry:
+            base = registrable_domain(endpoint.domain)
+            if base in self._records:
+                continue
+            redacted = rng.random() < redaction_rate
+            self._records[base] = WhoisRecord(
+                domain=base,
+                registrant_org=REDACTED if redacted else endpoint.organization,
+            )
+        self.query_count = 0
+
+    def lookup(self, domain: str) -> Optional[WhoisRecord]:
+        """WHOIS query for the registrable domain of ``domain``."""
+        self.query_count += 1
+        return self._records.get(registrable_domain(domain))

@@ -1,0 +1,17 @@
+"""Privacy policies: corpus generation and PoliCheck consistency analysis."""
+
+from repro.policies.corpus import (
+    AMAZON_POLICY_TEXT,
+    PHRASING_NOISE_RATE,
+    PolicyCorpus,
+    PolicyDocument,
+    build_corpus,
+)
+
+__all__ = [
+    "AMAZON_POLICY_TEXT",
+    "PHRASING_NOISE_RATE",
+    "PolicyCorpus",
+    "PolicyDocument",
+    "build_corpus",
+]

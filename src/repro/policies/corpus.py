@@ -1,0 +1,201 @@
+"""Privacy-policy corpus generation.
+
+Generates the policy document for each skill from its
+:class:`~repro.data.skill_catalog.PolicySpec`, plus Amazon's platform
+privacy policy.  Documents are plain text; the PoliCheck analyzer works
+on the text alone, and a small generation-side *phrasing noise* replaces
+ontology terms with off-ontology synonyms at a calibrated rate — this is
+what makes the validation study (§7.2.3) land near the paper's ~87%
+micro-F1 instead of a meaningless 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import SkillCatalog, SkillSpec
+from repro.util.rng import Seed
+
+__all__ = ["PolicyDocument", "PolicyCorpus", "build_corpus", "AMAZON_POLICY_TEXT"]
+
+#: Probability a disclosure sentence uses phrasing outside the analyzer's
+#: ontology (human policy writers are creative).  Together with the
+#: human-coder disagreement modelled in the validation study, this is
+#: calibrated so §7.2.3's micro-F1 lands near the paper's 87.41%.
+PHRASING_NOISE_RATE = 0.15
+
+_CLEAR_DATA_TERMS: Dict[str, Tuple[str, ...]] = {
+    dt.VOICE_RECORDING: ("voice recording", "audio recording", "voice command"),
+    dt.CUSTOMER_ID: ("unique identifier", "anonymized ID", "UUID"),
+    dt.SKILL_ID: ("skill id", "application identifier", "cookie"),
+    dt.LANGUAGE: ("language setting", "regional and language settings"),
+    dt.TIMEZONE: ("time zone setting", "time zone"),
+    dt.OTHER_PREFERENCES: ("settings preferences", "app settings"),
+    dt.AUDIO_PLAYER_EVENTS: ("audio player events", "playback events", "device metrics"),
+}
+
+_VAGUE_DATA_TERMS: Dict[str, Tuple[str, ...]] = {
+    dt.VOICE_RECORDING: ("sensory information", "recordings of your interactions"),
+    dt.CUSTOMER_ID: ("identifiers",),
+    dt.SKILL_ID: ("application data",),
+    dt.LANGUAGE: ("device information",),
+    dt.TIMEZONE: ("device information",),
+    dt.OTHER_PREFERENCES: ("configuration settings",),
+    dt.AUDIO_PLAYER_EVENTS: ("usage data", "interaction data"),
+}
+
+#: Off-ontology synonyms: real enough that a human coder maps them to the
+#: data type, opaque to the term-matching analyzer.
+_NOISE_TERMS: Dict[str, Tuple[str, ...]] = {
+    dt.VOICE_RECORDING: ("auditory data", "vocal samples"),
+    dt.CUSTOMER_ID: ("account token", "pseudonymous handle"),
+    dt.SKILL_ID: ("app token",),
+    dt.LANGUAGE: ("locale details",),
+    dt.TIMEZONE: ("clock settings",),
+    dt.OTHER_PREFERENCES: ("configuration values",),
+    dt.AUDIO_PLAYER_EVENTS: ("telemetry", "media signals"),
+}
+
+_VAGUE_ENTITY_PHRASES: Tuple[str, ...] = (
+    "external service providers who help us better serve you",
+    "third parties that support our services",
+    "service providers acting on our behalf",
+)
+
+AMAZON_POLICY_TEXT = """\
+Amazon.com Privacy Notice
+
+We collect your voice recording when you speak to Alexa and retain it to
+improve our services. We collect a unique identifier and use a cookie to
+recognize your device across Amazon services. We receive your time zone
+setting, regional and language settings, and settings preferences to
+personalize your experience. We collect device metrics and Amazon
+Services metrics about how you use Alexa. We share information with
+service providers acting on our behalf.
+"""
+
+
+@dataclass(frozen=True)
+class PolicyDocument:
+    """One downloadable privacy policy plus its generation ground truth."""
+
+    skill_id: str
+    url: str
+    text: str
+    mentions_amazon: bool
+    links_amazon_policy: bool
+    #: Intended disclosure class per data type (pre-noise) — used only by
+    #: the validation study, never by the analyzer.
+    truth_datatypes: Dict[str, str] = field(default_factory=dict)
+    #: Intended disclosure class per endpoint organization.
+    truth_endpoints: Dict[str, str] = field(default_factory=dict)
+
+
+class PolicyCorpus:
+    """All downloadable policies, keyed by skill id."""
+
+    def __init__(self, documents: Dict[str, PolicyDocument], amazon_policy: str) -> None:
+        self._documents = documents
+        self.amazon_policy = amazon_policy
+
+    def get(self, skill_id: str) -> Optional[PolicyDocument]:
+        return self._documents.get(skill_id)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self):
+        return iter(self._documents.values())
+
+
+def build_corpus(catalog: SkillCatalog, seed: Seed) -> PolicyCorpus:
+    """Generate policy text for every skill with a downloadable policy."""
+    documents: Dict[str, PolicyDocument] = {}
+    for spec in catalog:
+        if spec.policy is None or not spec.policy.downloadable:
+            continue
+        documents[spec.skill_id] = _generate_document(spec, seed)
+    return PolicyCorpus(documents, AMAZON_POLICY_TEXT)
+
+
+def _generate_document(spec: SkillSpec, seed: Seed) -> PolicyDocument:
+    policy = spec.policy
+    assert policy is not None
+    rng = seed.rng("policy-text", spec.skill_id)
+    lines: List[str] = [f"{spec.vendor} Privacy Policy", ""]
+
+    if policy.mentions_amazon:
+        lines.append(
+            f"The {spec.name} skill is available on Amazon Alexa enabled devices."
+        )
+    else:
+        lines.append(
+            f"This policy applies to all products and services offered by {spec.vendor}."
+        )
+    if policy.links_amazon_policy:
+        lines.append(
+            "Amazon's handling of your data is described in the Amazon Privacy "
+            "Notice at https://www.amazon.com/privacy."
+        )
+
+    truth_datatypes: Dict[str, str] = {}
+    for data_type, klass in sorted(policy.datatype_disclosures.items()):
+        truth_datatypes[data_type] = klass
+        if klass == "omitted":
+            continue
+        sentence = _datatype_sentence(data_type, klass, rng)
+        lines.append(sentence)
+
+    truth_endpoints: Dict[str, str] = {}
+    platform_class = policy.platform_disclosure
+    truth_endpoints["Amazon Technologies, Inc."] = platform_class
+    if platform_class == "clear":
+        lines.append(
+            "Information you provide is then sent to the voice partner you "
+            "have authorized (for example, Amazon)."
+        )
+    elif platform_class == "vague":
+        lines.append(
+            "Our products may send pseudonymous information to an analytics "
+            "tool, including timestamps, transmission statistics, feature "
+            "usage, performance metrics, and errors."
+        )
+
+    for org, klass in sorted(policy.endpoint_disclosures.items()):
+        truth_endpoints[org] = klass
+        if klass == "omitted":
+            continue
+        if klass == "clear":
+            alias = org.split(",")[0].split(" Inc")[0].split(" LLC")[0].strip()
+            lines.append(f"We share information we collect with {alias}.")
+        else:
+            phrase = rng.choice(_VAGUE_ENTITY_PHRASES)
+            lines.append(f"We may also share your personal information with {phrase}.")
+
+    # Boilerplate + negation noise every analyzer must not trip over.
+    lines.append("We value your privacy and comply with applicable law.")
+    lines.append("We do not sell your personal information to advertising networks.")
+
+    return PolicyDocument(
+        skill_id=spec.skill_id,
+        url=f"https://policies.example-skills.com/{spec.skill_id}.html",
+        text="\n".join(lines),
+        mentions_amazon=policy.mentions_amazon,
+        links_amazon_policy=policy.links_amazon_policy,
+        truth_datatypes=truth_datatypes,
+        truth_endpoints=truth_endpoints,
+    )
+
+
+def _datatype_sentence(data_type: str, klass: str, rng) -> str:
+    """A collection statement for one data type at one specificity."""
+    if rng.random() < PHRASING_NOISE_RATE:
+        term = rng.choice(_NOISE_TERMS[data_type])
+    elif klass == "clear":
+        term = rng.choice(_CLEAR_DATA_TERMS[data_type])
+    else:
+        term = rng.choice(_VAGUE_DATA_TERMS[data_type])
+    verb = rng.choice(("collect", "receive", "process"))
+    return f"When you use the skill we {verb} your {term}."

@@ -1,0 +1,43 @@
+"""PoliCheck-style privacy-policy consistency analysis (paper §7.2)."""
+
+from repro.policies.policheck.analyzer import (
+    DISCLOSURE_CLASSES,
+    Disclosure,
+    PolicheckAnalyzer,
+)
+from repro.policies.policheck.extraction import (
+    DataFlow,
+    extract_datatype_flows,
+    extract_endpoint_flows,
+)
+from repro.policies.policheck.ontology import (
+    DataOntology,
+    EntityOntology,
+    TermMatch,
+    default_data_ontology,
+    default_entity_ontology,
+)
+from repro.policies.policheck.validation import (
+    CODER_NOISE_RATE,
+    ValidationReport,
+    human_code_flows,
+    score_multiclass,
+)
+
+__all__ = [
+    "CODER_NOISE_RATE",
+    "DISCLOSURE_CLASSES",
+    "DataFlow",
+    "DataOntology",
+    "Disclosure",
+    "EntityOntology",
+    "PolicheckAnalyzer",
+    "TermMatch",
+    "ValidationReport",
+    "default_data_ontology",
+    "default_entity_ontology",
+    "extract_datatype_flows",
+    "extract_endpoint_flows",
+    "human_code_flows",
+    "score_multiclass",
+]

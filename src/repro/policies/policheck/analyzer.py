@@ -1,0 +1,138 @@
+"""PoliCheck consistency analysis (stages ii + iii).
+
+Given extracted flows and a skill's policy text, classify each flow's
+disclosure as **clear**, **vague**, **omitted**, or **no policy**
+(§7.2.1 / §7.2.2).  The analyzer works on sentences: a disclosure
+counts only when an ontology term co-occurs with a collection/sharing
+verb in a non-negated sentence — naming Amazon in "works with Amazon
+Alexa" is not a disclosure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.policies.corpus import PolicyCorpus
+from repro.policies.policheck.extraction import DataFlow
+from repro.policies.policheck.ontology import (
+    DataOntology,
+    EntityOntology,
+    default_data_ontology,
+    default_entity_ontology,
+)
+
+__all__ = ["Disclosure", "PolicheckAnalyzer", "DISCLOSURE_CLASSES"]
+
+DISCLOSURE_CLASSES = ("clear", "vague", "omitted", "no policy")
+
+_COLLECTION_VERBS = (
+    "collect",
+    "receive",
+    "process",
+    "share",
+    "send",
+    "sent",
+    "transmit",
+    "disclose",
+    "provide",
+)
+
+_NEGATIONS = ("not", "never", "no longer", "don't", "do not")
+
+_SENTENCE_SPLIT = re.compile(r"(?<=[.!?])\s+")
+
+
+@dataclass(frozen=True)
+class Disclosure:
+    """The classification of one flow against one policy."""
+
+    flow: DataFlow
+    classification: str
+    #: The matched policy term, when any.
+    evidence_term: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.classification not in DISCLOSURE_CLASSES:
+            raise ValueError(f"invalid classification: {self.classification}")
+
+
+def _collection_sentences(text: str) -> List[str]:
+    """Non-negated sentences containing a collection/sharing verb."""
+    sentences = []
+    for sentence in _SENTENCE_SPLIT.split(text.replace("\n", " ")):
+        lowered = sentence.lower()
+        if not any(verb in lowered for verb in _COLLECTION_VERBS):
+            continue
+        if any(neg in lowered.split() or f" {neg} " in lowered for neg in _NEGATIONS):
+            continue
+        sentences.append(sentence)
+    return sentences
+
+
+class PolicheckAnalyzer:
+    """Classifies extracted flows against policy documents."""
+
+    def __init__(
+        self,
+        corpus: PolicyCorpus,
+        data_ontology: Optional[DataOntology] = None,
+        entity_ontology: Optional[EntityOntology] = None,
+        include_platform_policy: bool = False,
+        org_categories: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> None:
+        self.corpus = corpus
+        self.data_ontology = data_ontology or default_data_ontology()
+        self.entity_ontology = entity_ontology or default_entity_ontology()
+        #: §7.2.2 experiment: also consult Amazon's platform policy.
+        self.include_platform_policy = include_platform_policy
+        self._org_categories = org_categories or {}
+
+    # ------------------------------------------------------------------ #
+
+    def classify_datatype_flow(self, flow: DataFlow) -> Disclosure:
+        """Data-type analysis (§7.2.2): is the collected type disclosed?"""
+        if flow.data_type is None:
+            raise ValueError("flow has no data type; use classify_endpoint_flow")
+        document = self.corpus.get(flow.skill_id)
+        if document is None:
+            return Disclosure(flow=flow, classification="no policy")
+        text = document.text
+        if self.include_platform_policy:
+            text = text + "\n" + self.corpus.amazon_policy
+        best: Tuple[str, Optional[str]] = ("omitted", None)
+        for sentence in _collection_sentences(text):
+            for match in self.data_ontology.matches(sentence):
+                if match.target != flow.data_type:
+                    continue
+                if match.specificity == "exact":
+                    return Disclosure(
+                        flow=flow, classification="clear", evidence_term=match.term
+                    )
+                best = ("vague", match.term)
+        return Disclosure(flow=flow, classification=best[0], evidence_term=best[1])
+
+    def classify_endpoint_flow(self, flow: DataFlow) -> Disclosure:
+        """Endpoint analysis (§7.2.1): is the contacted org disclosed?"""
+        document = self.corpus.get(flow.skill_id)
+        if document is None:
+            return Disclosure(flow=flow, classification="no policy")
+        categories = self._org_categories.get(flow.entity, ())
+        best: Tuple[str, Optional[str]] = ("omitted", None)
+        for sentence in _collection_sentences(document.text):
+            alias = self.entity_ontology.exact_match(sentence, flow.entity)
+            if alias is not None:
+                return Disclosure(flow=flow, classification="clear", evidence_term=alias)
+            term = self.entity_ontology.broad_match(sentence, tuple(categories))
+            if term is not None:
+                best = ("vague", term)
+        return Disclosure(flow=flow, classification=best[0], evidence_term=best[1])
+
+    # ------------------------------------------------------------------ #
+
+    def analyze_datatype_flows(self, flows: List[DataFlow]) -> List[Disclosure]:
+        return [self.classify_datatype_flow(f) for f in flows]
+
+    def analyze_endpoint_flows(self, flows: List[DataFlow]) -> List[Disclosure]:
+        return [self.classify_endpoint_flow(f) for f in flows]

@@ -1,0 +1,93 @@
+"""Data-flow extraction from captured traffic (PoliCheck stage i).
+
+Two extractors, matching the paper's split methodology (§7.2):
+
+* :func:`extract_datatype_flows` reads the AVS Echo's pre-encryption
+  plaintext log and yields ``<data type, amazon>`` flows per skill;
+* :func:`extract_endpoint_flows` reads encrypted Echo captures and
+  yields the contacted *organizations* per skill (entities only — the
+  payloads are opaque).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.alexa.device import PlaintextRecord
+from repro.netsim.pcap import CaptureSession
+from repro.orgmap.resolver import OrgResolver
+
+__all__ = ["DataFlow", "extract_datatype_flows", "extract_endpoint_flows"]
+
+
+@dataclass(frozen=True)
+class DataFlow:
+    """One ``<data type, entity>`` tuple observed for a skill."""
+
+    skill_id: str
+    data_type: Optional[str]
+    entity: str
+
+    def __post_init__(self) -> None:
+        if not self.skill_id or not self.entity:
+            raise ValueError("skill_id and entity are required")
+
+
+def extract_datatype_flows(
+    plaintext_log: Iterable[PlaintextRecord],
+) -> List[DataFlow]:
+    """Extract data-type flows from the AVS Echo's plaintext tap.
+
+    The AVS Echo only communicates with Amazon (§3.2), so the entity side
+    of every tuple is the platform.
+    """
+    seen: Set[Tuple[str, str]] = set()
+    flows: List[DataFlow] = []
+    for record in plaintext_log:
+        body = record.payload.get("body", {})
+        if body.get("event") != "skill-data":
+            continue
+        skill_id = body.get("skill_id") or record.skill_id
+        if not skill_id:
+            continue
+        for data_type in body.get("data", {}):
+            key = (skill_id, data_type)
+            if key in seen:
+                continue
+            seen.add(key)
+            flows.append(
+                DataFlow(
+                    skill_id=skill_id,
+                    data_type=data_type,
+                    entity="Amazon Technologies, Inc.",
+                )
+            )
+    return flows
+
+
+def extract_endpoint_flows(
+    captures: Dict[str, CaptureSession],
+    resolver: OrgResolver,
+) -> List[DataFlow]:
+    """Extract per-skill endpoint organizations from encrypted captures.
+
+    ``captures`` maps skill id → the capture bracketing that skill's
+    session.  Organizations are attributed via observed DNS answers and
+    SNI through the auditor's entity database (§3.2).
+    """
+    flows: List[DataFlow] = []
+    for skill_id, capture in captures.items():
+        dns_table = capture.dns_table()
+        orgs: Set[str] = set()
+        for flow in capture.flows():
+            if flow.key[3] == "dns":
+                continue
+            attribution = resolver.attribute_ip(
+                flow.remote_ip, dns_table, sni=flow.sni
+            )
+            if attribution.resolved:
+                orgs.add(attribution.organization)
+        for org in sorted(orgs):
+            flows.append(DataFlow(skill_id=skill_id, data_type=None, entity=org))
+    return flows

@@ -1,0 +1,190 @@
+"""Data and entity ontologies for the PoliCheck-style analyzer.
+
+Following PoliCheck [53] and its OVRseen/voice-assistant adaptations
+[84], [71], the ontologies map policy-text terms to either an *exact*
+data type / entity (supporting a **clear** disclosure) or to a broader
+category subsuming it (supporting a **vague** disclosure).  The data
+ontology was rebuilt for voice assistants — notably adding *voice
+recording* — per §7.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.data import datatypes as dt
+
+__all__ = [
+    "TermMatch",
+    "DataOntology",
+    "EntityOntology",
+    "default_data_ontology",
+    "default_entity_ontology",
+]
+
+
+@dataclass(frozen=True)
+class TermMatch:
+    """A policy term matched to an ontology node."""
+
+    term: str
+    target: str  # data type or entity name
+    specificity: str  # "exact" | "broad"
+
+
+class DataOntology:
+    """Term → data-type mapping with exact/broad specificity."""
+
+    def __init__(
+        self,
+        exact_terms: Mapping[str, str],
+        broad_terms: Mapping[str, Tuple[str, ...]],
+    ) -> None:
+        self._exact = {term.lower(): target for term, target in exact_terms.items()}
+        self._broad = {
+            term.lower(): tuple(targets) for term, targets in broad_terms.items()
+        }
+
+    def matches(self, text: str) -> List[TermMatch]:
+        """All ontology terms appearing in ``text`` (case-insensitive)."""
+        lowered = text.lower()
+        found: List[TermMatch] = []
+        for term, target in self._exact.items():
+            if term in lowered:
+                found.append(TermMatch(term=term, target=target, specificity="exact"))
+        for term, targets in self._broad.items():
+            if term in lowered:
+                for target in targets:
+                    found.append(
+                        TermMatch(term=term, target=target, specificity="broad")
+                    )
+        return found
+
+    @property
+    def exact_terms(self) -> Dict[str, str]:
+        return dict(self._exact)
+
+    @property
+    def broad_terms(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self._broad)
+
+
+class EntityOntology:
+    """Term → organization mapping with exact/broad specificity."""
+
+    def __init__(
+        self,
+        org_aliases: Mapping[str, Tuple[str, ...]],
+        category_terms: Mapping[str, Tuple[str, ...]],
+    ) -> None:
+        #: org name -> aliases found in policy text
+        self._aliases = {
+            org: tuple(a.lower() for a in aliases)
+            for org, aliases in org_aliases.items()
+        }
+        #: broad term -> org categories it covers
+        self._categories = {
+            term.lower(): tuple(cats) for term, cats in category_terms.items()
+        }
+
+    def exact_match(self, text: str, org: str) -> Optional[str]:
+        """The alias naming ``org`` in ``text``, if present."""
+        lowered = text.lower()
+        for alias in self._aliases.get(org, ()):
+            if alias in lowered:
+                return alias
+        return None
+
+    def broad_match(self, text: str, org_categories: Tuple[str, ...]) -> Optional[str]:
+        """A category/blanket term in ``text`` covering an org with the
+        given ontology categories."""
+        lowered = text.lower()
+        for term, covered in self._categories.items():
+            if term not in lowered:
+                continue
+            if "any" in covered or any(c in covered for c in org_categories):
+                return term
+        return None
+
+    def add_org(self, org: str, aliases: Tuple[str, ...]) -> None:
+        self._aliases[org] = tuple(a.lower() for a in aliases)
+
+    @property
+    def known_orgs(self) -> List[str]:
+        return sorted(self._aliases)
+
+
+def default_data_ontology() -> DataOntology:
+    """The rebuilt voice-assistant data ontology (§7.2.2)."""
+    exact_terms = {
+        # voice inputs
+        "voice recording": dt.VOICE_RECORDING,
+        "audio recording": dt.VOICE_RECORDING,
+        "voice command": dt.VOICE_RECORDING,
+        # persistent identifiers
+        "customer id": dt.CUSTOMER_ID,
+        "unique identifier": dt.CUSTOMER_ID,
+        "anonymized id": dt.CUSTOMER_ID,
+        "uuid": dt.CUSTOMER_ID,
+        "skill id": dt.SKILL_ID,
+        "application identifier": dt.SKILL_ID,
+        "cookie": dt.SKILL_ID,
+        # preferences
+        "language setting": dt.LANGUAGE,
+        "regional and language settings": dt.LANGUAGE,
+        "time zone": dt.TIMEZONE,
+        "time zone setting": dt.TIMEZONE,
+        "settings preferences": dt.OTHER_PREFERENCES,
+        "app settings": dt.OTHER_PREFERENCES,
+        # device events
+        "audio player events": dt.AUDIO_PLAYER_EVENTS,
+        "playback events": dt.AUDIO_PLAYER_EVENTS,
+        "device metrics": dt.AUDIO_PLAYER_EVENTS,
+    }
+    broad_terms = {
+        "sensory information": (dt.VOICE_RECORDING,),
+        "recordings of your interactions": (dt.VOICE_RECORDING,),
+        "identifiers": (dt.CUSTOMER_ID,),
+        "application data": (dt.SKILL_ID,),
+        "usage data": (dt.AUDIO_PLAYER_EVENTS,),
+        "interaction data": (dt.AUDIO_PLAYER_EVENTS,),
+        "device information": (dt.LANGUAGE, dt.TIMEZONE),
+        "configuration settings": (dt.OTHER_PREFERENCES,),
+        "amazon services metrics": (dt.AUDIO_PLAYER_EVENTS,),
+    }
+    return DataOntology(exact_terms, broad_terms)
+
+
+def default_entity_ontology() -> EntityOntology:
+    """Entity ontology covering the 13 observed endpoint orgs (§7.2.1)."""
+    org_aliases = {
+        "Amazon Technologies, Inc.": ("amazon", "alexa"),
+        "Chartable Holding Inc": ("chartable",),
+        "DataCamp Limited": ("datacamp", "cdn77"),
+        "Dilli Labs LLC": ("dilli labs",),
+        "Garmin International": ("garmin",),
+        "Liberated Syndication": ("liberated syndication", "libsyn"),
+        "National Public Radio, Inc.": ("national public radio", "npr"),
+        "Philips International B.V.": ("philips",),
+        "Podtrac Inc": ("podtrac",),
+        "Spotify AB": ("spotify", "megaphone"),
+        "Triton Digital, Inc.": ("triton digital", "streamtheworld"),
+        "Voice Apps LLC": ("voice apps",),
+        "Life Covenant Church, Inc.": ("life covenant", "youversion"),
+    }
+    category_terms = {
+        "third party": ("any",),
+        "third parties": ("any",),
+        "third-parties": ("any",),
+        "external service providers": ("any",),
+        "service providers": ("any",),
+        "analytics tool": ("analytic provider",),
+        "analytics providers": ("analytic provider",),
+        "advertising networks": ("advertising network",),
+        "advertising partners": ("advertising network",),
+        "content delivery partners": ("content provider",),
+        "voice partner": ("voice assistant service", "platform provider"),
+        "platform provider": ("platform provider",),
+    }
+    return EntityOntology(org_aliases, category_terms)

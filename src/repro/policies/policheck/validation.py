@@ -1,0 +1,111 @@
+"""PoliCheck validation study (§7.2.3).
+
+Visually-inspect-and-compare, simulated: a human coder labels the flows
+of 100 policy-bearing skills (the coder reads the generated policy, so
+their labels equal the generation ground truth, up to a small
+disagreement rate), and PoliCheck's predictions are scored against those
+labels with multi-class micro/macro precision, recall, and F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.policies.corpus import PolicyCorpus
+from repro.policies.policheck.analyzer import Disclosure
+from repro.util.rng import Seed
+
+__all__ = ["ValidationReport", "human_code_flows", "score_multiclass", "CODER_NOISE_RATE"]
+
+#: Human coders occasionally read a disclosure *into* text the term
+#: matcher cannot see (they resolve pronouns, world knowledge, catch-all
+#: clauses), or promote a vague phrase to a clear one.  This inflates
+#: analyzer false negatives — which is why the paper's macro precision
+#: (93.96%) exceeds its macro recall (77.85%).
+CODER_NOISE_RATE = 0.13
+
+#: Directed coder disagreements: coder's label given the written truth.
+_CODER_DRIFT = {"omitted": "vague", "vague": "clear", "clear": "vague"}
+
+_CLASSES = ("clear", "vague", "omitted")
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Micro/macro multi-class scores of PoliCheck vs the human coder."""
+
+    n_flows: int
+    micro_precision: float
+    micro_recall: float
+    micro_f1: float
+    macro_precision: float
+    macro_recall: float
+    macro_f1: float
+    confusion: Dict[Tuple[str, str], int]  # (truth, predicted) -> count
+
+
+def human_code_flows(
+    disclosures: Sequence[Disclosure],
+    corpus: PolicyCorpus,
+    seed: Seed,
+) -> List[str]:
+    """The human coder's label for each flow (same order as input)."""
+    rng = seed.rng("validation", "coder")
+    labels: List[str] = []
+    for disclosure in disclosures:
+        document = corpus.get(disclosure.flow.skill_id)
+        if document is None:
+            labels.append("no policy")
+            continue
+        if disclosure.flow.data_type is not None:
+            truth = document.truth_datatypes.get(disclosure.flow.data_type, "omitted")
+        else:
+            truth = document.truth_endpoints.get(disclosure.flow.entity, "omitted")
+        if rng.random() < CODER_NOISE_RATE:
+            truth = _CODER_DRIFT[truth]
+        labels.append(truth)
+    return labels
+
+
+def score_multiclass(
+    truth: Sequence[str], predicted: Sequence[str]
+) -> ValidationReport:
+    """Micro/macro-averaged multi-class P/R/F1 over the three disclosure
+    classes, following the methodology of [84]."""
+    if len(truth) != len(predicted):
+        raise ValueError("truth and predicted must align")
+    pairs = [
+        (t, p) for t, p in zip(truth, predicted) if t != "no policy" and p != "no policy"
+    ]
+    confusion: Dict[Tuple[str, str], int] = {}
+    for t, p in pairs:
+        confusion[(t, p)] = confusion.get((t, p), 0) + 1
+
+    def precision_recall(klass: str) -> Tuple[float, float]:
+        tp = confusion.get((klass, klass), 0)
+        fp = sum(c for (t, p), c in confusion.items() if p == klass and t != klass)
+        fn = sum(c for (t, p), c in confusion.items() if t == klass and p != klass)
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        return precision, recall
+
+    per_class = {klass: precision_recall(klass) for klass in _CLASSES}
+    macro_p = sum(p for p, _ in per_class.values()) / len(_CLASSES)
+    macro_r = sum(r for _, r in per_class.values()) / len(_CLASSES)
+    macro_f1 = (
+        2 * macro_p * macro_r / (macro_p + macro_r) if macro_p + macro_r else 0.0
+    )
+    correct = sum(confusion.get((k, k), 0) for k in _CLASSES)
+    total = len(pairs)
+    micro = correct / total if total else 1.0
+    return ValidationReport(
+        n_flows=total,
+        micro_precision=micro,
+        micro_recall=micro,
+        micro_f1=micro,
+        macro_precision=macro_p,
+        macro_recall=macro_r,
+        macro_f1=macro_f1,
+        confusion=confusion,
+    )

@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG derivation, simulated clock, identifiers.
+
+Everything in :mod:`repro` is deterministic given a root seed.  Components
+never call :func:`random.random` or read the wall clock; instead they derive
+named substreams from a :class:`~repro.util.rng.Seed` and read time from a
+:class:`~repro.util.clock.SimClock`.
+"""
+
+from repro.util.clock import SimClock
+from repro.util.ids import IdFactory, stable_hash
+from repro.util.rng import Seed
+
+__all__ = ["Seed", "SimClock", "IdFactory", "stable_hash"]

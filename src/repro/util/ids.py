@@ -1,0 +1,44 @@
+"""Stable identifier generation.
+
+Simulated entities (accounts, devices, cookies, ad creatives) need unique,
+reproducible identifiers.  ``IdFactory`` hands out per-namespace sequential
+ids; ``stable_hash`` produces content-addressed tokens (e.g. cookie values)
+that are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Dict
+
+__all__ = ["IdFactory", "stable_hash"]
+
+
+def stable_hash(*parts: object, length: int = 16) -> str:
+    """Hex token derived from ``parts``, stable across processes.
+
+    Used for things like simulated cookie values and ad-creative ids where
+    we want opaque-looking but reproducible tokens.
+    """
+    if length < 1 or length > 64:
+        raise ValueError(f"length must be in [1, 64], got {length}")
+    material = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:length]
+
+
+class IdFactory:
+    """Per-namespace monotonically increasing ids, e.g. ``pkt-000042``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def next(self, namespace: str) -> str:
+        """Return the next id in ``namespace``."""
+        value = self._counters[namespace]
+        self._counters[namespace] = value + 1
+        return f"{namespace}-{value:06d}"
+
+    def count(self, namespace: str) -> int:
+        """How many ids have been issued in ``namespace``."""
+        return self._counters[namespace]

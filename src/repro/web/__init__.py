@@ -1,0 +1,30 @@
+"""Web measurement substrate: browsers, profiles, and the OpenWPM-style
+crawler used for bid/ad collection and cookie-sync observation."""
+
+from repro.web.browser import (
+    Browser,
+    BrowserProfile,
+    CookieJar,
+    LoggedRequest,
+    WebUniverse,
+)
+from repro.web.openwpm import (
+    AdRecord,
+    BidRecord,
+    CrawlResult,
+    OpenWPMCrawler,
+    discover_prebid_sites,
+)
+
+__all__ = [
+    "AdRecord",
+    "BidRecord",
+    "Browser",
+    "BrowserProfile",
+    "CookieJar",
+    "CrawlResult",
+    "LoggedRequest",
+    "OpenWPMCrawler",
+    "WebUniverse",
+    "discover_prebid_sites",
+]

@@ -1,0 +1,154 @@
+"""Browser profiles, cookie jars, and the client-side web universe.
+
+Each persona gets a *fresh* browser profile (§3.1) that is logged into
+the persona's Amazon account — the cross-device link that lets Echo
+interactions influence web ads.  The browser records every request and
+response like OpenWPM's instrumentation does; cookie-sync detection and
+bid collection both work from that log.
+
+Browsers do not transit the home router (they ran on lab machines in the
+paper); the web universe is its own dispatch table of domain handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.alexa.account import AmazonAccount
+from repro.netsim.endpoints import registrable_domain
+from repro.netsim.http import HttpRequest, HttpResponse
+from repro.util.clock import SimClock
+from repro.util.ids import stable_hash
+
+__all__ = ["CookieJar", "BrowserProfile", "Browser", "WebUniverse", "LoggedRequest"]
+
+WebHandler = Callable[[HttpRequest], HttpResponse]
+
+#: Redirect-chain depth guard (cookie-sync chains are short in practice).
+MAX_REDIRECTS = 10
+
+
+class CookieJar:
+    """Per-registrable-domain cookie store."""
+
+    def __init__(self) -> None:
+        self._cookies: Dict[str, Dict[str, str]] = {}
+
+    def set(self, domain: str, name: str, value: str) -> None:
+        base = registrable_domain(domain)
+        self._cookies.setdefault(base, {})[name] = value
+
+    def get(self, domain: str) -> Dict[str, str]:
+        """Cookies sent to ``domain`` (same registrable domain only)."""
+        return dict(self._cookies.get(registrable_domain(domain), {}))
+
+    def domains(self) -> List[str]:
+        return sorted(self._cookies)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._cookies.values())
+
+
+@dataclass
+class BrowserProfile:
+    """A fresh browser profile bound to one persona."""
+
+    profile_id: str
+    persona: str
+    jar: CookieJar = field(default_factory=CookieJar)
+    account: Optional[AmazonAccount] = None
+
+    def login_amazon(self, account: AmazonAccount) -> None:
+        """Log into Amazon + the Alexa companion app (§3.1.1 step 9)."""
+        self.account = account
+        for name, value in account.amazon_cookies.items():
+            self.jar.set("amazon.com", name, value)
+            self.jar.set("amazon-adsystem.com", name, value)
+
+
+@dataclass(frozen=True)
+class LoggedRequest:
+    """One entry in the OpenWPM-style request log."""
+
+    timestamp: float
+    url: str
+    method: str
+    cookies_sent: Mapping[str, str]
+    status: int
+    set_cookies: Mapping[str, str]
+    redirect_to: Optional[str]
+    #: First URL of the redirect chain this request belongs to.
+    chain_root: str
+
+
+class WebUniverse:
+    """Dispatch table for the browser-visible Internet."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, WebHandler] = {}
+
+    def register(self, domain: str, handler: WebHandler) -> None:
+        self._handlers[domain] = handler
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        handler = self._handlers.get(request.host)
+        if handler is None:
+            return HttpResponse(status=404, body={"error": f"no site at {request.host}"})
+        return handler(request)
+
+    def __contains__(self, domain: object) -> bool:
+        return domain in self._handlers
+
+
+class Browser:
+    """A cookie-aware, redirect-following, request-logging browser."""
+
+    def __init__(self, profile: BrowserProfile, universe: WebUniverse, clock: SimClock) -> None:
+        self.profile = profile
+        self.universe = universe
+        self.clock = clock
+        self.request_log: List[LoggedRequest] = []
+
+    def get(self, url: str) -> HttpResponse:
+        """GET a URL, following redirects and recording every hop."""
+        return self._fetch(url, chain_root=url, depth=0)
+
+    def _fetch(self, url: str, chain_root: str, depth: int) -> HttpResponse:
+        if depth > MAX_REDIRECTS:
+            raise RuntimeError(f"redirect loop fetching {chain_root}")
+        request = HttpRequest("GET", url, cookies=self._cookies_for(url))
+        response = self.universe.handle(request)
+        for name, value in response.set_cookies.items():
+            self.profile.jar.set(request.host, name, value)
+        self.request_log.append(
+            LoggedRequest(
+                timestamp=self.clock.now,
+                url=url,
+                method="GET",
+                cookies_sent=request.cookies,
+                status=response.status,
+                set_cookies=response.set_cookies,
+                redirect_to=response.redirect_url,
+                chain_root=chain_root,
+            )
+        )
+        self.clock.advance(0.02)
+        if response.redirect_url is not None:
+            return self._fetch(response.redirect_url, chain_root, depth + 1)
+        return response
+
+    def _cookies_for(self, url: str) -> Dict[str, str]:
+        host = HttpRequest("GET", url).host
+        cookies = self.profile.jar.get(host)
+        if not cookies:
+            # First visit to this party: mint its first-party cookie, the
+            # identifier ad services use for syncing.
+            cookies = {}
+            self.profile.jar.set(
+                host,
+                "uid",
+                stable_hash("uid", self.profile.profile_id, registrable_domain(host)),
+            )
+            cookies = self.profile.jar.get(host)
+        return cookies

@@ -1,0 +1,38 @@
+"""Shared fixtures: seeded worlds and cached experiment datasets.
+
+The ``small_dataset`` fixture runs a scaled-down but complete campaign
+once per session; unit tests that only need isolated components build
+their own fixtures locally.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.world import build_world
+from repro.util.rng import Seed
+
+SMALL_CONFIG = ExperimentConfig(
+    skills_per_persona=6,
+    pre_iterations=2,
+    post_iterations=4,
+    crawl_sites=6,
+    prebid_discovery_target=40,
+    audio_hours=2.0,
+)
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return Seed(42)
+
+
+@pytest.fixture(scope="session")
+def world(seed):
+    """A fresh fully-built world (no experiment run on it)."""
+    return build_world(seed)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A complete but scaled-down audit campaign."""
+    return run_experiment(Seed(7), SMALL_CONFIG)

@@ -1,0 +1,105 @@
+"""Integration tests for auditing user-defined skills (custom catalogs)."""
+
+import pytest
+
+from repro.alexa import AVSEcho, AmazonAccount, EchoDevice
+from repro.core.world import build_world
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import PolicySpec, SkillCatalog, SkillSpec
+from repro.policies.corpus import build_corpus
+from repro.policies.policheck.analyzer import PolicheckAnalyzer
+from repro.policies.policheck.extraction import extract_datatype_flows
+from repro.util.rng import Seed
+
+
+def make_custom_skill(**overrides) -> SkillSpec:
+    defaults = dict(
+        skill_id="skill-custom-test",
+        name="Custom Test Skill",
+        category=cat.HEALTH,
+        vendor="Test Vendor",
+        review_count=10,
+        invocation_name="custom test skill",
+        sample_utterances=("open custom test skill",),
+        amazon_endpoints=("avs-alexa-16-na.amazon.com", "api.amazonalexa.com"),
+        other_endpoints=("cdn.megaphone.fm",),
+        data_types=(dt.VOICE_RECORDING, dt.CUSTOMER_ID),
+    )
+    defaults.update(overrides)
+    return SkillSpec(**defaults)
+
+
+@pytest.fixture
+def custom_world():
+    seed = Seed(55)
+    skill = make_custom_skill()
+    catalog = SkillCatalog([skill])
+    world = build_world(seed, catalog=catalog)
+    return world, skill
+
+
+class TestCustomCatalog:
+    def test_world_accepts_custom_catalog(self, custom_world):
+        world, skill = custom_world
+        assert world.catalog.by_id(skill.skill_id) is skill
+        assert len(world.catalog) == 1
+
+    def test_custom_skill_runs_end_to_end(self, custom_world):
+        world, skill = custom_world
+        account = AmazonAccount(email="c@example.com", persona="c")
+        device = EchoDevice("echo-c", account, world.router, world.cloud, world.seed)
+        world.marketplace.install(account, skill.skill_id)
+        capture = world.router.start_capture("c", device_filter="echo-c")
+        replies = device.run_skill_session(skill)
+        world.router.stop_capture(capture)
+        assert any(r is not None for r in replies)
+        hosts = {p.sni for p in capture if p.sni}
+        assert "cdn.megaphone.fm" in hosts
+
+    def test_custom_skill_data_flows_extracted(self, custom_world):
+        world, skill = custom_world
+        account = AmazonAccount(email="a@example.com", persona="a")
+        avs = AVSEcho("avs-c", account, world.router, world.cloud, world.seed)
+        world.marketplace.install(account, skill.skill_id)
+        avs.run_skill_session(skill)
+        flows = extract_datatype_flows(avs.plaintext_log)
+        observed = {f.data_type for f in flows if f.skill_id == skill.skill_id}
+        assert observed == {dt.VOICE_RECORDING, dt.CUSTOMER_ID}
+
+    def test_custom_skill_policy_analyzed(self):
+        seed = Seed(56)
+        skill = make_custom_skill(
+            policy=PolicySpec(
+                has_link=True,
+                downloadable=True,
+                datatype_disclosures={dt.VOICE_RECORDING: "clear"},
+            )
+        )
+        catalog = SkillCatalog([skill])
+        corpus = build_corpus(catalog, seed)
+        analyzer = PolicheckAnalyzer(corpus)
+        from repro.policies.policheck.extraction import DataFlow
+
+        voice = analyzer.classify_datatype_flow(
+            DataFlow(skill.skill_id, dt.VOICE_RECORDING, "Amazon Technologies, Inc.")
+        )
+        customer = analyzer.classify_datatype_flow(
+            DataFlow(skill.skill_id, dt.CUSTOMER_ID, "Amazon Technologies, Inc.")
+        )
+        # A noiseless-by-luck clear may degrade to omitted under phrasing
+        # noise; either way the undisclosed customer id stays omitted.
+        assert voice.classification in {"clear", "omitted"}
+        assert customer.classification == "omitted"
+
+    def test_endpoint_outside_domain_catalog_degrades(self):
+        """A custom skill pointing at an unknown domain fails to fetch but
+        keeps working (the device swallows dead endpoints)."""
+        seed = Seed(57)
+        skill = make_custom_skill(other_endpoints=("api.unknown-startup.io",))
+        world = build_world(seed, catalog=SkillCatalog([skill]))
+        account = AmazonAccount(email="u@example.com", persona="u")
+        device = EchoDevice("echo-u", account, world.router, world.cloud, seed)
+        world.marketplace.install(account, skill.skill_id)
+        replies = device.run_skill_session(skill)
+        assert any(r is not None for r in replies)

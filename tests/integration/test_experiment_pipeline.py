@@ -1,0 +1,140 @@
+"""End-to-end integration tests over the scaled-down campaign."""
+
+import pytest
+
+from repro.core.bids import common_slots, significance_vs_vanilla
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.data import categories as cat
+from repro.util.rng import Seed
+
+
+class TestDatasetCompleteness:
+    def test_thirteen_personas(self, small_dataset):
+        assert len(small_dataset.personas) == 13
+
+    def test_interest_personas_have_captures(self, small_dataset):
+        for artifacts in small_dataset.interest_personas:
+            assert artifacts.skill_captures
+            for capture in artifacts.skill_captures.values():
+                assert not capture.active  # stopped
+
+    def test_vanilla_has_no_skill_captures(self, small_dataset):
+        assert small_dataset.vanilla.skill_captures == {}
+
+    def test_web_personas_have_no_echo_artifacts(self, small_dataset):
+        for artifacts in small_dataset.personas.values():
+            if artifacts.persona.kind == "web":
+                assert artifacts.account is None
+                assert artifacts.dsar_exports == []
+                assert artifacts.avs_plaintext == []
+
+    def test_every_echo_persona_has_bids_pre_and_post(self, small_dataset):
+        for artifacts in small_dataset.personas.values():
+            iterations = {b.iteration for b in artifacts.bids}
+            assert any(i < 0 for i in iterations)
+            assert any(i >= 0 for i in iterations)
+
+    def test_dsar_export_counts(self, small_dataset):
+        # 3 scheduled requests, +1 re-request where the file went missing.
+        for artifacts in small_dataset.personas.values():
+            if not artifacts.persona.uses_echo:
+                continue
+            assert len(artifacts.dsar_exports) in {3, 4}
+
+    def test_audio_sessions_only_for_audio_personas(self, small_dataset):
+        for artifacts in small_dataset.personas.values():
+            expected = artifacts.persona.name in {
+                cat.CONNECTED_CAR,
+                cat.FASHION,
+                cat.VANILLA,
+            }
+            assert bool(artifacts.audio_sessions) == expected
+
+    def test_policy_fetch_per_installed_skill(self, small_dataset):
+        expected = 9 * 6  # 9 interest personas x 6 skills in the small config
+        assert len(small_dataset.policy_fetches) == expected
+
+    def test_prebid_discovery_reached_target(self, small_dataset):
+        assert len(small_dataset.prebid_sites) == 40
+        assert all(s.supports_prebid for s in small_dataset.prebid_sites)
+
+
+class TestCrossPersonaIsolation:
+    def test_unique_device_ips(self, small_dataset):
+        router = small_dataset.world.router
+        ips = set(router._device_ips.values())
+        assert len(ips) == len(router._device_ips)
+
+    def test_captures_only_own_device(self, small_dataset):
+        for artifacts in small_dataset.interest_personas:
+            device_ids = {
+                p.device_id
+                for capture in artifacts.skill_captures.values()
+                for p in capture
+            }
+            assert len(device_ids) <= 1
+
+    def test_per_skill_attribution(self, small_dataset):
+        """Each capture observes the third-party endpoints of its own skill."""
+        catalog = small_dataset.world.catalog
+        for artifacts in small_dataset.interest_personas:
+            for skill_id, capture in artifacts.skill_captures.items():
+                spec = catalog.by_id(skill_id)
+                observed = {p.sni for p in capture if p.sni}
+                for domain in spec.other_endpoints:
+                    assert domain in observed
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = ExperimentConfig(
+            skills_per_persona=2,
+            pre_iterations=1,
+            post_iterations=1,
+            crawl_sites=2,
+            prebid_discovery_target=5,
+            audio_hours=0.5,
+        )
+        a = run_experiment(Seed(99), config)
+        b = run_experiment(Seed(99), config)
+        bids_a = [(r.slot_id, r.bidder, r.cpm) for r in a.vanilla.bids]
+        bids_b = [(r.slot_id, r.bidder, r.cpm) for r in b.vanilla.bids]
+        assert bids_a == bids_b
+        ads_a = [r.creative.creative_id for r in a.artifacts(cat.PETS).ads]
+        ads_b = [r.creative.creative_id for r in b.artifacts(cat.PETS).ads]
+        assert ads_a == ads_b
+
+    def test_different_seed_changes_bids(self):
+        config = ExperimentConfig(
+            skills_per_persona=2,
+            pre_iterations=1,
+            post_iterations=1,
+            crawl_sites=2,
+            prebid_discovery_target=5,
+            audio_hours=0.5,
+        )
+        a = run_experiment(Seed(99), config)
+        b = run_experiment(Seed(100), config)
+        assert [r.cpm for r in a.vanilla.bids] != [r.cpm for r in b.vanilla.bids]
+
+
+class TestStatisticalPipeline:
+    def test_significance_runs_on_small_data(self, small_dataset):
+        results = significance_vs_vanilla(small_dataset)
+        assert set(results) == set(cat.ALL_CATEGORIES)
+        for result in results.values():
+            assert 0.0 <= result.p_value <= 1.0
+            assert -1.0 <= result.effect_size <= 1.0
+
+    def test_common_slots_nonempty(self, small_dataset):
+        assert len(common_slots(small_dataset)) >= 3
+
+
+class TestConfigValidation:
+    def test_bad_skill_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(skills_per_persona=0)
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(post_iterations=0)

@@ -1,0 +1,79 @@
+"""Integration tests for experiment configuration variants."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.profiling import analyze_profiling
+from repro.data import categories as cat
+from repro.util.rng import Seed
+
+TINY = dict(
+    skills_per_persona=3,
+    pre_iterations=1,
+    post_iterations=2,
+    crawl_sites=3,
+    prebid_discovery_target=10,
+    audio_hours=0.5,
+)
+
+
+class TestConfigVariants:
+    def test_without_avs_echo(self):
+        dataset = run_experiment(
+            Seed(31), ExperimentConfig(run_avs_echo=False, **TINY)
+        )
+        for artifacts in dataset.interest_personas:
+            assert artifacts.avs_plaintext == []
+            assert artifacts.skill_captures  # Echo captures unaffected
+
+    def test_without_second_wave(self):
+        dataset = run_experiment(
+            Seed(31), ExperimentConfig(second_interaction_wave=False, **TINY)
+        )
+        for artifacts in dataset.personas.values():
+            if artifacts.persona.uses_echo:
+                assert len(artifacts.dsar_exports) == 2  # install + wave 1
+        profiling = analyze_profiling(dataset)
+        # No interaction-2 observations exist without the second wave.
+        assert all(
+            obs.request_label != "interaction-2" for obs in profiling.observations
+        )
+
+    def test_custom_audio_personas(self):
+        dataset = run_experiment(
+            Seed(31),
+            ExperimentConfig(audio_personas=(cat.VANILLA,), **TINY),
+        )
+        assert dataset.artifacts(cat.VANILLA).audio_sessions
+        assert not dataset.artifacts(cat.FASHION).audio_sessions
+
+    def test_fewer_skills_fewer_captures(self):
+        dataset = run_experiment(Seed(31), ExperimentConfig(**TINY))
+        for artifacts in dataset.interest_personas:
+            assert len(artifacts.skill_captures) <= 3
+
+    def test_pre_iterations_zero(self):
+        config = ExperimentConfig(**{**TINY, "pre_iterations": 0})
+        dataset = run_experiment(Seed(31), config)
+        for artifacts in dataset.personas.values():
+            assert all(b.iteration >= 0 for b in artifacts.bids)
+
+
+class TestClockSchedule:
+    def test_campaign_spans_december_to_january(self):
+        dataset = run_experiment(Seed(32), ExperimentConfig(**TINY))
+        # The campaign starts Dec 10 2021 and post crawls run into January.
+        final = dataset.world.clock.datetime()
+        assert final.year == 2021 and final.month == 12 or final.year == 2022
+
+    def test_pre_bids_carry_holiday_premium(self):
+        config = ExperimentConfig(
+            **{**TINY, "pre_iterations": 3, "post_iterations": 6}
+        )
+        dataset = run_experiment(Seed(33), config)
+        vanilla = dataset.vanilla
+        import statistics
+
+        pre = [b.cpm for b in vanilla.bids if b.iteration < 0]
+        post = [b.cpm for b in vanilla.bids if b.iteration >= 2]
+        assert statistics.median(pre) > statistics.median(post)

@@ -1,0 +1,99 @@
+"""Integration tests for the PoliCheck flow-extraction + analysis pipeline."""
+
+import pytest
+
+from repro.core.compliance import (
+    analyze_compliance,
+    policy_availability,
+    run_validation_study,
+)
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.policies.policheck.extraction import (
+    extract_datatype_flows,
+    extract_endpoint_flows,
+)
+from repro.util.rng import Seed
+
+AMAZON = "Amazon Technologies, Inc."
+
+
+class TestFlowExtraction:
+    def test_datatype_flows_only_target_amazon(self, small_dataset):
+        for artifacts in small_dataset.interest_personas:
+            flows = extract_datatype_flows(artifacts.avs_plaintext)
+            assert flows
+            assert all(f.entity == AMAZON for f in flows)
+
+    def test_datatype_flows_match_catalog_ground_truth(self, small_dataset):
+        catalog = small_dataset.world.catalog
+        artifacts = small_dataset.artifacts(cat.PETS)
+        flows = extract_datatype_flows(artifacts.avs_plaintext)
+        by_skill = {}
+        for flow in flows:
+            by_skill.setdefault(flow.skill_id, set()).add(flow.data_type)
+        for skill_id, observed in by_skill.items():
+            assert observed == set(catalog.by_id(skill_id).data_types)
+
+    def test_voice_recording_observed_for_every_skill(self, small_dataset):
+        artifacts = small_dataset.artifacts(cat.RELIGION)
+        flows = extract_datatype_flows(artifacts.avs_plaintext)
+        skills_with_voice = {
+            f.skill_id for f in flows if f.data_type == dt.VOICE_RECORDING
+        }
+        assert skills_with_voice == set(artifacts.skill_captures)
+
+    def test_endpoint_flows_resolve_organizations(self, small_dataset):
+        world = small_dataset.world
+        artifacts = small_dataset.artifacts(cat.CONNECTED_CAR)
+        flows = extract_endpoint_flows(artifacts.skill_captures, world.org_resolver())
+        orgs = {f.entity for f in flows}
+        assert AMAZON in orgs
+
+    def test_garmin_endpoint_flows_include_third_parties(self, small_dataset):
+        world = small_dataset.world
+        artifacts = small_dataset.artifacts(cat.CONNECTED_CAR)
+        garmin_id = world.catalog.by_name("Garmin").skill_id
+        if garmin_id not in artifacts.skill_captures:
+            pytest.skip("Garmin outside the scaled-down install set")
+        flows = extract_endpoint_flows(
+            {garmin_id: artifacts.skill_captures[garmin_id]}, world.org_resolver()
+        )
+        orgs = {f.entity for f in flows}
+        assert "Chartable Holding Inc" in orgs
+
+
+class TestCompliancePipeline:
+    @pytest.fixture(scope="class")
+    def compliance(self, small_dataset):
+        world = small_dataset.world
+        return analyze_compliance(
+            small_dataset, world.corpus, world.org_resolver(), world.org_categories()
+        )
+
+    def test_every_flow_classified(self, compliance):
+        for disclosure in compliance.datatype_disclosures:
+            assert disclosure.classification in {
+                "clear",
+                "vague",
+                "omitted",
+                "no policy",
+            }
+
+    def test_no_policy_iff_undownloadable(self, small_dataset, compliance):
+        corpus = small_dataset.world.corpus
+        for disclosure in compliance.datatype_disclosures:
+            has_doc = corpus.get(disclosure.flow.skill_id) is not None
+            assert (disclosure.classification == "no policy") == (not has_doc)
+
+    def test_validation_study_scores(self, small_dataset, compliance):
+        report = run_validation_study(
+            compliance, small_dataset.world.corpus, Seed(1), sample_size=30
+        )
+        assert 0.6 <= report.micro_f1 <= 1.0
+        assert report.n_flows > 0
+
+    def test_availability_matches_fetches(self, small_dataset):
+        pa = policy_availability(small_dataset)
+        assert pa.total_skills == len(small_dataset.policy_fetches)
+        assert pa.downloadable <= pa.with_link

@@ -1,0 +1,44 @@
+"""Seed-robustness of the headline statistical pattern (Table 7).
+
+The six personas the paper finds significant must be significant under
+*any* seed — that part of the result is an effect-size property, not a
+sampling accident.  The weak trio (Smart Home, Wine & Beverages, Health
+& Fitness) sits near the 0.05 boundary by construction (paper p-values
+0.075–0.149), so individual seeds may flip one or two of them; what must
+hold is that they are never *all* significant.
+
+Marked slow: each seed runs the full campaign (~20 s).
+"""
+
+import pytest
+
+from repro.core.bids import significance_vs_vanilla
+from repro.core.experiment import run_experiment
+from repro.data import categories as cat
+from repro.util.rng import Seed
+
+STRONG = {
+    cat.CONNECTED_CAR,
+    cat.DATING,
+    cat.FASHION,
+    cat.PETS,
+    cat.RELIGION,
+    cat.NAVIGATION,
+}
+WEAK = {cat.SMART_HOME, cat.WINE, cat.HEALTH}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed_root", [43, 44])
+def test_significance_pattern_robust_across_seeds(seed_root):
+    dataset = run_experiment(Seed(seed_root))
+    results = significance_vs_vanilla(dataset)
+    significant = {p for p, r in results.items() if r.significant}
+    assert STRONG <= significant
+    assert len(significant & WEAK) <= 2
+    # Effect-size ordering mostly holds: at n≈38 one weak persona can draw
+    # an outlier sample, but at least two of the three stay below the
+    # strong six's minimum.
+    strong_min = min(results[p].effect_size for p in STRONG)
+    below = sum(1 for p in WEAK if results[p].effect_size < strong_min)
+    assert below >= 2

@@ -1,0 +1,94 @@
+"""Property tests: corpus generation ↔ PoliCheck analyzer roundtrip.
+
+With the phrasing noise disabled, the analyzer must recover exactly the
+disclosure classes the policy was generated from, for every data type and
+every skill — the corpus and the ontology are duals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.policies.corpus as corpus_mod
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import build_catalog
+from repro.policies.corpus import build_corpus
+from repro.policies.policheck.analyzer import PolicheckAnalyzer
+from repro.policies.policheck.extraction import DataFlow
+from repro.util.rng import Seed
+
+AMAZON = "Amazon Technologies, Inc."
+
+
+@pytest.fixture(scope="module")
+def noiseless_corpus(monkeypatch_module):
+    monkeypatch_module.setattr(corpus_mod, "PHRASING_NOISE_RATE", 0.0)
+    catalog = build_catalog(Seed(42))
+    return catalog, build_corpus(catalog, Seed(42))
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    patcher = MonkeyPatch()
+    yield patcher
+    patcher.undo()
+
+
+class TestNoiselessRoundtrip:
+    def test_every_datatype_class_recovered(self, noiseless_corpus):
+        catalog, corpus = noiseless_corpus
+        analyzer = PolicheckAnalyzer(corpus)
+        mismatches = []
+        for doc in corpus:
+            spec = catalog.by_id(doc.skill_id)
+            for data_type in spec.data_types:
+                truth = doc.truth_datatypes.get(data_type, "omitted")
+                flow = DataFlow(doc.skill_id, data_type, AMAZON)
+                predicted = analyzer.classify_datatype_flow(flow).classification
+                if predicted != truth:
+                    mismatches.append((doc.skill_id, data_type, truth, predicted))
+        assert mismatches == []
+
+    def test_platform_disclosure_recovered(self, noiseless_corpus):
+        catalog, corpus = noiseless_corpus
+        categories = {
+            AMAZON: (
+                "analytic provider",
+                "advertising network",
+                "platform provider",
+                "voice assistant service",
+            )
+        }
+        analyzer = PolicheckAnalyzer(corpus, org_categories=categories)
+        for doc in corpus:
+            truth = doc.truth_endpoints[AMAZON]
+            flow = DataFlow(doc.skill_id, None, AMAZON)
+            predicted = analyzer.classify_endpoint_flow(flow).classification
+            assert predicted == truth, doc.skill_id
+
+
+class TestSeedSweep:
+    """The roundtrip + quota invariants hold for arbitrary seeds."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_catalog_quota_invariants(self, seed_root):
+        catalog = build_catalog(Seed(seed_root))
+        assert len(catalog) == 450
+        assert len(catalog.active_skills) == 446
+        assert (
+            sum(1 for s in catalog.active_skills if s.contacts_third_party) == 31
+        )
+        downloadable = sum(
+            1 for s in catalog if s.policy and s.policy.downloadable
+        )
+        assert downloadable == 188
+
+    @settings(max_examples=3, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_corpus_size_invariant(self, seed_root):
+        catalog = build_catalog(Seed(seed_root))
+        corpus = build_corpus(catalog, Seed(seed_root))
+        assert len(corpus) == 188

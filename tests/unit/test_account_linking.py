@@ -1,0 +1,76 @@
+"""Tests for the account-linking flow (§3.1.1's iRobot example)."""
+
+import pytest
+
+from repro.alexa import AlexaCloud, AmazonAccount, EchoDevice, Marketplace
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+@pytest.fixture
+def rig():
+    seed = Seed(29)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    account = AmazonAccount(email="link@example.com", persona="link")
+    device = EchoDevice("echo-link", account, router, cloud, seed)
+    return catalog, cloud, marketplace, account, device
+
+
+class TestAccountLinking:
+    def test_irobot_requires_linking(self, rig):
+        catalog, *_ = rig
+        assert catalog.by_name("iRobot Home").requires_account_linking
+
+    def test_install_without_linking_succeeds(self, rig):
+        catalog, cloud, marketplace, account, _ = rig
+        spec = catalog.by_name("iRobot Home")
+        receipt = marketplace.install(account, spec.skill_id)
+        assert receipt.installed
+        assert not receipt.account_linked
+
+    def test_unlinked_skill_asks_for_linking(self, rig):
+        catalog, cloud, marketplace, account, device = rig
+        spec = catalog.by_name("iRobot Home")
+        marketplace.install(account, spec.skill_id)
+        replies = [device.say(f"alexa, {u}") for u in spec.sample_utterances]
+        answered = [r for r in replies if r]
+        assert answered
+        assert any("link your account" in r for r in answered)
+
+    def test_linked_skill_works_normally(self, rig):
+        catalog, cloud, marketplace, account, device = rig
+        spec = catalog.by_name("iRobot Home")
+        receipt = marketplace.install(account, spec.skill_id, link_account=True)
+        assert receipt.account_linked
+        replies = [device.say(f"alexa, {u}") for u in spec.sample_utterances]
+        assert any(r and "link your account" not in r for r in replies if r)
+
+    def test_unlinked_skill_still_collects_data(self, rig):
+        """Amazon-mediated collection happens even without linking —
+        part of why Amazon has the best vantage point (§4.1)."""
+        catalog, cloud, marketplace, account, device = rig
+        spec = catalog.by_name("iRobot Home")
+        if not spec.data_types:
+            pytest.skip("seeded catalog assigned no data types to iRobot")
+        marketplace.install(account, spec.skill_id)
+        capture_host = "api.amazonalexa.com"
+        capture = cloud.router.start_capture("irobot", device_filter="echo-link")
+        for utterance in spec.sample_utterances:
+            device.say(f"alexa, {utterance}")
+        cloud.router.stop_capture(capture)
+        uploads = [p for p in capture if p.sni == capture_host]
+        assert uploads
+
+    def test_normal_skill_receipt_not_linked_flagged(self, rig):
+        catalog, cloud, marketplace, account, _ = rig
+        sonos = catalog.by_name("Sonos")
+        receipt = marketplace.install(account, sonos.skill_id)
+        assert receipt.installed
+        assert not receipt.account_linked  # no external account involved

@@ -1,0 +1,236 @@
+"""Tests for bidders, the exchange world, prebid sessions, and the ad server."""
+
+import datetime as dt
+import statistics
+
+import pytest
+
+from repro.adtech.ads import AdServer
+from repro.adtech.bidder import AuctionContext, Bidder
+from repro.adtech.exchange import BIDDERS_PER_SLOT, AdTechWorld
+from repro.adtech.prebid import PrebidSession, register_publisher, slot_id
+from repro.data import categories as cat
+from repro.data.calibration import N_NON_PARTNERS, N_PARTNERS, bid_params
+from repro.data.websites import WebsiteSpec
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+from repro.web.browser import Browser, BrowserProfile, WebUniverse
+
+UTC = dt.timezone.utc
+JAN = dt.datetime(2022, 1, 10, tzinfo=UTC)  # outside the holiday window
+DEC_PEAK = dt.datetime(2021, 12, 21, tzinfo=UTC)
+
+
+def make_context(persona, interacted=True, when=JAN, iteration=0, slot="s1"):
+    return AuctionContext(
+        persona=persona, interacted=interacted, when=when, slot_id=slot, iteration=iteration
+    )
+
+
+def sample_bids(bidder, persona, n=400, **kwargs):
+    return [
+        bidder.compute_bid(make_context(persona, iteration=i, **kwargs))
+        for i in range(n)
+    ]
+
+
+class TestBidder:
+    @pytest.fixture
+    def partner(self):
+        return Bidder("dsp00", "ib.dsp00.x.com", is_partner=True, seed=Seed(3))
+
+    @pytest.fixture
+    def non_partner(self):
+        return Bidder("ndsp00", "ib.ndsp00.x.com", is_partner=False, seed=Seed(3))
+
+    def test_deterministic_per_context(self, partner):
+        a = partner.compute_bid(make_context(cat.FASHION))
+        b = partner.compute_bid(make_context(cat.FASHION))
+        assert a == b
+
+    def test_varies_across_iterations(self, partner):
+        bids = sample_bids(partner, cat.FASHION, n=10)
+        assert len(set(bids)) > 1
+
+    def test_interest_uplift_after_interaction(self, partner):
+        interest = sample_bids(partner, cat.NAVIGATION, interacted=True)
+        baseline = sample_bids(partner, cat.NAVIGATION, interacted=False)
+        assert statistics.median(interest) > 2 * statistics.median(baseline)
+
+    def test_vanilla_never_uplifted(self, partner):
+        bids = sample_bids(partner, cat.VANILLA, interacted=True)
+        expected = bid_params(cat.VANILLA).median
+        assert statistics.median(bids) == pytest.approx(expected, rel=0.4)
+
+    def test_non_partner_weaker_signal(self, partner, non_partner):
+        p = sample_bids(partner, cat.PETS)
+        np_ = sample_bids(non_partner, cat.PETS)
+        assert statistics.median(p) > statistics.median(np_)
+
+    def test_holiday_multiplier(self, partner):
+        january = sample_bids(partner, cat.VANILLA, when=JAN)
+        december = sample_bids(partner, cat.VANILLA, when=DEC_PEAK)
+        ratio = statistics.median(december) / statistics.median(january)
+        assert 2.5 < ratio < 4.5
+
+    def test_web_persona_signal_not_partner_gated(self, partner, non_partner):
+        p = statistics.median(sample_bids(partner, cat.WEB_HEALTH))
+        np_ = statistics.median(sample_bids(non_partner, cat.WEB_HEALTH))
+        # Web tracking reaches both groups: medians within 2x.
+        assert 0.5 < p / np_ < 2.0
+
+
+@pytest.fixture
+def web_rig():
+    seed = Seed(21)
+    universe = WebUniverse()
+    adtech = AdTechWorld(seed, universe)
+    clock = SimClock()
+    profile = BrowserProfile("prof-x", cat.FASHION)
+    adtech.register_profile(profile)
+    browser = Browser(profile, universe, clock)
+    site = WebsiteSpec(
+        domain="pub.example.com",
+        rank=1,
+        supports_prebid=True,
+        prebid_version="6.18.0",
+        ad_slots=3,
+    )
+    register_publisher(site, universe)
+    return seed, universe, adtech, browser, site
+
+
+class TestAdTechWorld:
+    def test_population_counts(self, web_rig):
+        _, _, adtech, *_ = web_rig
+        partners = [b for b in adtech.bidders if b.is_partner]
+        assert len(partners) == N_PARTNERS
+        assert len(adtech.bidders) == N_PARTNERS + N_NON_PARTNERS
+
+    def test_downstream_coverage(self, web_rig):
+        _, _, adtech, *_ = web_rig
+        assert len(adtech.downstream_domains) == 247
+        covered = set()
+        for domains in adtech._downstream_by_partner.values():
+            covered.update(domains)
+        assert covered == set(adtech.downstream_domains)
+
+    def test_bidders_for_slot_stable(self, web_rig):
+        _, _, adtech, *_ = web_rig
+        a = adtech.bidders_for_slot("slot-a")
+        b = adtech.bidders_for_slot("slot-a")
+        assert [x.code for x in a] == [x.code for x in b]
+        assert len(a) == BIDDERS_PER_SLOT
+
+    def test_slot_loading_stable_per_persona(self, web_rig):
+        _, _, adtech, *_ = web_rig
+        results = {adtech.slot_loads("s-1", "p") for _ in range(5)}
+        assert len(results) == 1
+
+    def test_interacted_flag_roundtrip(self, web_rig):
+        _, _, adtech, *_ = web_rig
+        assert not adtech.is_interacted("prof-x")
+        adtech.set_interacted("prof-x", True)
+        assert adtech.is_interacted("prof-x")
+
+
+class TestPrebidSession:
+    def test_version_probe(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        assert session.version() == "6.18.0"
+
+    def test_no_prebid_site_probes_none(self, web_rig):
+        _, universe, adtech, browser, _ = web_rig
+        plain = WebsiteSpec(
+            domain="plain.example.com",
+            rank=2,
+            supports_prebid=False,
+            prebid_version="",
+            ad_slots=0,
+        )
+        register_publisher(plain, universe)
+        session = PrebidSession(plain, browser, adtech, iteration=0)
+        assert session.version() is None
+
+    def test_request_bids_returns_per_slot(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        bids = session.request_bids()
+        assert bids
+        for unit, responses in bids.items():
+            assert unit.startswith(site.domain)
+            assert all(r.cpm > 0 for r in responses)
+
+    def test_get_before_request_empty(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        assert session.get_bid_responses() == {}
+
+    def test_request_bids_idempotent(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        first = session.request_bids()
+        second = session.request_bids()
+        assert first == second
+
+    def test_sync_pixels_fired_once_per_uid(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        session.request_bids()
+        first_count = sum(
+            1 for r in browser.request_log if "amazon-adsystem" in r.url
+        )
+        assert first_count > 0
+        session2 = PrebidSession(site, browser, adtech, iteration=1)
+        session2.request_bids()
+        second_count = sum(
+            1 for r in browser.request_log if "amazon-adsystem" in r.url
+        )
+        assert second_count == first_count  # no re-syncs
+
+    def test_amazon_sync_redirects_back_to_partner(self, web_rig):
+        _, _, adtech, browser, site = web_rig
+        PrebidSession(site, browser, adtech, iteration=0).request_bids()
+        syncs = [r for r in browser.request_log if "amazon-adsystem" in r.url]
+        assert all(r.redirect_to and "cm-confirm" in r.redirect_to for r in syncs)
+
+
+class TestAdServer:
+    def test_house_schedule_counts_match_campaigns(self):
+        server = AdServer(Seed(5))
+        from repro.data.calibration import AMAZON_HOUSE_CAMPAIGNS
+
+        for campaign in AMAZON_HOUSE_CAMPAIGNS:
+            scheduled = sum(
+                pending.count(campaign)
+                for (persona, _), pending in server._house_schedule.items()
+                if persona == campaign.target_persona
+            )
+            assert scheduled == campaign.impressions
+
+    def test_house_ads_only_for_target_persona(self):
+        server = AdServer(Seed(5))
+        creative = server.select(
+            cat.HEALTH, iteration=0, slot_id="s", slot_index=0, interacted=True
+        )
+        # Whatever the creative, non-target personas never get HEALTH's
+        # scheduled campaigns at the same (iteration, index).
+        other = server.select(
+            cat.DATING, iteration=0, slot_id="s", slot_index=0, interacted=True
+        )
+        if creative.source == "amazon-house":
+            assert other.creative_id != creative.creative_id
+
+    def test_no_house_ads_before_interaction(self):
+        server = AdServer(Seed(5))
+        for i in range(40):
+            creative = server.select(
+                cat.HEALTH, iteration=0, slot_id=f"s{i}", slot_index=i, interacted=False
+            )
+            assert creative.source != "amazon-house"
+
+    def test_generic_fill_deterministic(self):
+        a = AdServer(Seed(5)).select(cat.DATING, 3, "slot-z", 10, True)
+        b = AdServer(Seed(5)).select(cat.DATING, 3, "slot-z", 10, True)
+        assert a.creative_id == b.creative_id

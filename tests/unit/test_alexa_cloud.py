@@ -1,0 +1,235 @@
+"""Tests for the Alexa cloud, skill backends, devices, and marketplace."""
+
+import pytest
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.cloud import AlexaCloud
+from repro.alexa.device import AVSEcho, EchoDevice
+from repro.alexa.marketplace import Marketplace
+from repro.alexa.skill_backend import Directive, SkillBackend
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+@pytest.fixture(scope="module")
+def rig():
+    """A cloud + router + marketplace rig shared by this module."""
+    seed = Seed(11)
+    clock = SimClock()
+    registry = build_endpoint_registry()
+    router = Router(registry, clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    return seed, router, catalog, cloud, marketplace
+
+
+def make_device(rig, name, persona="tester", device_cls=EchoDevice):
+    seed, router, catalog, cloud, marketplace = rig
+    account = AmazonAccount(email=f"{name}@example.com", persona=persona)
+    device = device_cls(f"dev-{name}", account, router, cloud, seed)
+    return device, account
+
+
+class TestSkillBackend:
+    def test_invoke_produces_speak_and_upload(self, rig):
+        seed, _, catalog, *_ = rig
+        spec = catalog.by_name("Sonos")
+        backend = SkillBackend(spec, seed)
+        backend.REDIRECT_RATE = 0.0
+        result = backend.invoke("turn on the kitchen speaker", "CUST1")
+        kinds = [d.kind for d in result.directives]
+        assert "speak" in kinds
+        assert "upload" in kinds
+
+    def test_fetch_directives_for_third_party_skills(self, rig):
+        seed, _, catalog, *_ = rig
+        spec = catalog.by_name("Garmin")
+        backend = SkillBackend(spec, seed)
+        backend.REDIRECT_RATE = 0.0
+        result = backend.invoke("driving podcast", "CUST1")
+        fetched = {d.url.split("/")[2] for d in result.directives if d.kind == "fetch"}
+        assert "chtbl.com" in fetched
+
+    def test_collected_data_matches_spec(self, rig):
+        seed, _, catalog, *_ = rig
+        spec = catalog.by_name("Garmin")
+        backend = SkillBackend(spec, seed)
+        backend.REDIRECT_RATE = 0.0
+        result = backend.invoke("hello", "CUST9")
+        uploads = [d for d in result.directives if d.kind == "upload"]
+        assert uploads
+        data = uploads[0].data
+        assert set(data) == set(spec.data_types)
+        if dt.CUSTOMER_ID in data:
+            assert data[dt.CUSTOMER_ID] == "CUST9"
+        if dt.VOICE_RECORDING in data:
+            assert data[dt.VOICE_RECORDING] == "hello"
+
+    def test_redirects_to_alexa_at_rate(self, rig):
+        seed, _, catalog, *_ = rig
+        spec = catalog.by_name("Sonos")
+        backend = SkillBackend(spec, seed)
+        backend.REDIRECT_RATE = 1.0
+        result = backend.invoke("anything", "C")
+        assert result.redirected_to_alexa
+        assert not result.handled
+
+    def test_invalid_directive_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Directive(kind="teleport")
+
+
+class TestCloudRouting:
+    def test_routes_to_installed_skill(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "route1")
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        reply = device.say("alexa, ask sonos to play in the kitchen")
+        assert reply is not None and "Sonos" in reply
+
+    def test_unknown_command_handled_by_alexa(self, rig):
+        device, account = make_device(rig, "route2")
+        reply = device.say("alexa, what time is it")
+        assert reply is None  # Alexa default: no skill speech
+
+    def test_uninstalled_skill_not_routed(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "route3")
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        marketplace.uninstall(account, spec.skill_id)
+        assert device.say("alexa, ask sonos to play in the kitchen") is None
+
+    def test_interactions_logged_with_epoch(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "route4")
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        device.say("alexa, ask sonos to play in the kitchen")
+        cloud.advance_epoch(account.customer_id)
+        device.say("alexa, ask sonos to play in the kitchen")
+        state = cloud.account_state(account.customer_id)
+        epochs = [r.epoch for r in state.interactions]
+        assert 0 in epochs and 1 in epochs
+
+    def test_streaming_trio_routed_without_install(self, rig):
+        device, account = make_device(rig, "route5")
+        # Streaming skills resolve without marketplace installation.
+        reply = device.say("alexa, play top hits on spotify")
+        assert reply is not None
+
+    def test_unknown_customer_rejected(self, rig):
+        seed, router, catalog, cloud, _ = rig
+        from repro.netsim.http import HttpRequest
+
+        router.attach_device("ghost-dev")
+        response = router.send(
+            "ghost-dev",
+            HttpRequest(
+                "POST",
+                "https://avs-alexa-16-na.amazon.com/v1/events",
+                body={"event": "recognize", "customer_id": "NOBODY", "voice_recording": "x"},
+            ),
+        )
+        assert response.status == 403
+
+
+class TestDevices:
+    def test_echo_traffic_encrypted_on_router(self, rig):
+        _, router, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "enc1")
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        capture = router.start_capture("t", device_filter=device.device_id)
+        device.run_skill_session(spec)
+        router.stop_capture(capture)
+        non_dns = [p for p in capture if p.protocol.value != "dns"]
+        assert non_dns
+        assert all(p.payload is None for p in non_dns)
+
+    def test_avs_echo_logs_plaintext(self, rig):
+        _, router, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "avs1", device_cls=AVSEcho)
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        device.run_skill_session(spec)
+        assert device.plaintext_log
+        events = {r.payload["body"].get("event") for r in device.plaintext_log}
+        assert "recognize" in events
+
+    def test_avs_echo_never_contacts_non_amazon(self, rig):
+        _, router, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "avs2", device_cls=AVSEcho)
+        spec = catalog.by_name("Garmin")  # contacts chtbl.com on an Echo
+        marketplace.install(account, spec.skill_id)
+        device.run_skill_session(spec)
+        hosts = {r.host for r in device.plaintext_log}
+        assert all(
+            h.endswith(("amazon.com", "amazonalexa.com", "amcs-tachyon.com"))
+            or "amazonaws" in h
+            or "cloudfront" in h
+            or "captiveportal" in h
+            or "a2z.com" in h
+            or "amazon-dss" in h
+            for h in hosts
+        )
+
+    def test_echo_contacts_third_party_endpoints(self, rig):
+        _, router, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "tp1")
+        spec = catalog.by_name("Garmin")
+        marketplace.install(account, spec.skill_id)
+        capture = router.start_capture("tp", device_filter=device.device_id)
+        device.run_skill_session(spec)
+        router.stop_capture(capture)
+        hosts = {p.sni for p in capture if p.sni}
+        assert "chtbl.com" in hosts
+
+    def test_background_sync_repeats_metrics(self, rig):
+        _, router, catalog, cloud, marketplace = rig
+        device, account = make_device(rig, "sync1")
+        capture = router.start_capture("s", device_filter=device.device_id)
+        device.background_sync(["device-metrics-us-2.amazon.com", "api.amazon.com"])
+        router.stop_capture(capture)
+        metrics = [p for p in capture if p.sni == "device-metrics-us-2.amazon.com"]
+        api = [p for p in capture if p.sni == "api.amazon.com"]
+        assert len(metrics) > len(api)
+
+
+class TestMarketplace:
+    def test_top_skills_listing(self, rig):
+        *_, marketplace = rig
+        listings = marketplace.top_skills(cat.FASHION, 10)
+        assert len(listings) == 10
+        reviews = [l.review_count for l in listings]
+        assert reviews == sorted(reviews, reverse=True)
+
+    def test_install_grants_permissions(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        account = AmazonAccount(email="perm@example.com", persona="p")
+        spec = catalog.by_name("FordPass")
+        receipt = marketplace.install(account, spec.skill_id)
+        assert receipt.installed
+        assert "email" in receipt.granted_permissions
+
+    def test_failed_skill_install_refused(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        account = AmazonAccount(email="fail@example.com", persona="p")
+        failed = next(s for s in catalog if s.fails_to_load)
+        receipt = marketplace.install(account, failed.skill_id)
+        assert not receipt.installed
+        assert "failed" in receipt.failure_reason
+
+    def test_policy_url_only_when_linked(self, rig):
+        _, _, catalog, cloud, marketplace = rig
+        linked = next(s for s in catalog if s.policy and s.policy.has_link)
+        unlinked = next(s for s in catalog if s.policy is None)
+        assert marketplace.privacy_policy_url(linked.skill_id)
+        assert marketplace.privacy_policy_url(unlinked.skill_id) is None

@@ -1,0 +1,67 @@
+"""Tests for audio-ad insertion and streaming sessions."""
+
+import pytest
+
+from repro.adtech.audio import AudioAdServer, AudioSegment, StreamSession
+from repro.data import categories as cat
+from repro.util.rng import Seed
+
+
+@pytest.fixture(scope="module")
+def server():
+    return AudioAdServer(Seed(17))
+
+
+class TestStreamSessions:
+    def test_session_fills_requested_hours(self, server):
+        session = server.stream("Spotify", cat.FASHION, hours=2.0)
+        total = sum(s.duration for s in session.segments)
+        assert total >= 2.0 * 3600.0
+
+    def test_segments_contiguous(self, server):
+        session = server.stream("Pandora", cat.VANILLA, hours=1.0)
+        elapsed = 0.0
+        for segment in session.segments:
+            assert segment.start == pytest.approx(elapsed)
+            elapsed += segment.duration
+
+    def test_songs_and_ads_interleaved(self, server):
+        session = server.stream("Spotify", cat.FASHION, hours=6.0)
+        kinds = [s.kind for s in session.segments]
+        assert "ad" in kinds and "song" in kinds
+        # Never two consecutive ads (insertion happens between songs).
+        for a, b in zip(kinds, kinds[1:]):
+            assert not (a == "ad" and b == "ad")
+
+    def test_ad_rate_tracks_calibration(self, server):
+        fashion = server.stream("Spotify", cat.FASHION, hours=6.0)
+        cc = server.stream("Spotify", cat.CONNECTED_CAR, hours=6.0)
+        # Table 9: Connected Car draws far fewer Spotify ads.
+        assert len(cc.ad_segments) * 3 < len(fashion.ad_segments)
+
+    def test_deterministic(self):
+        a = AudioAdServer(Seed(1)).stream("Pandora", cat.FASHION, hours=1.0)
+        b = AudioAdServer(Seed(1)).stream("Pandora", cat.FASHION, hours=1.0)
+        assert [s.label for s in a.segments] == [s.label for s in b.segments]
+
+    def test_unknown_skill_rejected(self, server):
+        with pytest.raises(KeyError):
+            server.stream("Tidal", cat.FASHION)
+
+    def test_unknown_persona_rejected(self, server):
+        with pytest.raises(KeyError):
+            server.stream("Spotify", cat.WINE)
+
+    def test_ad_text_carries_brand(self, server):
+        session = server.stream("Amazon Music", cat.VANILLA, hours=6.0)
+        for ad in session.ad_segments:
+            assert ad.label.lower() in ad.audio_text
+
+    def test_exclusive_brands_respected(self, server):
+        vanilla = server.stream("Spotify", cat.VANILLA, hours=6.0)
+        brands = {a.label for a in vanilla.ad_segments}
+        assert "Ashley" not in brands and "Ross" not in brands
+
+    def test_invalid_segment_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AudioSegment(kind="jingle", start=0, duration=1, label="x", audio_text="y")

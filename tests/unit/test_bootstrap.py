@@ -1,0 +1,62 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import bootstrap_ci
+
+
+class TestBootstrapCi:
+    def test_interval_brackets_point_estimate(self):
+        rng = np.random.default_rng(7)
+        sample = rng.lognormal(-2.5, 1.5, 500)
+        low, high = bootstrap_ci(sample, statistic=np.median)
+        assert low <= float(np.median(sample)) <= high
+
+    def test_coverage_of_true_median(self):
+        # Across many independent samples, the 95% interval should cover
+        # the true median most of the time (allow generous slack).
+        rng = np.random.default_rng(11)
+        true_median = float(np.exp(-2.5))
+        covered = 0
+        for i in range(20):
+            sample = rng.lognormal(-2.5, 1.5, 200)
+            low, high = bootstrap_ci(sample, statistic=np.median, seed=i)
+            if low <= true_median <= high:
+                covered += 1
+        assert covered >= 16
+
+    def test_interval_ordered(self):
+        low, high = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert low <= high
+
+    def test_wider_confidence_wider_interval(self):
+        rng = np.random.default_rng(8)
+        sample = rng.normal(0, 1, 100)
+        narrow = bootstrap_ci(sample, confidence=0.80)
+        wide = bootstrap_ci(sample, confidence=0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_deterministic_per_seed(self):
+        sample = list(range(50))
+        assert bootstrap_ci(sample, seed=3) == bootstrap_ci(sample, seed=3)
+        assert bootstrap_ci(sample, seed=3) != bootstrap_ci(sample, seed=4)
+
+    def test_mean_statistic(self):
+        rng = np.random.default_rng(9)
+        sample = rng.normal(10, 1, 200)
+        low, high = bootstrap_ci(sample, statistic=np.mean)
+        assert low < 10 < high
+        assert high - low < 1.0  # se ~ 1/sqrt(200)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_degenerate_sample(self):
+        low, high = bootstrap_ci([2.0] * 30)
+        assert low == high == 2.0

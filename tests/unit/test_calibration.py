@@ -1,0 +1,175 @@
+"""Tests for the calibration tables and derived math."""
+
+import datetime as dt
+import math
+
+import pytest
+
+from repro.data import categories as cat
+from repro.data.calibration import (
+    AMAZON_HOUSE_CAMPAIGNS,
+    AUDIO_AD_RATE,
+    AUDIO_BRAND_WEIGHTS,
+    INFORMED_FRACTION,
+    INTEREST_RULES,
+    MISSING_INTEREST_FILE_PERSONAS,
+    N_DOWNSTREAM_THIRD_PARTIES,
+    N_NON_PARTNERS,
+    N_PARTNERS,
+    PERSONA_BID_TARGETS,
+    VANILLA_BID_TARGETS,
+    BidParams,
+    bid_params,
+    holiday_factor,
+)
+
+UTC = dt.timezone.utc
+
+
+class TestBidParams:
+    def test_median_mean_roundtrip(self):
+        params = BidParams.from_median_mean(0.09, 0.403)
+        assert params.median == pytest.approx(0.09)
+        assert params.mean == pytest.approx(0.403)
+
+    def test_sigma_formula(self):
+        params = BidParams.from_median_mean(0.03, 0.153)
+        assert params.sigma == pytest.approx(
+            math.sqrt(2 * math.log(0.153 / 0.03))
+        )
+
+    def test_mean_below_median_rejected(self):
+        with pytest.raises(ValueError):
+            BidParams.from_median_mean(0.2, 0.1)
+
+    def test_zero_median_rejected(self):
+        with pytest.raises(ValueError):
+            BidParams.from_median_mean(0.0, 0.1)
+
+    def test_all_personas_calibrated(self):
+        for category in cat.ALL_CATEGORIES:
+            params = bid_params(category)
+            assert params.sigma > 0
+
+    def test_vanilla_lowest_median(self):
+        vanilla = bid_params(cat.VANILLA).median
+        for category in cat.ALL_CATEGORIES:
+            assert bid_params(category).median > vanilla
+
+    def test_unknown_persona_raises(self):
+        with pytest.raises(KeyError):
+            bid_params("martian")
+
+    def test_web_personas_calibrated(self):
+        for category in cat.WEB_CATEGORIES:
+            assert bid_params(category).median > 0
+
+
+class TestHolidayFactor:
+    def test_baseline_outside_window(self):
+        assert holiday_factor(dt.datetime(2021, 11, 1, tzinfo=UTC)) == 1.0
+        assert holiday_factor(dt.datetime(2022, 2, 1, tzinfo=UTC)) == 1.0
+
+    def test_peaks_before_christmas(self):
+        peak = holiday_factor(dt.datetime(2021, 12, 21, tzinfo=UTC))
+        assert peak == pytest.approx(3.5)
+
+    def test_monotonic_ramp_up(self):
+        days = [dt.datetime(2021, 12, d, tzinfo=UTC) for d in range(6, 22)]
+        factors = [holiday_factor(d) for d in days]
+        assert factors == sorted(factors)
+
+    def test_decays_after_christmas(self):
+        dec27 = holiday_factor(dt.datetime(2021, 12, 27, tzinfo=UTC))
+        dec21 = holiday_factor(dt.datetime(2021, 12, 21, tzinfo=UTC))
+        assert dec27 < dec21
+        assert dec27 > 1.0
+
+    def test_back_to_one_in_january(self):
+        assert holiday_factor(dt.datetime(2022, 1, 5, tzinfo=UTC)) == 1.0
+
+
+class TestInformedFractions:
+    def test_non_significant_personas_lowest(self):
+        # The three personas the paper finds non-significant must have
+        # markedly lower informed fractions than the significant six.
+        weak = {cat.SMART_HOME, cat.WINE, cat.HEALTH}
+        weak_max = max(INFORMED_FRACTION[p] for p in weak)
+        strong_min = min(
+            v for p, v in INFORMED_FRACTION.items() if p not in weak and p != cat.PETS
+        )
+        assert weak_max <= 0.80
+        assert strong_min >= 0.78
+
+    def test_all_fractions_valid(self):
+        for value in INFORMED_FRACTION.values():
+            assert 0.0 < value <= 1.0
+
+    def test_covers_all_categories(self):
+        assert set(INFORMED_FRACTION) == set(cat.ALL_CATEGORIES)
+
+
+class TestPopulationConstants:
+    def test_paper_counts(self):
+        assert N_PARTNERS == 41
+        assert N_DOWNSTREAM_THIRD_PARTIES == 247
+        assert N_NON_PARTNERS > 0
+
+
+class TestHouseCampaigns:
+    def test_table8_products_present(self):
+        products = {c.product for c in AMAZON_HOUSE_CAMPAIGNS}
+        assert "Dehumidifier" in products
+        assert "Eero WiFi router" in products
+        assert "Kindle" in products
+
+    def test_impressions_cover_iterations(self):
+        for campaign in AMAZON_HOUSE_CAMPAIGNS:
+            assert campaign.impressions >= campaign.iterations >= 1
+
+    def test_relevant_campaigns_have_related_skill(self):
+        for campaign in AMAZON_HOUSE_CAMPAIGNS:
+            if campaign.apparent_relevance:
+                assert campaign.related_skill
+
+
+class TestAudioCalibration:
+    def test_rates_cover_study_matrix(self):
+        for skill in ("Amazon Music", "Spotify", "Pandora"):
+            for persona in (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA):
+                assert AUDIO_AD_RATE[skill][persona] > 0
+
+    def test_connected_car_spotify_depressed(self):
+        # Table 9: CC receives ~1/5 the Spotify ads of other personas.
+        cc = AUDIO_AD_RATE["Spotify"][cat.CONNECTED_CAR]
+        others = [
+            AUDIO_AD_RATE["Spotify"][cat.FASHION],
+            AUDIO_AD_RATE["Spotify"][cat.VANILLA],
+        ]
+        assert cc * 3 < min(others)
+
+    def test_fashion_exclusive_brands(self):
+        spotify = AUDIO_BRAND_WEIGHTS["Spotify"]
+        assert set(spotify["Ashley"]) == {cat.FASHION}
+        assert set(spotify["Ross"]) == {cat.FASHION}
+        pandora = AUDIO_BRAND_WEIGHTS["Pandora"]
+        assert set(pandora["Swiffer Wet Jet"]) == {cat.FASHION}
+        assert set(pandora["Febreeze car"]) == {cat.CONNECTED_CAR}
+
+
+class TestInterestRules:
+    def test_install_only_health(self):
+        install_rules = {k for k in INTEREST_RULES if k[1] == "installation"}
+        assert install_rules == {(cat.HEALTH, "installation")}
+
+    def test_smart_home_interaction2_gains_pet_supplies(self):
+        assert "Pet Supplies" in INTEREST_RULES[(cat.SMART_HOME, "interaction-2")]
+
+    def test_missing_file_personas(self):
+        assert set(MISSING_INTEREST_FILE_PERSONAS) == {
+            cat.HEALTH,
+            cat.WINE,
+            cat.RELIGION,
+            cat.DATING,
+            cat.VANILLA,
+        }

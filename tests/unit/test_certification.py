@@ -1,0 +1,90 @@
+"""Tests for the certification review and the §4.2 violation audit."""
+
+import pytest
+
+from repro.alexa.certification import (
+    CertificationChecker,
+    audit_certified_skills,
+)
+from repro.data.domains import PIHOLE_FILTER_TEXT
+from repro.data.skill_catalog import build_catalog
+from repro.orgmap.filterlists import FilterList
+from repro.util.rng import Seed
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(Seed(42))
+
+
+@pytest.fixture(scope="module")
+def filter_list():
+    return FilterList.from_text(PIHOLE_FILTER_TEXT)
+
+
+@pytest.fixture(scope="module")
+def certifications(catalog):
+    return CertificationChecker().review_catalog(catalog)
+
+
+class TestCertificationReview:
+    def test_most_skills_certify(self, certifications):
+        certified = sum(1 for r in certifications.values() if r.certified)
+        assert certified / len(certifications) > 0.9
+
+    def test_permissions_without_policy_flagged(self, catalog):
+        checker = CertificationChecker()
+        offenders = [
+            s
+            for s in catalog.active_skills
+            if s.permissions and (s.policy is None or not s.policy.has_link)
+        ]
+        for spec in offenders:
+            result = checker.review(spec)
+            assert not result.certified
+            assert result.notes
+
+    def test_ad_network_contacts_invisible_to_review(self, catalog, certifications):
+        """The certification blind spot: runtime ad traffic passes review."""
+        genesis = catalog.by_name("Genesis")
+        assert certifications[genesis.skill_id].certified
+
+
+class TestViolationAudit:
+    def test_paper_six_violators_found(self, catalog, filter_list, certifications):
+        observed = {
+            s.skill_id: list(s.other_endpoints) for s in catalog.active_skills
+        }
+        violations = audit_certified_skills(
+            catalog.active_skills, observed, filter_list, certifications
+        )
+        names = {catalog.by_id(v.skill_id).name for v in violations}
+        # §4.2: six certified non-streaming skills include A&T services.
+        assert len(names) == 6
+        assert {"Genesis", "Men's Finest Daily Fashion Tip"} <= names
+
+    def test_streaming_skills_exempt(self, catalog, filter_list, certifications):
+        observed = {
+            s.skill_id: list(s.other_endpoints) for s in catalog.active_skills
+        }
+        violations = audit_certified_skills(
+            catalog.active_skills, observed, filter_list, certifications
+        )
+        for violation in violations:
+            assert not catalog.by_id(violation.skill_id).is_streaming
+
+    def test_violations_carry_evidence(self, catalog, filter_list, certifications):
+        observed = {
+            s.skill_id: list(s.other_endpoints) for s in catalog.active_skills
+        }
+        for violation in audit_certified_skills(
+            catalog.active_skills, observed, filter_list, certifications
+        ):
+            assert violation.evidence
+            assert all(filter_list.is_blocked(d) for d in violation.evidence)
+
+    def test_no_observed_traffic_no_violation(self, catalog, filter_list, certifications):
+        violations = audit_certified_skills(
+            catalog.active_skills, {}, filter_list, certifications
+        )
+        assert violations == []

@@ -1,0 +1,145 @@
+"""Tests for the §8.1 defenses: selective blocking and local voice."""
+
+import pytest
+
+from repro.alexa import AVSEcho, AlexaCloud, AmazonAccount, EchoDevice, Marketplace
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.domains import PIHOLE_FILTER_TEXT, build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.defenses import (
+    BlockingRouter,
+    LocalProcessingEcho,
+    evaluate_blocking,
+    voice_exposure,
+)
+from repro.netsim.http import HttpRequest
+from repro.netsim.router import NetworkError, Router
+from repro.orgmap.filterlists import FilterList
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+@pytest.fixture
+def rig():
+    seed = Seed(23)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    return seed, router, catalog, cloud, marketplace
+
+
+class TestBlockingRouter:
+    def test_blocks_listed_hosts(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_text(PIHOLE_FILTER_TEXT))
+        blocking.attach_device("d1")
+        with pytest.raises(NetworkError, match="blocked by policy"):
+            blocking.send(
+                "d1", HttpRequest("GET", "https://chtbl.com/x")
+            )
+        assert blocking.report.blocked["chtbl.com"] == 1
+
+    def test_allows_functional_hosts(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_text(PIHOLE_FILTER_TEXT))
+        blocking.attach_device("d1")
+        response = blocking.send(
+            "d1", HttpRequest("GET", "https://api.amazon.com/v1/ping")
+        )
+        assert response.ok
+        assert blocking.report.allowed == 1
+
+    def test_allowlist_overrides_block(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(
+            router,
+            FilterList.from_text(PIHOLE_FILTER_TEXT),
+            allowlist={"chtbl.com"},
+        )
+        blocking.attach_device("d1")
+        assert blocking.send("d1", HttpRequest("GET", "https://chtbl.com/x")).ok
+
+    def test_skill_degrades_gracefully_behind_block(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        blocking = BlockingRouter(router, FilterList.from_text(PIHOLE_FILTER_TEXT))
+        account = AmazonAccount(email="b@example.com", persona="b")
+        device = EchoDevice("echo-b", account, blocking, cloud, seed)
+        garmin = catalog.by_name("Garmin")
+        marketplace.install(account, garmin.skill_id)
+        replies = device.run_skill_session(garmin)
+        assert any(r is not None for r in replies)  # still functional
+        assert blocking.report.blocked_total > 0  # tracking dropped
+
+    def test_evaluate_blocking_zero_breakage(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        blocking = BlockingRouter(router, FilterList.from_text(PIHOLE_FILTER_TEXT))
+        account = AmazonAccount(email="e@example.com", persona="e")
+        device = EchoDevice("echo-e", account, blocking, cloud, seed)
+        skills = [s for s in catalog.top_skills(cat.FASHION, 8) if s.active]
+        evaluation = evaluate_blocking(device, marketplace, skills, blocking)
+        assert evaluation.breakage_rate == 0.0
+        assert evaluation.functional_requests_allowed > 0
+
+    def test_block_rate_property(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
+        blocking.attach_device("d1")
+        with pytest.raises(NetworkError):
+            blocking.send("d1", HttpRequest("GET", "https://x.bad.com/"))
+        assert blocking.report.block_rate == 1.0
+
+
+class TestLocalProcessingEcho:
+    def _devices(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        garmin = catalog.by_name("Garmin")
+        local_account = AmazonAccount(email="lv@example.com", persona="lv")
+        local = LocalProcessingEcho("echo-lv", local_account, router, cloud, seed)
+        marketplace.install(local_account, garmin.skill_id)
+        stock_account = AmazonAccount(email="st@example.com", persona="st")
+        stock = AVSEcho("echo-st", stock_account, router, cloud, seed)
+        marketplace.install(stock_account, garmin.skill_id)
+        return garmin, local, stock
+
+    def test_no_audio_leaves_device(self, rig):
+        garmin, local, _ = self._devices(rig)
+        local.run_skill_session(garmin)
+        exposure = voice_exposure(local.plaintext_log)
+        assert exposure["audio_uploads"] == 0
+        assert exposure["text_uploads"] > 0
+
+    def test_skills_never_receive_voice_fields(self, rig):
+        garmin, local, _ = self._devices(rig)
+        local.run_skill_session(garmin)
+        exposure = voice_exposure(local.plaintext_log)
+        assert exposure["skill_voice_fields"] == 0
+        # Other data types still flow (the defense is targeted).
+        uploads = [
+            r.payload["body"]["data"]
+            for r in local.plaintext_log
+            if r.payload["body"].get("event") == "skill-data"
+        ]
+        assert uploads and dt.SKILL_ID in uploads[0]
+
+    def test_stock_device_leaks_voice(self, rig):
+        garmin, _, stock = self._devices(rig)
+        stock.run_skill_session(garmin)
+        exposure = voice_exposure(stock.plaintext_log)
+        assert exposure["audio_uploads"] > 0
+        assert exposure["skill_voice_fields"] > 0
+
+    def test_functionality_preserved(self, rig):
+        garmin, local, stock = self._devices(rig)
+        local_replies = local.run_skill_session(garmin)
+        stock_replies = stock.run_skill_session(garmin)
+        assert sum(1 for r in local_replies if r) >= sum(
+            1 for r in stock_replies if r
+        ) - 1
+
+    def test_wake_word_still_required(self, rig):
+        garmin, local, _ = self._devices(rig)
+        assert local.say("open garmin") is None  # no wake word
+        assert local.say("alexa, open garmin") is not None

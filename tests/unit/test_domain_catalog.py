@@ -1,0 +1,46 @@
+"""Consistency tests over the domain/org catalog itself."""
+
+from repro.data.domains import (
+    ALL_DOMAINS,
+    ORG_ENTITIES,
+    build_endpoint_registry,
+    build_entity_database,
+    domains_by_org,
+)
+from repro.netsim.endpoints import registrable_domain
+
+
+class TestDomainCatalogConsistency:
+    def test_no_duplicate_domains(self):
+        domains = [spec.domain for spec in ALL_DOMAINS]
+        assert len(domains) == len(set(domains))
+
+    def test_domains_by_org_partitions_catalog(self):
+        grouped = domains_by_org()
+        total = sum(len(domains) for domains in grouped.values())
+        assert total == len(ALL_DOMAINS)
+
+    def test_every_org_resolvable_by_entity_db(self):
+        """Every ground-truth org must be recoverable by the auditor's
+        entity database from at least one of its domains — otherwise a
+        paper table would silently lose an organization."""
+        db = build_entity_database()
+        for org, domains in domains_by_org().items():
+            resolved = {
+                entity.name
+                for domain in domains
+                if (entity := db.entity_for_domain(domain)) is not None
+            }
+            assert org in resolved, org
+
+    def test_registry_covers_all_domains(self):
+        registry = build_endpoint_registry()
+        for spec in ALL_DOMAINS:
+            assert spec.domain in registry
+
+    def test_entity_base_domains_unique(self):
+        seen = {}
+        for entity in ORG_ENTITIES:
+            for domain in entity.domains:
+                base = registrable_domain(domain)
+                assert seen.setdefault(base, entity.name) == entity.name

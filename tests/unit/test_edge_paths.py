@@ -1,0 +1,163 @@
+"""Edge-path tests: unregistered users, dead pages, routing ties, and
+other corners the happy-path suites skip."""
+
+import pytest
+
+from repro.adtech.exchange import AdTechWorld
+from repro.adtech.prebid import PrebidSession, register_publisher
+from repro.data.websites import WebsiteSpec
+from repro.netsim.http import HttpRequest, HttpResponse
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+from repro.web.browser import Browser, BrowserProfile, WebUniverse
+
+
+@pytest.fixture
+def web():
+    universe = WebUniverse()
+    adtech = AdTechWorld(Seed(71), universe)
+    clock = SimClock()
+    return universe, adtech, clock
+
+
+class TestExchangeEdges:
+    def test_unregistered_uid_gets_nobid(self, web):
+        universe, adtech, clock = web
+        stranger = BrowserProfile("stranger", "x")  # never registered
+        browser = Browser(stranger, universe, clock)
+        bidder = adtech.bidders[0]
+        reply = browser.get(
+            f"https://{bidder.domain}/bid?slot=s&page=p&iteration=0"
+            f"&when=2022-01-10T00:00:00+00:00"
+        )
+        assert reply.status == 204
+        assert reply.body.get("nobid")
+
+    def test_sync_endpoint_tolerates_missing_params(self, web):
+        universe, adtech, clock = web
+        profile = BrowserProfile("p", "x")
+        adtech.register_profile(profile)
+        browser = Browser(profile, universe, clock)
+        before = adtech.match_count
+        browser.get("https://s.amazon-adsystem.com/x/cm")  # no bidder/uid
+        assert adtech.match_count == before
+
+    def test_bid_path_only(self, web):
+        universe, adtech, clock = web
+        profile = BrowserProfile("p2", "x")
+        adtech.register_profile(profile)
+        browser = Browser(profile, universe, clock)
+        bidder = adtech.bidders[0]
+        reply = browser.get(f"https://{bidder.domain}/cm-confirm?status=ok")
+        assert reply.ok  # pixel path, not a bid
+
+    def test_slot_bidders_unique(self, web):
+        _, adtech, _ = web
+        bidders = adtech.bidders_for_slot("any-slot")
+        codes = [b.code for b in bidders]
+        assert len(codes) == len(set(codes))
+
+
+class TestPrebidEdges:
+    def test_dead_page_yields_no_bids(self, web):
+        universe, adtech, clock = web
+        profile = BrowserProfile("p3", "x")
+        adtech.register_profile(profile)
+        browser = Browser(profile, universe, clock)
+        ghost = WebsiteSpec(
+            domain="ghost.example.com",
+            rank=1,
+            supports_prebid=True,
+            prebid_version="6.18.0",
+            ad_slots=2,
+        )
+        # Never registered in the universe: page load 404s.
+        session = PrebidSession(ghost, browser, adtech, iteration=0)
+        assert session.version() is None
+        assert session.request_bids() == {}
+
+    def test_zero_slot_page(self, web):
+        universe, adtech, clock = web
+        profile = BrowserProfile("p4", "x")
+        adtech.register_profile(profile)
+        browser = Browser(profile, universe, clock)
+        site = WebsiteSpec(
+            domain="noslots.example.com",
+            rank=2,
+            supports_prebid=True,
+            prebid_version="6.18.0",
+            ad_slots=0,
+        )
+        register_publisher(site, universe)
+        session = PrebidSession(site, browser, adtech, iteration=0)
+        assert session.request_bids() == {}
+        assert session.render_winners(0, True) == []
+
+
+class TestCloudEdges:
+    def test_non_recognize_event_acknowledged(self, small_dataset):
+        world = small_dataset.world
+        world.router.attach_device("edge-dev")
+        response = world.router.send(
+            "edge-dev",
+            HttpRequest(
+                "POST",
+                "https://avs-alexa-16-na.amazon.com/v1/events",
+                body={"event": "heartbeat"},
+            ),
+        )
+        assert response.ok
+
+    def test_longest_invocation_match_wins(self, small_dataset):
+        """'open custom test skill extended' must route to the longer
+        invocation name when two installed skills share a prefix."""
+        from repro.alexa import AlexaCloud, AmazonAccount, EchoDevice, Marketplace
+        from repro.data import categories as cat
+        from repro.data.domains import build_endpoint_registry
+        from repro.data.skill_catalog import SkillCatalog, SkillSpec
+        from repro.netsim.router import Router
+
+        short = SkillSpec(
+            skill_id="skill-news",
+            name="News",
+            category=cat.HEALTH,
+            vendor="V",
+            review_count=1,
+            invocation_name="news",
+            sample_utterances=("open news",),
+            amazon_endpoints=("avs-alexa-16-na.amazon.com",),
+        )
+        long = SkillSpec(
+            skill_id="skill-news-daily",
+            name="News Daily",
+            category=cat.HEALTH,
+            vendor="V",
+            review_count=1,
+            invocation_name="news daily",
+            sample_utterances=("open news daily",),
+            amazon_endpoints=("avs-alexa-16-na.amazon.com",),
+        )
+        seed = Seed(72)
+        router = Router(build_endpoint_registry(), SimClock())
+        from repro.core.world import build_world
+
+        world = build_world(seed, catalog=SkillCatalog([short, long]))
+        account = AmazonAccount(email="t@example.com", persona="t")
+        device = EchoDevice("edge-route", account, world.router, world.cloud, seed)
+        world.marketplace.install(account, short.skill_id)
+        world.marketplace.install(account, long.skill_id)
+        reply = device.say("alexa, open news daily")
+        assert reply is not None and "News Daily" in reply
+
+
+class TestExperimentEdges:
+    def test_advance_to_day_never_goes_backwards(self, small_dataset):
+        clock = small_dataset.world.clock
+        now = clock.now
+        # Re-requesting an earlier day is a no-op, not an error.
+        from repro.core.experiment import ExperimentRunner
+
+        runner = ExperimentRunner.__new__(ExperimentRunner)
+        runner.world = small_dataset.world
+        runner._advance_to_day(0)
+        assert clock.now == now

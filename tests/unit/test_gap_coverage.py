@@ -1,0 +1,114 @@
+"""Gap-filling tests: DNS server behaviour, HTTP payload serialization,
+capture DNS-table recovery, retargeting check, and experiment receipts."""
+
+import pytest
+
+from repro.core.adcontent import vendor_retargeting_check
+from repro.core.experiment import PolicyFetch
+from repro.core.personas import interest_personas
+from repro.data import categories as cat
+from repro.netsim.dns import DnsServer, DnsTable, DnsRecord
+from repro.netsim.endpoints import EndpointRegistry
+from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
+
+
+class TestDnsServer:
+    @pytest.fixture
+    def server(self):
+        registry = EndpointRegistry()
+        registry.register("a.example.com", organization="A")
+        return registry, DnsServer(registry)
+
+    def test_resolves_registered_domain(self, server):
+        registry, dns = server
+        record = dns.resolve("a.example.com")
+        assert record.ip == registry.require("a.example.com").ip
+
+    def test_unknown_domain_raises(self, server):
+        _, dns = server
+        with pytest.raises(KeyError):
+            dns.resolve("missing.example.com")
+
+    def test_query_count_increments_even_for_cached(self, server):
+        _, dns = server
+        dns.resolve("a.example.com")
+        dns.resolve("a.example.com")
+        assert dns.query_count == 2
+
+    def test_cached_record_identical(self, server):
+        _, dns = server
+        assert dns.resolve("a.example.com") is dns.resolve("a.example.com")
+
+
+class TestDnsTable:
+    def test_last_answer_wins(self):
+        table = DnsTable()
+        table.add(DnsRecord(domain="old.example.com", ip="10.0.0.1"))
+        table.add(DnsRecord(domain="new.example.com", ip="10.0.0.1"))
+        assert table.domain_for_ip("10.0.0.1") == "new.example.com"
+        assert len(table) == 1
+
+
+class TestHttpPayloads:
+    def test_request_payload_fields(self):
+        request = HttpRequest(
+            "POST",
+            "https://h.example.com/p?a=1",
+            cookies={"uid": "x"},
+            body={"k": "v"},
+        )
+        payload = request.to_payload()
+        assert payload["kind"] == "http-request"
+        assert payload["host"] == "h.example.com"
+        assert payload["query"] == {"a": "1"}
+        assert payload["cookies"] == {"uid": "x"}
+        assert payload["body"] == {"k": "v"}
+
+    def test_response_payload_fields(self):
+        response = HttpResponse(
+            status=302,
+            set_cookies={"sid": "1"},
+            redirect_url="https://b.example.com/",
+        )
+        payload = response.to_payload()
+        assert payload["kind"] == "http-response"
+        assert payload["status"] == 302
+        assert payload["redirect_url"] == "https://b.example.com/"
+
+    def test_estimate_size_floor(self):
+        assert estimate_size({}) == 64
+
+
+class TestPolicyFetch:
+    def test_flags(self):
+        fetch = PolicyFetch(skill_id="s", url=None, document=None)
+        assert not fetch.has_link and not fetch.downloaded
+        fetch = PolicyFetch(skill_id="s", url="https://x.example.com/", document=None)
+        assert fetch.has_link and not fetch.downloaded
+
+
+class TestRetargetingCheck:
+    def test_no_retargeting_in_campaign(self, small_dataset):
+        vendors_by_persona = {
+            p.name: {
+                s.vendor
+                for s in small_dataset.world.catalog.top_skills(p.category, 6)
+            }
+            for p in interest_personas()
+        }
+        verdicts = vendor_retargeting_check(small_dataset, vendors_by_persona)
+        assert not any(verdicts.values())
+
+    def test_unknown_vendors_excluded(self, small_dataset):
+        verdicts = vendor_retargeting_check(small_dataset, {})
+        assert verdicts == {}
+
+
+class TestCloudMisc:
+    def test_redirected_utterances_counted(self, small_dataset):
+        # Skill backends redirect ~2% of utterances to Alexa (§3.1.1).
+        assert small_dataset.world.cloud.redirected_utterances >= 0
+
+    def test_prebid_probe_registered_all_sites(self, small_dataset):
+        for site in small_dataset.prebid_sites:
+            assert site.domain in small_dataset.world.universe

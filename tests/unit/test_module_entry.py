@@ -1,0 +1,36 @@
+"""Smoke tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+class TestModuleEntry:
+    def test_version_via_module(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "version"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert result.stdout.strip() == "1.0.0"
+
+    def test_help_lists_commands(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        for command in ("run", "tables", "defend", "version"):
+            assert command in result.stdout
+
+    def test_unknown_command_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "teleport"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode != 0

@@ -1,0 +1,92 @@
+"""Tests for packet/flow primitives."""
+
+import pytest
+
+from repro.netsim.packet import Direction, Flow, Packet, Protocol, group_flows
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        timestamp=1.0,
+        src_ip="192.168.7.10",
+        dst_ip="54.1.2.3",
+        src_port=50000,
+        dst_port=443,
+        protocol=Protocol.TLS,
+        size=512,
+        direction=Direction.OUTBOUND,
+        device_id="echo-1",
+        sni="api.amazon.com",
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_encrypted_when_payload_none(self):
+        assert make_packet(payload=None).is_encrypted
+
+    def test_not_encrypted_with_payload(self):
+        assert not make_packet(payload={"kind": "http-request"}).is_encrypted
+
+    def test_remote_ip_outbound(self):
+        assert make_packet().remote_ip == "54.1.2.3"
+
+    def test_remote_ip_inbound(self):
+        pkt = make_packet(
+            direction=Direction.INBOUND, src_ip="54.1.2.3", dst_ip="192.168.7.10"
+        )
+        assert pkt.remote_ip == "54.1.2.3"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(size=-1)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(dst_port=70000)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_packet().size = 5  # type: ignore[misc]
+
+
+class TestGroupFlows:
+    def test_bidirectional_packets_share_flow(self):
+        out = make_packet()
+        back = make_packet(
+            direction=Direction.INBOUND,
+            src_ip="54.1.2.3",
+            dst_ip="192.168.7.10",
+            src_port=443,
+            dst_port=50000,
+        )
+        flows = group_flows([out, back])
+        assert len(flows) == 1
+        assert flows[0].total_bytes == 1024
+
+    def test_different_remotes_different_flows(self):
+        flows = group_flows([make_packet(), make_packet(dst_ip="54.9.9.9")])
+        assert len(flows) == 2
+
+    def test_different_devices_different_flows(self):
+        flows = group_flows([make_packet(), make_packet(device_id="echo-2")])
+        assert len(flows) == 2
+
+    def test_flow_sni_first_non_null(self):
+        flows = group_flows([make_packet(sni=None), make_packet(sni="x.amazon.com")])
+        assert flows[0].sni == "x.amazon.com"
+
+    def test_flow_properties(self):
+        flow = group_flows([make_packet(timestamp=5.0), make_packet(timestamp=2.0)])[0]
+        assert flow.device_id == "echo-1"
+        assert flow.remote_ip == "54.1.2.3"
+        assert flow.remote_port == 443
+        assert flow.first_timestamp == 2.0
+
+    def test_empty_flow_first_timestamp_raises(self):
+        with pytest.raises(ValueError):
+            Flow(key=("d", "ip", 443, "tls")).first_timestamp
+
+    def test_empty_input(self):
+        assert group_flows([]) == []

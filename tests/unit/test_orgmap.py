@@ -1,0 +1,155 @@
+"""Tests for the organization-mapping substrate (entity DB, WHOIS, resolver)."""
+
+import pytest
+
+from repro.netsim.dns import DnsRecord, DnsTable
+from repro.netsim.endpoints import EndpointRegistry
+from repro.orgmap.entity_db import EntityDatabase, OrgEntity
+from repro.orgmap.resolver import UNKNOWN_ORG, OrgResolver
+from repro.orgmap.whois import REDACTED, WhoisService
+from repro.util.rng import Seed
+
+
+@pytest.fixture
+def entity_db():
+    return EntityDatabase(
+        [
+            OrgEntity(
+                "Amazon Technologies, Inc.",
+                categories=("platform provider",),
+                domains=("amazon.com", "cloudfront.net"),
+            ),
+            OrgEntity(
+                "Podtrac Inc",
+                categories=("analytic provider",),
+                domains=("podtrac.com",),
+            ),
+        ]
+    )
+
+
+class TestEntityDatabase:
+    def test_lookup_by_subdomain(self, entity_db):
+        entity = entity_db.entity_for_domain("device-metrics-us-2.amazon.com")
+        assert entity.name == "Amazon Technologies, Inc."
+
+    def test_lookup_unknown(self, entity_db):
+        assert entity_db.entity_for_domain("nobody.example.net") is None
+
+    def test_lookup_by_name(self, entity_db):
+        assert entity_db.entity_by_name("Podtrac Inc").categories == (
+            "analytic provider",
+        )
+
+    def test_duplicate_entity_rejected(self, entity_db):
+        with pytest.raises(ValueError):
+            entity_db.add(OrgEntity("Podtrac Inc", domains=("other.com",)))
+
+    def test_conflicting_domain_rejected(self, entity_db):
+        with pytest.raises(ValueError):
+            entity_db.add(OrgEntity("Impostor", domains=("podtrac.com",)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            OrgEntity("")
+
+    def test_len_and_iter(self, entity_db):
+        assert len(entity_db) == 2
+        assert {e.name for e in entity_db} == {
+            "Amazon Technologies, Inc.",
+            "Podtrac Inc",
+        }
+
+
+class TestWhois:
+    def _registry(self):
+        reg = EndpointRegistry()
+        for i in range(40):
+            reg.register(f"svc{i}.example{i}.org", organization=f"Org {i}")
+        return reg
+
+    def test_lookup_returns_registrant(self):
+        whois = WhoisService(self._registry(), Seed(1), redaction_rate=0.0)
+        record = whois.lookup("svc3.example3.org")
+        assert record.registrant_org == "Org 3"
+
+    def test_redaction_rate_roughly_applied(self):
+        whois = WhoisService(self._registry(), Seed(1), redaction_rate=0.5)
+        redacted = sum(
+            1
+            for i in range(40)
+            if whois.lookup(f"svc{i}.example{i}.org").is_redacted
+        )
+        assert 8 <= redacted <= 32  # binomial(40, .5) within wide bounds
+
+    def test_full_redaction(self):
+        whois = WhoisService(self._registry(), Seed(1), redaction_rate=1.0)
+        assert whois.lookup("svc0.example0.org").registrant_org == REDACTED
+
+    def test_unknown_domain(self):
+        whois = WhoisService(self._registry(), Seed(1))
+        assert whois.lookup("missing.example.net") is None
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WhoisService(self._registry(), Seed(1), redaction_rate=1.5)
+
+    def test_query_counter(self):
+        whois = WhoisService(self._registry(), Seed(1))
+        whois.lookup("svc0.example0.org")
+        whois.lookup("svc1.example1.org")
+        assert whois.query_count == 2
+
+    def test_deterministic_across_instances(self):
+        a = WhoisService(self._registry(), Seed(9), redaction_rate=0.4)
+        b = WhoisService(self._registry(), Seed(9), redaction_rate=0.4)
+        for i in range(40):
+            domain = f"svc{i}.example{i}.org"
+            assert a.lookup(domain).is_redacted == b.lookup(domain).is_redacted
+
+
+class TestOrgResolver:
+    def test_entity_db_preferred(self, entity_db):
+        resolver = OrgResolver(entity_db)
+        attribution = resolver.attribute_domain("play.podtrac.com")
+        assert attribution.organization == "Podtrac Inc"
+        assert attribution.source == "entity-db"
+        assert attribution.resolved
+
+    def test_whois_fallback(self, entity_db):
+        reg = EndpointRegistry()
+        reg.register("obscure.smallco.io", organization="SmallCo")
+        whois = WhoisService(reg, Seed(2), redaction_rate=0.0)
+        resolver = OrgResolver(entity_db, whois)
+        attribution = resolver.attribute_domain("obscure.smallco.io")
+        assert attribution.organization == "SmallCo"
+        assert attribution.source == "whois"
+
+    def test_redacted_whois_unresolved(self, entity_db):
+        reg = EndpointRegistry()
+        reg.register("obscure.smallco.io", organization="SmallCo")
+        whois = WhoisService(reg, Seed(2), redaction_rate=1.0)
+        resolver = OrgResolver(entity_db, whois)
+        attribution = resolver.attribute_domain("obscure.smallco.io")
+        assert attribution.organization == UNKNOWN_ORG
+        assert not attribution.resolved
+
+    def test_attribute_ip_via_dns_table(self, entity_db):
+        resolver = OrgResolver(entity_db)
+        table = DnsTable()
+        table.add(DnsRecord(domain="cdn.podtrac.com", ip="10.0.0.9"))
+        attribution = resolver.attribute_ip("10.0.0.9", table)
+        assert attribution.organization == "Podtrac Inc"
+
+    def test_attribute_ip_falls_back_to_sni(self, entity_db):
+        resolver = OrgResolver(entity_db)
+        attribution = resolver.attribute_ip(
+            "10.0.0.1", DnsTable(), sni="x.amazon.com"
+        )
+        assert attribution.organization == "Amazon Technologies, Inc."
+
+    def test_attribute_ip_unresolvable(self, entity_db):
+        resolver = OrgResolver(entity_db)
+        attribution = resolver.attribute_ip("10.0.0.1", DnsTable())
+        assert attribution.domain is None
+        assert attribution.organization == UNKNOWN_ORG

@@ -1,0 +1,195 @@
+"""Tests for policy corpus generation and the PoliCheck analyzer."""
+
+import pytest
+
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import build_catalog
+from repro.policies.corpus import build_corpus
+from repro.policies.policheck.analyzer import PolicheckAnalyzer, _collection_sentences
+from repro.policies.policheck.extraction import DataFlow
+from repro.policies.policheck.ontology import (
+    default_data_ontology,
+    default_entity_ontology,
+)
+from repro.util.rng import Seed
+
+AMAZON = "Amazon Technologies, Inc."
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(Seed(42))
+
+
+@pytest.fixture(scope="module")
+def corpus(catalog):
+    return build_corpus(catalog, Seed(42))
+
+
+@pytest.fixture(scope="module")
+def analyzer(corpus):
+    return PolicheckAnalyzer(corpus)
+
+
+class TestCorpus:
+    def test_one_document_per_downloadable_policy(self, catalog, corpus):
+        downloadable = sum(
+            1 for s in catalog if s.policy and s.policy.downloadable
+        )
+        assert len(corpus) == downloadable
+
+    def test_no_document_for_link_only_policies(self, catalog, corpus):
+        link_only = next(
+            s
+            for s in catalog
+            if s.policy and s.policy.has_link and not s.policy.downloadable
+        )
+        assert corpus.get(link_only.skill_id) is None
+
+    def test_generic_policies_never_mention_amazon(self, corpus):
+        generic = [d for d in corpus if not d.mentions_amazon]
+        assert generic
+        for doc in generic:
+            assert "amazon" not in doc.text.lower()
+            assert "alexa" not in doc.text.lower()
+
+    def test_amazon_policy_link_included_when_specified(self, corpus):
+        linked = [d for d in corpus if d.links_amazon_policy]
+        assert linked
+        for doc in linked:
+            assert "amazon.com/privacy" in doc.text
+
+    def test_deterministic(self, catalog):
+        a = build_corpus(catalog, Seed(3))
+        b = build_corpus(catalog, Seed(3))
+        assert [d.text for d in a] == [d.text for d in b]
+
+
+class TestSentenceGating:
+    def test_collection_sentences_extracted(self):
+        text = "We collect your voice recording. We love cats."
+        sentences = _collection_sentences(text)
+        assert len(sentences) == 1
+        assert "voice recording" in sentences[0]
+
+    def test_negated_sentences_skipped(self):
+        text = "We do not collect your voice recording."
+        assert _collection_sentences(text) == []
+
+    def test_never_negation_skipped(self):
+        text = "We never share identifiers with anyone."
+        assert _collection_sentences(text) == []
+
+
+class TestDataOntology:
+    def test_exact_terms_map_to_types(self):
+        ontology = default_data_ontology()
+        matches = ontology.matches("we collect your voice recording")
+        assert any(
+            m.target == dt.VOICE_RECORDING and m.specificity == "exact"
+            for m in matches
+        )
+
+    def test_broad_terms_map_to_types(self):
+        ontology = default_data_ontology()
+        matches = ontology.matches("we collect usage data")
+        assert any(
+            m.target == dt.AUDIO_PLAYER_EVENTS and m.specificity == "broad"
+            for m in matches
+        )
+
+    def test_case_insensitive(self):
+        ontology = default_data_ontology()
+        assert ontology.matches("VOICE RECORDING collected")
+
+
+class TestEntityOntology:
+    def test_exact_org_alias(self):
+        ontology = default_entity_ontology()
+        assert ontology.exact_match("data is sent to Amazon", AMAZON) == "amazon"
+
+    def test_broad_category_term(self):
+        ontology = default_entity_ontology()
+        term = ontology.broad_match(
+            "we share data with analytics providers", ("analytic provider",)
+        )
+        assert term == "analytics providers"
+
+    def test_blanket_third_party_covers_everything(self):
+        ontology = default_entity_ontology()
+        assert ontology.broad_match(
+            "shared with third parties", ("content provider",)
+        )
+
+    def test_category_mismatch_no_match(self):
+        ontology = default_entity_ontology()
+        assert (
+            ontology.broad_match(
+                "we use an analytics tool", ("content provider",)
+            )
+            is None
+        )
+
+
+class TestAnalyzerClassification:
+    def test_no_policy_classification(self, catalog, analyzer):
+        no_policy = next(s for s in catalog.active_skills if s.policy is None)
+        flow = DataFlow(no_policy.skill_id, dt.VOICE_RECORDING, AMAZON)
+        assert analyzer.classify_datatype_flow(flow).classification == "no policy"
+
+    def test_clear_voice_disclosure(self, catalog, analyzer):
+        sonos = catalog.by_name("Sonos")
+        flow = DataFlow(sonos.skill_id, dt.VOICE_RECORDING, AMAZON)
+        disclosure = analyzer.classify_datatype_flow(flow)
+        assert disclosure.classification == "clear"
+        assert disclosure.evidence_term is not None
+
+    def test_endpoint_clear_for_garmin(self, catalog, corpus):
+        analyzer = PolicheckAnalyzer(
+            corpus,
+            org_categories={"Garmin International": ("content provider",)},
+        )
+        garmin = catalog.by_name("Garmin")
+        flow = DataFlow(garmin.skill_id, None, "Garmin International")
+        assert analyzer.classify_endpoint_flow(flow).classification == "clear"
+
+    def test_endpoint_vague_via_category_terms(self, catalog, corpus):
+        analyzer = PolicheckAnalyzer(
+            corpus,
+            org_categories={
+                AMAZON: ("platform provider", "analytic provider"),
+            },
+        )
+        harmony = catalog.by_name("Harmony")
+        flow = DataFlow(harmony.skill_id, None, AMAZON)
+        assert analyzer.classify_endpoint_flow(flow).classification == "vague"
+
+    def test_endpoint_omitted_when_undisclosed(self, catalog, corpus):
+        analyzer = PolicheckAnalyzer(
+            corpus, org_categories={"Chartable Holding Inc": ("analytic provider",)}
+        )
+        tesla = catalog.by_name("My Tesla (Unofficial)")
+        flow = DataFlow(tesla.skill_id, None, "Chartable Holding Inc")
+        assert analyzer.classify_endpoint_flow(flow).classification == "omitted"
+
+    def test_platform_policy_upgrade(self, catalog, corpus):
+        """§7.2.2: consulting Amazon's policy removes all omissions."""
+        plain = PolicheckAnalyzer(corpus)
+        with_amazon = PolicheckAnalyzer(corpus, include_platform_policy=True)
+        upgraded = 0
+        for spec in catalog.active_skills:
+            if spec.policy is None or not spec.policy.downloadable:
+                continue
+            for data_type in spec.data_types:
+                flow = DataFlow(spec.skill_id, data_type, AMAZON)
+                before = plain.classify_datatype_flow(flow).classification
+                after = with_amazon.classify_datatype_flow(flow).classification
+                assert after in {"clear", "vague"}
+                if before == "omitted":
+                    upgraded += 1
+        assert upgraded > 50
+
+    def test_datatype_flow_requires_data_type(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.classify_datatype_flow(DataFlow("skill-x", None, AMAZON))

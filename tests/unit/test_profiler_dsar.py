@@ -1,0 +1,135 @@
+"""Tests for the interest profiler and the DSAR portal."""
+
+import pytest
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.cloud import AlexaCloud
+from repro.alexa.device import EchoDevice
+from repro.alexa.dsar import DataRequestPortal
+from repro.alexa.marketplace import Marketplace
+from repro.alexa.profiler import InterestProfiler
+from repro.data import categories as cat
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+@pytest.fixture
+def rig():
+    seed = Seed(13)
+    clock = SimClock()
+    router = Router(build_endpoint_registry(), clock)
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    portal = DataRequestPortal(cloud)
+    return seed, router, catalog, cloud, marketplace, portal
+
+
+def build_persona(rig, persona, n_skills=30, interact_waves=0):
+    """Install top-N skills for a persona; optionally run interactions."""
+    seed, router, catalog, cloud, marketplace, portal = rig
+    account = AmazonAccount(email=f"{persona}@example.com", persona=persona)
+    device = EchoDevice(f"dev-{persona}-{interact_waves}", account, router, cloud, seed)
+    skills = [s for s in catalog.top_skills(persona, n_skills) if s.active]
+    for spec in skills:
+        marketplace.install(account, spec.skill_id)
+    for _ in range(interact_waves):
+        for spec in skills:
+            device.run_skill_session(spec)
+        cloud.advance_epoch(account.customer_id)
+    return account
+
+
+class TestInterestProfiler:
+    def test_install_only_health_infers_interests(self, rig):
+        _, _, catalog, cloud, *_ = rig
+        account = build_persona(rig, cat.HEALTH, n_skills=30)
+        profile = InterestProfiler(catalog).profile(
+            cloud.account_state(account.customer_id)
+        )
+        assert "Electronics" in profile.interests
+        assert "Home & Garden: DIY & Tools" in profile.interests
+
+    def test_install_only_fashion_infers_nothing(self, rig):
+        _, _, catalog, cloud, *_ = rig
+        account = build_persona(rig, cat.FASHION, n_skills=30)
+        profile = InterestProfiler(catalog).profile(
+            cloud.account_state(account.customer_id)
+        )
+        assert profile.interests == ()
+
+    def test_interaction_unlocks_fashion_interests(self, rig):
+        _, _, catalog, cloud, *_ = rig
+        account = build_persona(rig, cat.FASHION, n_skills=15, interact_waves=1)
+        profile = InterestProfiler(catalog).profile(
+            cloud.account_state(account.customer_id)
+        )
+        assert "Fashion" in profile.interests
+        assert "Beauty & Personal Care" in profile.interests
+
+    def test_second_wave_evolves_interests(self, rig):
+        _, _, catalog, cloud, *_ = rig
+        account = build_persona(rig, cat.SMART_HOME, n_skills=15, interact_waves=2)
+        profile = InterestProfiler(catalog).profile(
+            cloud.account_state(account.customer_id)
+        )
+        assert "Pet Supplies" in profile.interests  # interaction-2 rule
+        assert "Electronics" not in profile.interests  # dropped from -1
+
+    def test_below_threshold_installs_ignored(self, rig):
+        _, _, catalog, cloud, *_ = rig
+        account = build_persona(rig, cat.HEALTH, n_skills=5)
+        profile = InterestProfiler(catalog).profile(
+            cloud.account_state(account.customer_id)
+        )
+        assert profile.interests == ()
+
+
+class TestDsarPortal:
+    def test_export_contains_transcripts(self, rig):
+        *_, portal = rig
+        account = build_persona(rig, cat.FASHION, n_skills=5, interact_waves=1)
+        export = portal.request_data(account.customer_id)
+        assert export.transcripts
+        assert export.files["Alexa.SkillsActivity.csv"] == len(export.transcripts)
+
+    def test_interest_file_present_before_interaction(self, rig):
+        *_, portal = rig
+        account = build_persona(rig, cat.HEALTH, n_skills=30)
+        export = portal.request_data(account.customer_id)
+        assert export.advertising_interests is not None
+
+    def test_interest_file_missing_on_second_post_interaction_request(self, rig):
+        _, _, _, cloud, _, portal = rig
+        account = build_persona(rig, cat.HEALTH, n_skills=30, interact_waves=1)
+        first = portal.request_data(account.customer_id)
+        assert first.advertising_interests is not None
+        cloud.advance_epoch(account.customer_id)
+        second = portal.request_data(account.customer_id)
+        assert second.advertising_interests is None
+
+    def test_rerequest_still_missing(self, rig):
+        _, _, _, cloud, _, portal = rig
+        account = build_persona(rig, cat.WINE, n_skills=30, interact_waves=1)
+        portal.request_data(account.customer_id)
+        cloud.advance_epoch(account.customer_id)
+        portal.request_data(account.customer_id)
+        again = portal.request_data(account.customer_id)
+        assert again.advertising_interests is None
+
+    def test_unaffected_persona_keeps_file(self, rig):
+        _, _, _, cloud, _, portal = rig
+        account = build_persona(rig, cat.SMART_HOME, n_skills=30, interact_waves=1)
+        portal.request_data(account.customer_id)
+        cloud.advance_epoch(account.customer_id)
+        second = portal.request_data(account.customer_id)
+        assert second.advertising_interests is not None
+
+    def test_request_index_increments(self, rig):
+        *_, portal = rig
+        account = build_persona(rig, cat.DATING, n_skills=3)
+        assert portal.request_data(account.customer_id).request_index == 1
+        assert portal.request_data(account.customer_id).request_index == 2

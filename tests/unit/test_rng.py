@@ -1,0 +1,61 @@
+"""Tests for deterministic RNG derivation."""
+
+import random
+
+import pytest
+
+from repro.util.rng import Seed, derive_seed_int
+
+
+class TestDeriveSeedInt:
+    def test_same_path_same_seed(self):
+        assert derive_seed_int(42, ["a", "b"]) == derive_seed_int(42, ["a", "b"])
+
+    def test_different_root_different_seed(self):
+        assert derive_seed_int(42, ["a"]) != derive_seed_int(43, ["a"])
+
+    def test_different_path_different_seed(self):
+        assert derive_seed_int(42, ["a"]) != derive_seed_int(42, ["b"])
+
+    def test_path_parts_not_concatenation_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert derive_seed_int(0, ["ab", "c"]) != derive_seed_int(0, ["a", "bc"])
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed_int(7, ["x"]) < 2**64
+
+
+class TestSeed:
+    def test_rng_streams_reproducible(self):
+        a = Seed(1).rng("auction", 5)
+        b = Seed(1).rng("auction", 5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_rng_streams_independent(self):
+        a = Seed(1).rng("auction", 5)
+        b = Seed(1).rng("auction", 6)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_numpy_rng_reproducible(self):
+        a = Seed(3).numpy_rng("bids")
+        b = Seed(3).numpy_rng("bids")
+        assert (a.standard_normal(8) == b.standard_normal(8)).all()
+
+    def test_derive_equivalent_to_nested_path(self):
+        child = Seed(9).derive("alexa")
+        assert child.rng("x").random() == Seed(9).derive("alexa").rng("x").random()
+
+    def test_returns_stdlib_random(self):
+        assert isinstance(Seed(0).rng("z"), random.Random)
+
+    def test_rejects_non_int_root(self):
+        with pytest.raises(TypeError):
+            Seed("42")  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Seed(5) == Seed(5)
+        assert Seed(5) != Seed(6)
+        assert len({Seed(5), Seed(5), Seed(6)}) == 2
+
+    def test_repr(self):
+        assert repr(Seed(12)) == "Seed(12)"

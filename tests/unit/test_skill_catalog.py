@@ -1,0 +1,205 @@
+"""Tests for the seeded skill catalog: quotas, named skills, invariants."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data import categories as cat
+from repro.data import datatypes as dt
+from repro.data.skill_catalog import (
+    QUOTAS,
+    STREAMING_SKILLS,
+    PolicySpec,
+    SkillCatalog,
+    SkillSpec,
+    build_catalog,
+)
+from repro.util.rng import Seed
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(Seed(42))
+
+
+class TestCatalogShape:
+    def test_total_skills(self, catalog):
+        assert len(catalog) == 450
+
+    def test_fifty_per_category(self, catalog):
+        for category in cat.ALL_CATEGORIES:
+            assert len(catalog.in_category(category)) == 50
+
+    def test_four_failed_skills(self, catalog):
+        assert sum(1 for s in catalog if s.fails_to_load) == 4
+
+    def test_active_count(self, catalog):
+        assert len(catalog.active_skills) == 446
+
+    def test_unique_skill_ids(self, catalog):
+        ids = [s.skill_id for s in catalog]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self):
+        a = build_catalog(Seed(5))
+        b = build_catalog(Seed(5))
+        assert [s.skill_id for s in a] == [s.skill_id for s in b]
+        assert [s.data_types for s in a] == [s.data_types for s in b]
+
+    def test_different_seeds_differ(self):
+        a = build_catalog(Seed(5))
+        b = build_catalog(Seed(6))
+        assert [s.data_types for s in a] != [s.data_types for s in b]
+
+
+class TestNamedSkills:
+    def test_garmin_endpoints(self, catalog):
+        garmin = catalog.by_name("Garmin")
+        assert "chtbl.com" in garmin.other_endpoints
+        assert "static.garmincdn.com" in garmin.other_endpoints
+        assert garmin.category == cat.CONNECTED_CAR
+
+    def test_only_two_skills_contact_own_domains(self, catalog):
+        own_only = [
+            s
+            for s in catalog.active_skills
+            if s.other_endpoints and not s.contacts_third_party
+        ]
+        assert {s.name for s in own_only} == {"YouVersion Bible"}
+        garmin = catalog.by_name("Garmin")
+        assert garmin.contacts_third_party  # Garmin contacts both kinds
+
+    def test_thirty_one_third_party_skills(self, catalog):
+        assert sum(1 for s in catalog.active_skills if s.contacts_third_party) == 31
+
+    def test_sonos_policy_clear(self, catalog):
+        policy = catalog.by_name("Sonos").policy
+        assert policy.platform_disclosure == "clear"
+        assert policy.links_amazon_policy
+        assert policy.datatype_disclosures[dt.VOICE_RECORDING] == "clear"
+
+    def test_smart_home_has_vendor_advertiser_skills(self, catalog):
+        vendors = {s.vendor for s in catalog.in_category(cat.SMART_HOME)}
+        assert {"Microsoft", "SimpliSafe", "Samsung", "LG"} <= vendors
+
+    def test_health_persona_has_table8_skills(self, catalog):
+        names = {s.name for s in catalog.in_category(cat.HEALTH)}
+        assert {"Air Quality Report", "Essential Oil Benefits"} <= names
+
+    def test_failed_skills_have_no_endpoints(self, catalog):
+        for spec in catalog:
+            if spec.fails_to_load:
+                assert spec.amazon_endpoints == ()
+                assert spec.data_types == ()
+
+
+class TestPolicyQuotas:
+    def test_policy_link_quota(self, catalog):
+        links = sum(1 for s in catalog if s.policy and s.policy.has_link)
+        assert links == QUOTAS["policy_links"]
+
+    def test_downloadable_quota(self, catalog):
+        downloadable = sum(
+            1 for s in catalog if s.policy and s.policy.downloadable
+        )
+        assert downloadable == QUOTAS["policies_downloadable"]
+
+    def test_mention_amazon_quota(self, catalog):
+        mention = sum(
+            1
+            for s in catalog
+            if s.policy and s.policy.downloadable and s.policy.mentions_amazon
+        )
+        assert mention == QUOTAS["policies_mention_amazon"]
+
+    def test_platform_disclosure_quota(self, catalog):
+        counts = Counter(
+            s.policy.platform_disclosure
+            for s in catalog
+            if s.policy and s.policy.downloadable
+        )
+        assert counts == Counter(QUOTAS["platform_disclosure"])
+
+    def test_datatype_quotas(self, catalog):
+        for data_type, (clear, vague, omitted, no_policy) in QUOTAS[
+            "datatype_disclosure"
+        ].items():
+            collectors = [s for s in catalog.active_skills if data_type in s.data_types]
+            with_policy = [
+                s for s in collectors if s.policy and s.policy.downloadable
+            ]
+            classes = Counter(
+                s.policy.datatype_disclosures.get(data_type) for s in with_policy
+            )
+            assert classes["clear"] == clear, data_type
+            assert classes["vague"] == vague, data_type
+            assert classes["omitted"] == omitted, data_type
+            assert len(collectors) - len(with_policy) == no_policy, data_type
+
+    def test_customer_id_subset_of_skill_id(self, catalog):
+        for spec in catalog.active_skills:
+            if dt.CUSTOMER_ID in spec.data_types:
+                assert dt.SKILL_ID in spec.data_types
+
+    def test_timezone_tracks_language(self, catalog):
+        for spec in catalog.active_skills:
+            assert (dt.LANGUAGE in spec.data_types) == (
+                dt.TIMEZONE in spec.data_types
+            )
+
+
+class TestCatalogApi:
+    def test_top_skills_sorted_by_reviews(self, catalog):
+        top = catalog.top_skills(cat.SMART_HOME, 10)
+        reviews = [s.review_count for s in top]
+        assert reviews == sorted(reviews, reverse=True)
+
+    def test_top_skills_capped(self, catalog):
+        assert len(catalog.top_skills(cat.DATING, 5)) == 5
+
+    def test_by_id_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.by_id("skill-nope")
+
+    def test_by_name_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.by_name("Nope")
+
+    def test_duplicate_ids_rejected(self):
+        spec = SkillSpec(
+            skill_id="skill-x",
+            name="X",
+            category=cat.DATING,
+            vendor="V",
+            review_count=1,
+            invocation_name="x",
+            sample_utterances=("open x",),
+        )
+        with pytest.raises(ValueError):
+            SkillCatalog([spec, spec])
+
+
+class TestPolicySpecValidation:
+    def test_downloadable_requires_link(self):
+        with pytest.raises(ValueError):
+            PolicySpec(has_link=False, downloadable=True)
+
+    def test_invalid_disclosure_class(self):
+        with pytest.raises(ValueError):
+            PolicySpec(
+                has_link=True,
+                downloadable=True,
+                platform_disclosure="fuzzy",
+            )
+
+
+class TestStreamingSkills:
+    def test_trio_present(self):
+        assert [s.name for s in STREAMING_SKILLS] == [
+            "Amazon Music",
+            "Spotify",
+            "Pandora",
+        ]
+
+    def test_all_streaming(self):
+        assert all(s.is_streaming for s in STREAMING_SKILLS)

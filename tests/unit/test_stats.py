@@ -1,0 +1,113 @@
+"""Tests for the statistics module, cross-checked against SciPy."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.stats import (
+    effect_size_label,
+    mann_whitney_u,
+    rank_biserial,
+    summarize,
+)
+
+
+class TestMannWhitney:
+    def test_matches_scipy_greater(self):
+        rng = np.random.default_rng(1)
+        x = rng.lognormal(-2.3, 1.5, 40)
+        y = rng.lognormal(-3.5, 1.8, 40)
+        ours = mann_whitney_u(x, y, alternative="greater")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="greater")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+
+    def test_matches_scipy_two_sided(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 35)
+        y = rng.normal(0.4, 1, 30)
+        ours = mann_whitney_u(x, y, alternative="two-sided")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_matches_scipy_less(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, 25)
+        y = rng.normal(0.5, 1, 25)
+        ours = mann_whitney_u(x, y, alternative="less")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="less")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_ties_handled(self):
+        x = [1.0, 1.0, 2.0, 3.0, 3.0, 4.0, 5.0, 5.0, 6.0, 7.0]
+        y = [1.0, 2.0, 2.0, 3.0, 4.0, 4.0, 5.0, 6.0, 6.0, 6.0]
+        ours = mann_whitney_u(x, y, alternative="two-sided")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_small_samples_use_exact(self):
+        x = [3.0, 4.0, 5.0]
+        y = [1.0, 2.0]
+        ours = mann_whitney_u(x, y, alternative="greater")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="greater", method="exact")
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_clear_dominance_significant(self):
+        x = list(range(100, 140))
+        y = list(range(40))
+        result = mann_whitney_u(x, y, alternative="greater")
+        assert result.significant
+        assert result.effect_size == pytest.approx(1.0)
+
+    def test_identical_samples_not_significant(self):
+        x = [float(i) for i in range(30)]
+        result = mann_whitney_u(x, x, alternative="greater")
+        assert not result.significant
+        assert abs(result.effect_size) < 0.01
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_invalid_alternative_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], alternative="sideways")
+
+
+class TestRankBiserial:
+    def test_bounds(self):
+        assert rank_biserial(0, 10, 10) == -1.0
+        assert rank_biserial(100, 10, 10) == 1.0
+        assert rank_biserial(50, 10, 10) == 0.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            rank_biserial(5, 0, 10)
+
+
+class TestEffectSizeLabels:
+    @pytest.mark.parametrize(
+        "value,label",
+        [
+            (0.05, "negligible"),
+            (0.2, "small"),
+            (0.35, "medium"),
+            (0.5, "large"),
+            (-0.5, "large"),  # magnitude-based
+        ],
+    )
+    def test_paper_banding(self, value, label):
+        assert effect_size_label(value) == label
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 10.0])
+        assert summary.median == 2.5
+        assert summary.mean == 4.0
+        assert summary.n == 4
+        assert summary.maximum == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

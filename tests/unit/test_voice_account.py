@@ -1,0 +1,92 @@
+"""Tests for the voice frontend and Amazon accounts."""
+
+import pytest
+
+from repro.alexa.account import AmazonAccount
+from repro.alexa.voice import Transcription, VoiceFrontend
+from repro.util.rng import Seed
+
+
+class TestWakeWord:
+    def test_wake_word_strips_prefix(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.0)
+        assert vf.detect_wake_word("alexa, open garmin") == "open garmin"
+
+    def test_alternate_wake_words(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.0)
+        assert vf.detect_wake_word("echo play music") == "play music"
+        assert vf.detect_wake_word("computer stop") == "stop"
+
+    def test_no_wake_word_ignored(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.0)
+        assert vf.detect_wake_word("open garmin") is None
+
+    def test_empty_utterance(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.0)
+        assert vf.detect_wake_word("   ") is None
+
+    def test_misactivations_occur_at_configured_rate(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.5)
+        triggered = sum(
+            1 for _ in range(200) if vf.detect_wake_word("just chatting") is not None
+        )
+        assert 60 <= triggered <= 140
+        assert vf.misactivations == triggered
+
+    def test_zero_misactivation_never_triggers(self):
+        vf = VoiceFrontend(Seed(1), misactivation_rate=0.0)
+        assert all(
+            vf.detect_wake_word("private conversation") is None for _ in range(100)
+        )
+
+
+class TestTranscription:
+    def test_clean_transcription(self):
+        vf = VoiceFrontend(Seed(1), word_error_rate=0.0)
+        result = vf.transcribe("Open Garmin")
+        assert result.text == "open garmin"
+        assert result.confidence > 0.9
+
+    def test_word_errors_lower_confidence(self):
+        vf = VoiceFrontend(Seed(1), word_error_rate=1.0)
+        result = vf.transcribe("drive to there by four")
+        assert result.text != "drive to there by four"
+        assert result.confidence < 0.95
+
+    def test_confidence_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Transcription(text="x", confidence=1.5)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            VoiceFrontend(Seed(1), word_error_rate=2.0)
+        with pytest.raises(ValueError):
+            VoiceFrontend(Seed(1), misactivation_rate=-0.1)
+
+
+class TestAmazonAccount:
+    def test_derived_identifiers_stable(self):
+        a = AmazonAccount(email="p@example.com", persona="x")
+        b = AmazonAccount(email="p@example.com", persona="x")
+        assert a.customer_id == b.customer_id
+        assert a.session_cookie == b.session_cookie
+
+    def test_different_emails_different_ids(self):
+        a = AmazonAccount(email="p@example.com", persona="x")
+        b = AmazonAccount(email="q@example.com", persona="x")
+        assert a.customer_id != b.customer_id
+
+    def test_customer_id_format(self):
+        account = AmazonAccount(email="p@example.com", persona="x")
+        assert account.customer_id.startswith("A")
+        assert len(account.customer_id) == 14
+
+    def test_cookies_include_session(self):
+        account = AmazonAccount(email="p@example.com", persona="x")
+        cookies = account.amazon_cookies
+        assert cookies["session-id"] == account.session_cookie
+        assert cookies["x-main"] == account.customer_id
+
+    def test_invalid_email_rejected(self):
+        with pytest.raises(ValueError):
+            AmazonAccount(email="not-an-email", persona="x")

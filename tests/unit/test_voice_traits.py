@@ -1,0 +1,120 @@
+"""Tests for voice-derived trait inference (the patent-[69] model)."""
+
+import pytest
+
+from repro.alexa import AVSEcho, AlexaCloud, AmazonAccount, Marketplace
+from repro.alexa.voice_traits import (
+    AGE_BANDS,
+    HEALTH_MARKERS,
+    SpeakerProfile,
+    TraitInference,
+    traits_exposed,
+)
+from repro.data.domains import build_endpoint_registry
+from repro.data.skill_catalog import build_catalog
+from repro.defenses import LocalProcessingEcho
+from repro.netsim.router import Router
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+
+
+class TestSpeakerProfile:
+    def test_deterministic_per_speaker(self):
+        a = SpeakerProfile.derive(Seed(1), "alice@example.com")
+        b = SpeakerProfile.derive(Seed(1), "alice@example.com")
+        assert a == b
+
+    def test_differs_across_speakers(self):
+        profiles = {
+            SpeakerProfile.derive(Seed(1), f"user{i}@example.com")
+            for i in range(20)
+        }
+        assert len(profiles) > 5
+
+    def test_fields_in_vocabulary(self):
+        profile = SpeakerProfile.derive(Seed(2), "x@example.com")
+        assert profile.age_band in AGE_BANDS
+        assert profile.health_marker in HEALTH_MARKERS
+
+    def test_signal_roundtrip(self):
+        profile = SpeakerProfile.derive(Seed(3), "y@example.com")
+        signal = profile.as_signal()
+        assert signal["age_band"] == profile.age_band
+        assert set(signal) == {"age_band", "mood", "health_marker", "accent"}
+
+
+class TestTraitInference:
+    def test_needs_corroboration(self):
+        inference = TraitInference(min_observations=3)
+        signal = {"mood": "tired", "health_marker": "cough"}
+        inference.observe("C1", signal)
+        inference.observe("C1", signal)
+        assert inference.inferred_traits("C1") == {}
+        inference.observe("C1", signal)
+        assert inference.inferred_traits("C1") == {
+            "mood": "tired",
+            "health_marker": "cough",
+        }
+
+    def test_healthy_marker_never_inferred(self):
+        inference = TraitInference(min_observations=1)
+        inference.observe("C1", {"health_marker": "none"})
+        assert inference.inferred_traits("C1") == {}
+
+    def test_cough_targets_cough_drops(self):
+        inference = TraitInference(min_observations=1)
+        inference.observe("C1", {"health_marker": "cough"})
+        assert "Cough drops" in inference.targetable_products("C1")
+
+    def test_customers_isolated(self):
+        inference = TraitInference(min_observations=1)
+        inference.observe("C1", {"mood": "stressed"})
+        assert inference.inferred_traits("C2") == {}
+
+
+@pytest.fixture
+def rig():
+    seed = Seed(83)
+    router = Router(build_endpoint_registry(), SimClock())
+    catalog = build_catalog(seed)
+    cloud = AlexaCloud(catalog, router, router.clock, seed)
+    marketplace = Marketplace(catalog, cloud)
+    return seed, router, catalog, cloud, marketplace
+
+
+class TestDevicePipeline:
+    def test_stock_device_leaks_traits(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        account = AmazonAccount(email="leaky@example.com", persona="leaky")
+        device = AVSEcho("avs-traits", account, router, cloud, seed)
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        device.run_skill_session(spec)
+        exposed = traits_exposed(device.plaintext_log)
+        assert exposed.get("age_band", 0) > 0
+        assert exposed.get("health_marker", 0) > 0
+
+    def test_local_voice_defense_leaks_nothing(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        account = AmazonAccount(email="safe@example.com", persona="safe")
+        device = LocalProcessingEcho("lv-traits", account, router, cloud, seed)
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        device.run_skill_session(spec)
+        assert traits_exposed(device.plaintext_log) == {}
+
+    def test_platform_can_run_patent_inference_on_uploads(self, rig):
+        seed, router, catalog, cloud, marketplace = rig
+        account = AmazonAccount(email="infer@example.com", persona="infer")
+        device = AVSEcho("avs-infer", account, router, cloud, seed)
+        spec = catalog.by_name("Sonos")
+        marketplace.install(account, spec.skill_id)
+        for _ in range(3):
+            device.run_skill_session(spec)
+        inference = TraitInference()
+        for record in device.plaintext_log:
+            body = record.payload["body"]
+            if body.get("voice_characteristics"):
+                inference.observe(account.customer_id, body["voice_characteristics"])
+        traits = inference.inferred_traits(account.customer_id)
+        assert traits.get("age_band") == device.speaker_profile.age_band

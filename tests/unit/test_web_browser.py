@@ -1,0 +1,125 @@
+"""Tests for the browser, cookie jar, and web universe."""
+
+import pytest
+
+from repro.alexa.account import AmazonAccount
+from repro.netsim.http import HttpResponse
+from repro.util.clock import SimClock
+from repro.web.browser import Browser, BrowserProfile, CookieJar, WebUniverse
+
+
+@pytest.fixture
+def universe():
+    u = WebUniverse()
+    u.register("site.example.com", lambda req: HttpResponse(200, body={"hi": 1}))
+    u.register(
+        "setter.example.com",
+        lambda req: HttpResponse(200, set_cookies={"sid": "abc"}),
+    )
+    return u
+
+
+@pytest.fixture
+def browser(universe):
+    return Browser(BrowserProfile("prof-1", "tester"), universe, SimClock())
+
+
+class TestCookieJar:
+    def test_set_get_by_registrable_domain(self):
+        jar = CookieJar()
+        jar.set("sub.example.com", "a", "1")
+        assert jar.get("other.example.com") == {"a": "1"}
+
+    def test_different_sites_isolated(self):
+        jar = CookieJar()
+        jar.set("a.com", "x", "1")
+        assert jar.get("b.com") == {}
+
+    def test_len_counts_cookies(self):
+        jar = CookieJar()
+        jar.set("a.com", "x", "1")
+        jar.set("a.com", "y", "2")
+        jar.set("b.com", "x", "3")
+        assert len(jar) == 3
+
+
+class TestBrowser:
+    def test_get_returns_body(self, browser):
+        response = browser.get("https://site.example.com/")
+        assert response.ok and response.body["hi"] == 1
+
+    def test_request_logged(self, browser):
+        browser.get("https://site.example.com/")
+        assert len(browser.request_log) == 1
+        assert browser.request_log[0].url == "https://site.example.com/"
+
+    def test_set_cookie_persisted(self, browser):
+        browser.get("https://setter.example.com/")
+        assert browser.profile.jar.get("setter.example.com")["sid"] == "abc"
+
+    def test_uid_minted_on_first_visit(self, browser):
+        browser.get("https://site.example.com/")
+        assert "uid" in browser.profile.jar.get("site.example.com")
+
+    def test_uid_deterministic_per_profile(self, universe):
+        clock = SimClock()
+        a = Browser(BrowserProfile("p1", "t"), universe, clock)
+        b = Browser(BrowserProfile("p1", "t"), universe, clock)
+        a.get("https://site.example.com/")
+        b.get("https://site.example.com/")
+        assert a.profile.jar.get("site.example.com") == b.profile.jar.get(
+            "site.example.com"
+        )
+
+    def test_uid_differs_across_profiles(self, universe):
+        clock = SimClock()
+        a = Browser(BrowserProfile("p1", "t"), universe, clock)
+        b = Browser(BrowserProfile("p2", "t"), universe, clock)
+        a.get("https://site.example.com/")
+        b.get("https://site.example.com/")
+        assert a.profile.jar.get("site.example.com") != b.profile.jar.get(
+            "site.example.com"
+        )
+
+    def test_redirect_chain_followed_and_logged(self, universe, browser):
+        universe.register(
+            "hop1.example.com",
+            lambda req: HttpResponse(
+                302, redirect_url="https://hop2.example.com/land"
+            ),
+        )
+        universe.register("hop2.example.com", lambda req: HttpResponse(200))
+        response = browser.get("https://hop1.example.com/start")
+        assert response.ok
+        chain = [r for r in browser.request_log if r.chain_root.endswith("/start")]
+        assert len(chain) == 2
+        assert chain[0].redirect_to == "https://hop2.example.com/land"
+
+    def test_redirect_loop_guard(self, universe, browser):
+        universe.register(
+            "loop.example.com",
+            lambda req: HttpResponse(302, redirect_url="https://loop.example.com/"),
+        )
+        with pytest.raises(RuntimeError, match="redirect loop"):
+            browser.get("https://loop.example.com/")
+
+    def test_unknown_site_404(self, browser):
+        assert browser.get("https://missing.example.com/").status == 404
+
+    def test_clock_advances_per_request(self, browser):
+        before = browser.clock.now
+        browser.get("https://site.example.com/")
+        assert browser.clock.now > before
+
+
+class TestAmazonLogin:
+    def test_login_sets_cookies_on_amazon_properties(self):
+        profile = BrowserProfile("prof-2", "tester")
+        account = AmazonAccount(email="a@example.com", persona="tester")
+        profile.login_amazon(account)
+        assert profile.jar.get("www.amazon.com")["session-id"] == account.session_cookie
+        assert (
+            profile.jar.get("s.amazon-adsystem.com")["session-id"]
+            == account.session_cookie
+        )
+        assert profile.account is account

@@ -1,0 +1,82 @@
+"""Tests for the web-tracking pixel mechanism behind web personas."""
+
+import pytest
+
+from repro.adtech.exchange import (
+    TRACKER_DOMAIN,
+    WEB_EVIDENCE_THRESHOLD,
+    AdTechWorld,
+)
+from repro.core.syncing import detect_cookie_syncing
+from repro.data import categories as cat
+from repro.util.clock import SimClock
+from repro.util.rng import Seed
+from repro.web.browser import Browser, BrowserProfile, WebUniverse
+
+
+@pytest.fixture
+def rig():
+    universe = WebUniverse()
+    adtech = AdTechWorld(Seed(61), universe)
+    profile = BrowserProfile("prof-web", cat.WEB_HEALTH)
+    state = adtech.register_profile(profile)
+    browser = Browser(profile, universe, SimClock())
+    return adtech, browser, state
+
+
+def hit_pixel(browser, category, n):
+    for i in range(n):
+        browser.get(
+            f"https://{TRACKER_DOMAIN}/t?cat={category}&page=site{i}.example.org"
+        )
+
+
+class TestTrackerPixel:
+    def test_evidence_accumulates(self, rig):
+        adtech, browser, state = rig
+        hit_pixel(browser, cat.WEB_HEALTH, 3)
+        assert state.web_evidence[cat.WEB_HEALTH] == 3
+        assert not state.interacted
+
+    def test_threshold_flips_interacted(self, rig):
+        adtech, browser, state = rig
+        hit_pixel(browser, cat.WEB_HEALTH, WEB_EVIDENCE_THRESHOLD)
+        assert state.interacted
+
+    def test_off_category_evidence_does_not_flip(self, rig):
+        adtech, browser, state = rig
+        hit_pixel(browser, cat.WEB_SCIENCE, WEB_EVIDENCE_THRESHOLD + 5)
+        assert state.web_evidence[cat.WEB_SCIENCE] > WEB_EVIDENCE_THRESHOLD
+        assert not state.interacted  # not this profile's own category
+
+    def test_unknown_uid_ignored(self, rig):
+        adtech, _, state = rig
+        fresh = Browser(
+            BrowserProfile("stranger", cat.WEB_HEALTH),
+            adtech.universe,
+            SimClock(),
+        )
+        # Profile never registered: evidence goes nowhere, no crash.
+        fresh.get(f"https://{TRACKER_DOMAIN}/t?cat=web-health&page=x.example.org")
+        assert state.web_evidence == {}
+
+
+class TestPrimingIntegration:
+    def test_web_personas_primed_via_pixels(self, small_dataset):
+        adtech = small_dataset.world.adtech
+        for name in (cat.WEB_HEALTH, cat.WEB_SCIENCE, cat.WEB_COMPUTERS):
+            assert adtech.is_interacted(f"profile-{name}")
+            state = adtech._profiles[f"profile-{name}"]
+            assert state.web_evidence[name] >= WEB_EVIDENCE_THRESHOLD
+
+    def test_pixel_traffic_in_request_logs(self, small_dataset):
+        artifacts = small_dataset.artifacts(cat.WEB_HEALTH)
+        crawler_log = artifacts.request_log
+        pixel_hits = [r for r in crawler_log if TRACKER_DOMAIN in r.url]
+        assert len(pixel_hits) == 50  # one per priming site
+
+    def test_pixels_not_mistaken_for_cookie_syncs(self, small_dataset):
+        sync = detect_cookie_syncing(small_dataset)
+        assert all(
+            TRACKER_DOMAIN not in event.destination_host for event in sync.events
+        )

@@ -1,0 +1,89 @@
+"""Tests for the website toplist and the cookie-sync graph views."""
+
+import networkx as nx
+import pytest
+
+from repro.core.syncing import SyncAnalysis, detect_cookie_syncing
+from repro.data.websites import N_PREBID_TARGET, WEB_PRIMING_SITES, build_toplist
+from repro.util.rng import Seed
+
+
+class TestToplist:
+    def test_size(self):
+        assert len(build_toplist(Seed(1), size=200)) == 200
+
+    def test_unique_domains(self):
+        sites = build_toplist(Seed(1))
+        domains = [s.domain for s in sites]
+        assert len(domains) == len(set(domains))
+
+    def test_ranks_sequential(self):
+        sites = build_toplist(Seed(1), size=50)
+        assert [s.rank for s in sites] == list(range(1, 51))
+
+    def test_prebid_share_reasonable(self):
+        sites = build_toplist(Seed(1))
+        share = sum(1 for s in sites if s.supports_prebid) / len(sites)
+        assert 0.2 < share < 0.5
+
+    def test_prebid_sites_have_slots_and_version(self):
+        for site in build_toplist(Seed(2), size=300):
+            if site.supports_prebid:
+                assert site.ad_slots >= 2
+                assert site.prebid_version
+            else:
+                assert site.ad_slots == 0
+                assert not site.prebid_version
+
+    def test_enough_prebid_sites_for_discovery(self):
+        sites = build_toplist(Seed(3))
+        assert sum(1 for s in sites if s.supports_prebid) >= N_PREBID_TARGET
+
+    def test_deterministic(self):
+        a = build_toplist(Seed(4), size=100)
+        b = build_toplist(Seed(4), size=100)
+        assert a == b
+
+    def test_priming_sites_fifty_per_category(self):
+        sites = WEB_PRIMING_SITES("web-health")
+        assert len(sites) == 50
+        assert len(set(sites)) == 50
+        assert all("health" in s for s in sites)
+
+
+class TestSyncGraph:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_dataset):
+        return detect_cookie_syncing(small_dataset)
+
+    def test_graph_roles(self, analysis):
+        graph = analysis.sync_graph()
+        roles = nx.get_node_attributes(graph, "role")
+        assert roles["amazon"] == "amazon"
+        assert set(roles.values()) == {"amazon", "partner", "downstream"}
+
+    def test_amazon_sink_only(self, analysis):
+        graph = analysis.sync_graph()
+        assert graph.out_degree("amazon") == 0
+        assert graph.in_degree("amazon") == analysis.partner_count
+
+    def test_downstream_nodes_are_sinks(self, analysis):
+        graph = analysis.sync_graph()
+        for node, data in graph.nodes(data=True):
+            if data["role"] == "downstream":
+                assert graph.out_degree(node) == 0
+                assert graph.in_degree(node) >= 1
+
+    def test_propagation_reach_positive(self, analysis):
+        reach = analysis.propagation_reach()
+        assert reach
+        assert all(v >= 1 for v in reach.values())
+
+    def test_reach_counts_match_graph(self, analysis):
+        graph = analysis.sync_graph()
+        for partner, degree in analysis.propagation_reach().items():
+            assert graph.out_degree(partner) == degree
+
+    def test_empty_analysis_graph(self):
+        graph = SyncAnalysis().sync_graph()
+        assert list(graph.nodes) == ["amazon"]
