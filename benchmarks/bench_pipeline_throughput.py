@@ -2,10 +2,17 @@
 
 Not a paper table — these time the reproduction's own moving parts so
 regressions in the simulator or the analyses are caught: world build,
-one skill-session audit, one crawl iteration, and a DSAR round trip.
+one skill-session audit, one crawl iteration, a DSAR round trip, and
+the persona-sharded parallel runner's speedup over the serial campaign.
 """
 
+import os
+import time
+
 from repro.alexa import AmazonAccount, EchoDevice
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.parallel import _run_shard, run_parallel_experiment, shard_personas
+from repro.core.personas import all_personas
 from repro.core.world import build_world
 from repro.util.rng import Seed
 from repro.web import BrowserProfile, OpenWPMCrawler, discover_prebid_sites
@@ -62,3 +69,61 @@ def bench_dsar_round_trip(benchmark):
     world.cloud.register_account(account)
     export = benchmark(lambda: world.dsar.request_data(account.customer_id))
     assert export.files
+
+
+def bench_parallel_speedup(benchmark):
+    """Persona-sharded runner at 4 workers: ≥1.8× over the serial run.
+
+    Wall-clock speedup only materializes with ≥4 CPUs, so the invariant
+    asserted everywhere is the *critical path*: the slowest shard (which
+    bounds parallel wall-clock on an unloaded machine) must run ≥1.8×
+    faster than the serial campaign.  On hosts that actually have the
+    cores, the measured end-to-end speedup is asserted too.
+    """
+    config = ExperimentConfig(
+        skills_per_persona=10,
+        pre_iterations=2,
+        post_iterations=6,
+        crawl_sites=8,
+        prebid_discovery_target=50,
+        audio_hours=2.0,
+    )
+    seed = Seed(105)
+
+    started = time.perf_counter()
+    serial_dataset = run_experiment(seed, config)
+    serial_seconds = time.perf_counter() - started
+
+    # Each shard timed in isolation: the max is what a 4-worker run
+    # converges to when every worker has its own core.
+    shard_seconds = []
+    for index, shard in enumerate(shard_personas(all_personas(), 4)):
+        started = time.perf_counter()
+        _run_shard(index, seed, config, [p.name for p in shard])
+        shard_seconds.append(time.perf_counter() - started)
+    critical_path = max(shard_seconds)
+
+    parallel_dataset = benchmark.pedantic(
+        lambda: run_parallel_experiment(seed, config, workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = parallel_dataset.timings["total"]
+
+    ideal_speedup = serial_seconds / critical_path
+    measured_speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["critical_path_seconds"] = round(critical_path, 3)
+    benchmark.extra_info["ideal_speedup"] = round(ideal_speedup, 2)
+    benchmark.extra_info["measured_speedup"] = round(measured_speedup, 2)
+
+    assert len(parallel_dataset.personas) == len(serial_dataset.personas)
+    assert ideal_speedup >= 1.8, (
+        f"critical-path speedup {ideal_speedup:.2f}x < 1.8x: shard load "
+        f"balance regressed (shards: {[round(s, 2) for s in shard_seconds]})"
+    )
+    if len(os.sched_getaffinity(0)) >= 4:
+        assert measured_speedup >= 1.8, (
+            f"measured 4-worker speedup {measured_speedup:.2f}x < 1.8x "
+            f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
+        )

@@ -12,10 +12,41 @@ from repro.core.experiment import run_cached_experiment
 from repro.core.personas import interest_personas
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "campaign execution")
+    group.addoption(
+        "--parallel",
+        action="store_true",
+        default=False,
+        help="build the session dataset with the persona-sharded parallel "
+        "runner (export-identical to the serial run)",
+    )
+    group.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=4,
+        help="worker count when --parallel is set",
+    )
+
+
 @pytest.fixture(scope="session")
-def dataset():
+def dataset(request):
     """The paper-scale campaign (450 skills, 31 crawl iterations, 13
-    personas) under the default seed."""
+    personas) under the default seed.
+
+    Served from the on-disk dataset cache when warm.  With ``--parallel``
+    a cold build uses the sharded runner instead of the serial one — the
+    two produce export-identical datasets, so every benchmark sees the
+    same artifacts either way.
+    """
+    if request.config.getoption("--parallel"):
+        from repro.core.parallel import run_parallel_experiment
+        from repro.util.rng import Seed
+
+        return run_parallel_experiment(
+            Seed(42), workers=request.config.getoption("--workers")
+        )
     return run_cached_experiment(42)
 
 

@@ -29,6 +29,7 @@ Package map:
 """
 
 from repro.core.experiment import ExperimentConfig, run_cached_experiment, run_experiment
+from repro.core.parallel import run_parallel_experiment
 from repro.util.rng import Seed
 
 __version__ = "1.0.0"
@@ -39,4 +40,5 @@ __all__ = [
     "__version__",
     "run_cached_experiment",
     "run_experiment",
+    "run_parallel_experiment",
 ]

@@ -151,7 +151,7 @@ class AlexaCloud:
         command = body.get("voice_recording", "")
         allow_streaming = bool(body.get("allow_streaming", True))
 
-        transcription = self.voice.transcribe(command)
+        transcription = self.voice.transcribe(command, speaker=customer_id)
         state = self._accounts[customer_id]
         spec = self._route(transcription.text, state)
         linked = state.linked.get(spec.skill_id, True) if spec else True

@@ -85,7 +85,7 @@ class EchoDevice:
     def say(self, utterance: str) -> Optional[str]:
         """Speak to the device.  Returns Alexa's spoken reply, or None
         when the wake word did not trigger."""
-        command = self.cloud.voice.detect_wake_word(utterance)
+        command = self.cloud.voice.detect_wake_word(utterance, speaker=self.device_id)
         if command is None:
             return None
         response = self._send(

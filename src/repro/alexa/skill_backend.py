@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.data import datatypes as dt
 from repro.data.skill_catalog import SkillSpec
-from repro.util.rng import Seed
+from repro.util.rng import Seed, StreamFamily
 
 __all__ = ["Directive", "SkillResult", "SkillBackend"]
 
@@ -53,7 +53,11 @@ class SkillBackend:
 
     def __init__(self, spec: SkillSpec, seed: Seed) -> None:
         self.spec = spec
-        self._rng = seed.rng("skill-backend", spec.skill_id)
+        # One flakiness stream per customer: backends are shared across
+        # accounts (streaming skills serve several personas), and a single
+        # sequential stream would make one persona's redirects depend on
+        # which other personas invoked the skill first.
+        self._streams = StreamFamily(seed, "skill-backend", spec.skill_id)
 
     def invoke(
         self,
@@ -73,7 +77,7 @@ class SkillBackend:
         skill asks for linking and skips its content fetches, but Amazon-
         mediated data collection happens regardless.
         """
-        if self._rng.random() < self.REDIRECT_RATE:
+        if self._streams.stream(customer_id).random() < self.REDIRECT_RATE:
             return SkillResult(
                 skill_id=self.spec.skill_id, handled=False, redirected_to_alexa=True
             )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.util.rng import Seed
+from repro.util.rng import Seed, StreamFamily
 
 __all__ = ["WAKE_WORDS", "VoiceFrontend", "Transcription"]
 
@@ -55,11 +55,26 @@ class VoiceFrontend:
         if not 0.0 <= misactivation_rate <= 1.0:
             raise ValueError("misactivation_rate must be in [0, 1]")
         self._rng = seed.rng("voice", "asr")
+        self._streams = StreamFamily(seed, "voice", "asr")
         self.word_error_rate = word_error_rate
         self.misactivation_rate = misactivation_rate
         self.misactivations = 0
 
-    def detect_wake_word(self, utterance: str) -> Optional[str]:
+    def _rng_for(self, speaker: Optional[str]):
+        """Noise stream for one speaker (device/customer).
+
+        The frontend serves every device in the world; keying the error
+        draws per speaker keeps one persona's transcripts independent of
+        which other personas are talking — callers that pass no speaker
+        share the legacy sequential stream.
+        """
+        if speaker is None:
+            return self._rng
+        return self._streams.stream(speaker)
+
+    def detect_wake_word(
+        self, utterance: str, speaker: Optional[str] = None
+    ) -> Optional[str]:
         """Return the command after the wake word, or None if not awake.
 
         A small misactivation rate triggers recording without the wake
@@ -70,18 +85,19 @@ class VoiceFrontend:
             return None
         if words[0].rstrip(",") in WAKE_WORDS:
             return " ".join(words[1:])
-        if self._rng.random() < self.misactivation_rate:
+        if self._rng_for(speaker).random() < self.misactivation_rate:
             self.misactivations += 1
             return " ".join(words)
         return None
 
-    def transcribe(self, speech: str) -> Transcription:
+    def transcribe(self, speech: str, speaker: Optional[str] = None) -> Transcription:
         """Simulate cloud ASR with a small word-error rate."""
+        rng = self._rng_for(speaker)
         words = speech.lower().split()
         out = []
         errors = 0
         for word in words:
-            if word in _CONFUSIONS and self._rng.random() < self.word_error_rate:
+            if word in _CONFUSIONS and rng.random() < self.word_error_rate:
                 out.append(_CONFUSIONS[word])
                 errors += 1
             else:

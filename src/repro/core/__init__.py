@@ -33,6 +33,7 @@ from repro.core.compliance import (
     policy_availability,
     run_validation_study,
 )
+from repro.core.cache import DatasetCache
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
@@ -41,6 +42,11 @@ from repro.core.experiment import (
     PolicyFetch,
     run_cached_experiment,
     run_experiment,
+)
+from repro.core.parallel import (
+    ShardResult,
+    run_parallel_experiment,
+    shard_personas,
 )
 from repro.core.personas import Persona, all_personas, control_personas, interest_personas
 from repro.core.profiling import ProfilingAnalysis, analyze_profiling
@@ -59,6 +65,7 @@ __all__ = [
     "AuditDataset",
     "AudioAdAnalysis",
     "ComplianceAnalysis",
+    "DatasetCache",
     "DisplayAdAnalysis",
     "ExperimentConfig",
     "ExperimentRunner",
@@ -68,6 +75,7 @@ __all__ = [
     "PolicyAvailability",
     "PolicyFetch",
     "ProfilingAnalysis",
+    "ShardResult",
     "SyncAnalysis",
     "SyncEvent",
     "TrafficAnalysis",
@@ -98,7 +106,9 @@ __all__ = [
     "representative_bids",
     "run_cached_experiment",
     "run_experiment",
+    "run_parallel_experiment",
     "run_validation_study",
+    "shard_personas",
     "significance_vs_vanilla",
     "summarize",
     "transcribe_session",

@@ -1,0 +1,170 @@
+"""On-disk dataset cache keyed by (seed, config).
+
+:func:`repro.core.experiment.run_cached_experiment` used to memoize the
+campaign with ``functools.lru_cache``, which had two problems: every
+caller shared one mutable :class:`~repro.core.experiment.AuditDataset`
+(mutations leaked between tests), and the cache died with the process,
+so every pytest session re-ran the full campaign.
+
+:class:`DatasetCache` fixes both.  Datasets are pickled to disk under a
+key derived from the seed root, the config fingerprint, and a schema
+version, so repeat runs — across processes — load in seconds.  Reads
+always return a deep copy, so callers can mutate their dataset freely.
+
+The pickled payload strips the :class:`~repro.core.world.World` handle
+(a world holds registered service closures, which do not pickle).  On a
+disk hit the returned dataset carries a *fresh* ``build_world(seed)`` —
+the same generative truth (catalog, toplist, corpus, entity DB), but
+none of the campaign's accumulated runtime state (account interactions,
+capture buffers).  Consumers of build-time attributes, which is all the
+benchmarks use, see no difference.
+
+The cache root is ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/repro-echo-audit``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.experiment import (
+    AuditDataset,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.world import build_world
+from repro.util.rng import Seed
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DatasetCache",
+    "config_fingerprint",
+    "default_cache_dir",
+]
+
+#: Bump whenever the pickled dataset layout changes shape; stale entries
+#: are silently treated as misses and recomputed.
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-echo-audit``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-echo-audit"
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Stable digest of every config field (new fields change the key)."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class DatasetCache:
+    """Two-level (memory, disk) cache of completed campaign datasets."""
+
+    #: Pristine datasets computed or loaded by this process, shared by
+    #: every ``DatasetCache`` instance.  Entries are never handed out
+    #: directly — see :meth:`get_or_run`.
+    _memory: Dict[Tuple[str, int, str], AuditDataset] = {}
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------ #
+
+    def get_or_run(
+        self, seed_root: int, config: ExperimentConfig = ExperimentConfig()
+    ) -> AuditDataset:
+        """The campaign dataset for ``(seed_root, config)``.
+
+        Runs the campaign on a miss; loads from disk otherwise.  Always
+        returns an independent deep copy — mutations never propagate to
+        other callers or back into the cache.
+        """
+        key = self._key(seed_root, config)
+        dataset = self._memory.get(key)
+        if dataset is None:
+            dataset = self._load(seed_root, config)
+        if dataset is None:
+            dataset = run_experiment(Seed(seed_root), config)
+            self._store(seed_root, config, dataset)
+        self._memory[key] = dataset
+        return copy.deepcopy(dataset)
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk, under this root."""
+        for key in [k for k in self._memory if k[0] == str(self.root)]:
+            del self._memory[key]
+        if self.root.is_dir():
+            for path in self.root.glob("dataset-*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def path_for(self, seed_root: int, config: ExperimentConfig) -> Path:
+        """Where the entry for ``(seed_root, config)`` lives on disk."""
+        fingerprint = config_fingerprint(config)
+        return self.root / (
+            f"dataset-v{CACHE_SCHEMA_VERSION}-seed{seed_root}-{fingerprint}.pkl"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _key(self, seed_root: int, config: ExperimentConfig):
+        return (str(self.root), seed_root, config_fingerprint(config))
+
+    def _load(
+        self, seed_root: int, config: ExperimentConfig
+    ) -> Optional[AuditDataset]:
+        path = self.path_for(seed_root, config)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt or unreadable entry: treat as a miss; the recompute
+            # overwrites it.
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        dataset: AuditDataset = payload["dataset"]
+        # Re-attach a generative-truth world (see module docstring).
+        dataset.world = build_world(Seed(seed_root))
+        return dataset
+
+    def _store(
+        self, seed_root: int, config: ExperimentConfig, dataset: AuditDataset
+    ) -> None:
+        path = self.path_for(seed_root, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stripped = copy.copy(dataset)  # shallow: share artifacts, drop world
+        stripped.world = None
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "seed_root": seed_root,
+            "config": dataclasses.asdict(config),
+            "dataset": stripped,
+        }
+        # Atomic publish: never leave a half-written pickle at the key.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -19,9 +19,9 @@ Timeline (simulated dates mirror the paper's December-2021 campaign):
 
 from __future__ import annotations
 
-import functools
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.adtech.audio import StreamSession
 from repro.alexa.account import AmazonAccount
@@ -72,6 +72,21 @@ class ExperimentConfig:
             raise ValueError("skills_per_persona must be in [1, 50]")
         if self.pre_iterations < 0 or self.post_iterations < 1:
             raise ValueError("iteration counts out of range")
+        if self.crawl_sites < 1:
+            raise ValueError(f"crawl_sites must be >= 1, got {self.crawl_sites}")
+        if self.prebid_discovery_target < 1:
+            raise ValueError(
+                "prebid_discovery_target must be >= 1, got "
+                f"{self.prebid_discovery_target}"
+            )
+        if self.crawl_sites > self.prebid_discovery_target:
+            raise ValueError(
+                f"crawl_sites ({self.crawl_sites}) cannot exceed "
+                f"prebid_discovery_target ({self.prebid_discovery_target}); "
+                "the crawl set is a prefix of the discovered prebid sites"
+            )
+        if self.audio_hours <= 0:
+            raise ValueError(f"audio_hours must be positive, got {self.audio_hours}")
 
 
 @dataclass
@@ -120,6 +135,9 @@ class AuditDataset:
     #: World handle — used by benchmarks/tests to compare measured vs
     #: generative truth.  Analysis code must not consult it.
     world: World = None  # type: ignore[assignment]
+    #: Wall-clock seconds per campaign phase (diagnostics only — never
+    #: exported, so serial and parallel runs stay export-identical).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def artifacts(self, persona_name: str) -> PersonaArtifacts:
         return self.personas[persona_name]
@@ -134,12 +152,32 @@ class AuditDataset:
 
 
 class ExperimentRunner:
-    """Drives the full measurement campaign against a world."""
+    """Drives the measurement campaign against a world.
 
-    def __init__(self, world: World, config: ExperimentConfig = ExperimentConfig()) -> None:
+    ``personas`` selects the persona subset this runner drives — the
+    shard unit of the parallel runner (:mod:`repro.core.parallel`).  The
+    default is the paper's full roster.  Every phase method takes the
+    subset explicitly, and per-persona artifacts are independent of which
+    other personas share the world (all randomness is keyed by
+    :class:`~repro.util.rng.Seed` substreams, never by call order), so a
+    sharded campaign merges back into the serial result.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        config: ExperimentConfig = ExperimentConfig(),
+        personas: Optional[Sequence[Persona]] = None,
+    ) -> None:
         self.world = world
         self.config = config
-        self._personas = all_personas()
+        self._personas = list(personas) if personas is not None else all_personas()
+        if not self._personas:
+            raise ValueError("persona subset must not be empty")
+        names = [p.name for p in self._personas]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate personas in subset: {names}")
+        self.timings: Dict[str, float] = {}
         self._artifacts: Dict[str, PersonaArtifacts] = {}
         self._devices: Dict[str, EchoDevice] = {}
         self._avs_devices: Dict[str, AVSEcho] = {}
@@ -150,38 +188,57 @@ class ExperimentRunner:
     # Orchestration
     # ------------------------------------------------------------------ #
 
+    def _timed(self, phase: str, fn, *args, **kwargs):
+        """Run one phase, accumulating its wall-clock under ``phase``."""
+        started = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timings[phase] = self.timings.get(phase, 0.0) + elapsed
+
     def run(self) -> AuditDataset:
-        self._setup_personas()
-        crawl_sites, prebid_sites = self._discover_sites()
-        self._run_pre_interaction_crawls(crawl_sites)
+        personas = self._personas
+        total_started = time.perf_counter()
+        self._timed("setup", self._setup_personas, personas)
+        crawl_sites, prebid_sites = self._timed("discovery", self._discover_sites)
+        self._timed(
+            "pre_crawls", self._run_pre_interaction_crawls, personas, crawl_sites
+        )
         self._advance_to_day(11)  # Dec 21
-        self._install_all_skills()
-        self._request_dsar_all()  # DSAR #1 (install-only)
+        self._timed("install", self._install_all_skills, personas)
+        self._timed("dsar", self._request_dsar_all, personas)  # DSAR #1 (install-only)
         self._advance_to_day(12)  # Dec 22
-        self._run_interaction_wave(capture=True)
-        self._mark_interacted()
-        self._request_dsar_all()  # DSAR #2
-        self._run_post_interaction_crawls(crawl_sites)
-        self._run_audio_sessions()
+        self._timed("interaction_wave_1", self._run_interaction_wave, personas, True)
+        self._mark_interacted(personas)
+        self._timed("dsar", self._request_dsar_all, personas)  # DSAR #2
+        self._timed(
+            "post_crawls", self._run_post_interaction_crawls, personas, crawl_sites
+        )
+        self._timed("audio", self._run_audio_sessions, personas)
         if self.config.second_interaction_wave:
-            self._run_interaction_wave(capture=False)
-            self._request_dsar_all()  # DSAR #3
-            self._rerequest_missing_interest_files()
-        policy_fetches = self._collect_policies()
+            self._timed(
+                "interaction_wave_2", self._run_interaction_wave, personas, False
+            )
+            self._timed("dsar", self._request_dsar_all, personas)  # DSAR #3
+            self._timed("dsar", self._rerequest_missing_interest_files, personas)
+        policy_fetches = self._timed("policies", self._collect_policies, personas)
+        self.timings["total"] = time.perf_counter() - total_started
         return AuditDataset(
             personas=self._artifacts,
             prebid_sites=prebid_sites,
             crawl_sites=crawl_sites,
             policy_fetches=policy_fetches,
             world=self.world,
+            timings=dict(self.timings),
         )
 
     # ------------------------------------------------------------------ #
     # Phase 1: setup
     # ------------------------------------------------------------------ #
 
-    def _setup_personas(self) -> None:
-        for persona in self._personas:
+    def _setup_personas(self, personas: Sequence[Persona]) -> None:
+        for persona in personas:
             artifacts = PersonaArtifacts(
                 persona=persona, profile_id=f"profile-{persona.name}"
             )
@@ -259,8 +316,10 @@ class ExperimentRunner:
         )
         return prebid_sites[: self.config.crawl_sites], prebid_sites
 
-    def _crawl_all(self, sites: List[WebsiteSpec], iteration: int) -> None:
-        for persona in self._personas:
+    def _crawl_all(
+        self, personas: Sequence[Persona], sites: List[WebsiteSpec], iteration: int
+    ) -> None:
+        for persona in personas:
             crawler = self._crawlers[persona.name]
             result = crawler.crawl_iteration(sites, iteration)
             artifacts = self._artifacts[persona.name]
@@ -269,19 +328,25 @@ class ExperimentRunner:
             artifacts.loaded_slots.update(result.loaded_slots)
         # Request logs accumulate inside each browser; snapshot at the end.
 
-    def _run_pre_interaction_crawls(self, sites: List[WebsiteSpec]) -> None:
+    def _run_pre_interaction_crawls(
+        self, personas: Sequence[Persona], sites: List[WebsiteSpec]
+    ) -> None:
         for i in range(self.config.pre_iterations):
             self._advance_to_day(2 * i)  # Dec 10, 12, ..., 20
-            self._crawl_all(sites, iteration=-(self.config.pre_iterations - i))
+            self._crawl_all(
+                personas, sites, iteration=-(self.config.pre_iterations - i)
+            )
 
-    def _run_post_interaction_crawls(self, sites: List[WebsiteSpec]) -> None:
+    def _run_post_interaction_crawls(
+        self, personas: Sequence[Persona], sites: List[WebsiteSpec]
+    ) -> None:
         for i in range(self.config.post_iterations):
             if i < 3:
                 self._advance_to_day(17 + 2 * i)  # Dec 27, 29, 31
             else:
                 self._advance_to_day(23 + (i - 3))  # Jan 2 onward
-            self._crawl_all(sites, iteration=i)
-        for persona in self._personas:
+            self._crawl_all(personas, sites, iteration=i)
+        for persona in personas:
             self._artifacts[persona.name].request_log = list(
                 self._crawlers[persona.name].browser.request_log
             )
@@ -295,8 +360,8 @@ class ExperimentRunner:
             persona.category, self.config.skills_per_persona
         )
 
-    def _install_all_skills(self) -> None:
-        for persona in self._personas:
+    def _install_all_skills(self, personas: Sequence[Persona]) -> None:
+        for persona in personas:
             if persona.kind != "interest":
                 continue
             artifacts = self._artifacts[persona.name]
@@ -310,9 +375,11 @@ class ExperimentRunner:
                 if avs is not None and not spec.fails_to_load:
                     self.world.marketplace.install(avs.account, spec.skill_id)
 
-    def _run_interaction_wave(self, capture: bool) -> None:
+    def _run_interaction_wave(
+        self, personas: Sequence[Persona], capture: bool
+    ) -> None:
         """One interaction pass over every installed skill (§3.1.1/§3.2)."""
-        for persona in self._personas:
+        for persona in personas:
             if persona.kind != "interest":
                 continue
             artifacts = self._artifacts[persona.name]
@@ -344,8 +411,8 @@ class ExperimentRunner:
         for persona_name, avs in self._avs_devices.items():
             self._artifacts[persona_name].avs_plaintext = list(avs.plaintext_log)
 
-    def _mark_interacted(self) -> None:
-        for persona in self._personas:
+    def _mark_interacted(self, personas: Sequence[Persona]) -> None:
+        for persona in personas:
             if persona.kind == "interest":
                 self.world.adtech.set_interacted(f"profile-{persona.name}", True)
 
@@ -353,8 +420,11 @@ class ExperimentRunner:
     # Phase 4: audio
     # ------------------------------------------------------------------ #
 
-    def _run_audio_sessions(self) -> None:
+    def _run_audio_sessions(self, personas: Sequence[Persona]) -> None:
+        subset = {p.name for p in personas}
         for persona_name in self.config.audio_personas:
+            if persona_name not in subset:
+                continue  # persona lives in another shard
             artifacts = self._artifacts[persona_name]
             device = self._devices[persona_name]
             for skill in STREAMING_SKILLS:
@@ -370,20 +440,22 @@ class ExperimentRunner:
     # Phase 5: DSAR
     # ------------------------------------------------------------------ #
 
-    def _request_dsar_all(self) -> None:
-        for persona in self._personas:
+    def _request_dsar_all(self, personas: Sequence[Persona]) -> None:
+        for persona in personas:
             if not persona.uses_echo:
                 continue
             artifacts = self._artifacts[persona.name]
             export = self.world.dsar.request_data(artifacts.account.customer_id)
             artifacts.dsar_exports.append(export)
 
-    def _rerequest_missing_interest_files(self) -> None:
+    def _rerequest_missing_interest_files(self, personas: Sequence[Persona]) -> None:
         """Repeat the request when the interests file was absent (§6.1)."""
-        for persona in self._personas:
+        for persona in personas:
             if not persona.uses_echo:
                 continue
             artifacts = self._artifacts[persona.name]
+            if not artifacts.dsar_exports:
+                continue  # no DSAR ever completed for this persona
             if artifacts.dsar_exports[-1].advertising_interests is None:
                 export = self.world.dsar.request_data(artifacts.account.customer_id)
                 artifacts.dsar_exports.append(export)
@@ -392,9 +464,9 @@ class ExperimentRunner:
     # Phase 6: policies
     # ------------------------------------------------------------------ #
 
-    def _collect_policies(self) -> List[PolicyFetch]:
+    def _collect_policies(self, personas: Sequence[Persona]) -> List[PolicyFetch]:
         fetches: List[PolicyFetch] = []
-        for persona in self._personas:
+        for persona in personas:
             if persona.kind != "interest":
                 continue
             for spec in self._skills_for(persona):
@@ -439,7 +511,17 @@ def run_experiment(
     return ExperimentRunner(world, config).run()
 
 
-@functools.lru_cache(maxsize=2)
-def run_cached_experiment(seed_root: int = 42) -> AuditDataset:
-    """Full-scale campaign, cached per seed for the benchmark suite."""
-    return run_experiment(Seed(seed_root))
+def run_cached_experiment(
+    seed_root: int = 42, config: ExperimentConfig = ExperimentConfig()
+) -> AuditDataset:
+    """Full-scale campaign, cached per (seed, config) for the benchmark suite.
+
+    Datasets are memoized on disk (see :mod:`repro.core.cache`), so repeat
+    invocations — including across processes — skip the campaign entirely.
+    Every call returns an independent deep copy: mutating one caller's
+    dataset can never leak into another's (the aliasing bug the old
+    ``functools.lru_cache`` version had).
+    """
+    from repro.core.cache import DatasetCache
+
+    return DatasetCache().get_or_run(seed_root, config)

@@ -1,0 +1,236 @@
+"""Persona-sharded parallel campaign runner.
+
+The serial campaign (:func:`repro.core.experiment.run_experiment`) is a
+single pass over the full persona roster.  But personas are measurement
+*units*: every per-persona artifact is derived from seed-keyed random
+substreams (:class:`~repro.util.rng.Seed`, :class:`~repro.util.rng.StreamFamily`),
+never from call order, so a persona's artifacts are identical whether or
+not other personas share its world.  That invariance is what this module
+exploits: partition the roster into contiguous shards, run each shard in
+its own worker against a private world built from the same root seed,
+then merge the shard artifacts back — deterministically — into one
+:class:`~repro.core.experiment.AuditDataset` whose exported form is
+bit-identical to the serial run's.
+
+Determinism rules the merge relies on:
+
+* shards are contiguous slices of the canonical ``all_personas()``
+  order, so re-inserting personas in that order reproduces the serial
+  dataset's dict ordering (exports iterate insertion order);
+* site discovery is seed-determined, so every shard discovers the same
+  prebid/crawl sets — the merge asserts this instead of trusting it;
+* policy fetches are collected per interest persona in roster order, so
+  concatenating shard lists in shard order matches the serial list.
+
+Workers return :class:`ShardResult`, a world-free bundle that pickles
+cleanly for the process backend (a live world holds service closures,
+which do not pickle).  The merged dataset carries a fresh
+``build_world(seed)`` as its generative-truth handle.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.experiment import (
+    AuditDataset,
+    ExperimentConfig,
+    ExperimentRunner,
+    PersonaArtifacts,
+    PolicyFetch,
+)
+from repro.core.personas import Persona, all_personas
+from repro.core.world import build_world
+from repro.data.websites import WebsiteSpec
+from repro.util.rng import Seed
+
+__all__ = [
+    "BACKENDS",
+    "ShardResult",
+    "shard_personas",
+    "merge_shard_results",
+    "run_parallel_experiment",
+]
+
+#: Worker backends: "process" sidesteps the GIL (the campaign is pure
+#: Python, so threads add no speedup); "thread" avoids fork/pickle cost
+#: and is what the determinism tests exercise cheaply.
+BACKENDS = ("process", "thread")
+
+
+@dataclass
+class ShardResult:
+    """World-free, picklable artifact bundle from one shard worker."""
+
+    shard_index: int
+    persona_names: List[str]
+    personas: Dict[str, PersonaArtifacts]
+    prebid_sites: List[WebsiteSpec]
+    crawl_sites: List[WebsiteSpec]
+    policy_fetches: List[PolicyFetch]
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def shard_personas(
+    personas: Sequence[Persona], num_shards: int
+) -> List[List[Persona]]:
+    """Partition ``personas`` into ≤ ``num_shards`` contiguous slices.
+
+    Slices preserve the input order and differ in size by at most one,
+    with the larger slices first.  The partition depends only on
+    ``(len(personas), num_shards)`` — no randomness, no wall clock — so
+    the same inputs always produce the same shards.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    personas = list(personas)
+    if not personas:
+        raise ValueError("cannot shard an empty persona list")
+    num_shards = min(num_shards, len(personas))
+    base, extra = divmod(len(personas), num_shards)
+    shards: List[List[Persona]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(personas[start : start + size])
+        start += size
+    return shards
+
+
+def _run_shard(
+    shard_index: int,
+    seed: Seed,
+    config: ExperimentConfig,
+    persona_names: Sequence[str],
+) -> ShardResult:
+    """Run the campaign for one persona subset in a private world.
+
+    Module-level (not a closure) so the process backend can pickle it.
+    The world is rebuilt inside the worker from the shared root seed:
+    worlds hold unpicklable service closures and must never cross the
+    process boundary.
+    """
+    roster = {p.name: p for p in all_personas()}
+    unknown = [n for n in persona_names if n not in roster]
+    if unknown:
+        raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")
+    personas = [roster[name] for name in persona_names]
+    world = build_world(seed)
+    dataset = ExperimentRunner(world, config, personas=personas).run()
+    return ShardResult(
+        shard_index=shard_index,
+        persona_names=list(persona_names),
+        personas=dataset.personas,
+        prebid_sites=dataset.prebid_sites,
+        crawl_sites=dataset.crawl_sites,
+        policy_fetches=dataset.policy_fetches,
+        timings=dataset.timings,
+    )
+
+
+def merge_shard_results(
+    seed: Seed, results: Sequence[ShardResult]
+) -> AuditDataset:
+    """Deterministically reassemble shard results into one dataset.
+
+    Sorts by shard index (results may arrive in any completion order),
+    asserts cross-shard agreement on the discovered site sets, and
+    inserts personas in canonical roster order so the merged dict —
+    and therefore every export that iterates it — matches the serial
+    run exactly.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    ordered = sorted(results, key=lambda r: r.shard_index)
+    indices = [r.shard_index for r in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard indices: {indices}")
+
+    reference = ordered[0]
+    for result in ordered[1:]:
+        if (
+            result.prebid_sites != reference.prebid_sites
+            or result.crawl_sites != reference.crawl_sites
+        ):
+            raise RuntimeError(
+                "shards disagree on discovered sites — the world build is "
+                f"not seed-deterministic (shard {result.shard_index} vs "
+                f"shard {reference.shard_index})"
+            )
+
+    by_name: Dict[str, PersonaArtifacts] = {}
+    for result in ordered:
+        for name, artifacts in result.personas.items():
+            if name in by_name:
+                raise ValueError(f"persona {name!r} appears in two shards")
+            by_name[name] = artifacts
+
+    personas: Dict[str, PersonaArtifacts] = {}
+    for persona in all_personas():
+        if persona.name in by_name:
+            personas[persona.name] = by_name.pop(persona.name)
+    personas.update(by_name)  # custom personas outside the roster, if any
+
+    policy_fetches: List[PolicyFetch] = []
+    timings: Dict[str, float] = {}
+    for result in ordered:
+        policy_fetches.extend(result.policy_fetches)
+        for phase, seconds in result.timings.items():
+            timings[f"shard{result.shard_index}.{phase}"] = seconds
+
+    return AuditDataset(
+        personas=personas,
+        prebid_sites=list(reference.prebid_sites),
+        crawl_sites=list(reference.crawl_sites),
+        policy_fetches=policy_fetches,
+        world=build_world(seed),
+        timings=timings,
+    )
+
+
+def run_parallel_experiment(
+    seed: Seed,
+    config: ExperimentConfig = ExperimentConfig(),
+    workers: int = 2,
+    backend: str = "process",
+) -> AuditDataset:
+    """Run the campaign sharded by persona across ``workers`` workers.
+
+    The exported form of the returned dataset is bit-identical to
+    ``run_experiment(seed, config)`` for any worker count and either
+    backend — see ``tests/integration/test_parallel_equivalence.py``.
+    Worker-local wall-clock lands in ``dataset.timings`` under
+    ``shard<i>.<phase>`` keys, plus ``scatter`` (shard fan-out and
+    collection) and ``total`` for the whole parallel run.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
+    started = time.perf_counter()
+    shards = shard_personas(all_personas(), workers)
+    executor_cls = (
+        ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    )
+    if len(shards) == 1:
+        # One shard is the serial campaign; skip the executor entirely.
+        results = [_run_shard(0, seed, config, [p.name for p in shards[0]])]
+    else:
+        with executor_cls(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard, index, seed, config, [p.name for p in shard]
+                )
+                for index, shard in enumerate(shards)
+            ]
+            results = [future.result() for future in futures]
+    scatter_elapsed = time.perf_counter() - started
+
+    dataset = merge_shard_results(seed, results)
+    dataset.timings["scatter"] = scatter_elapsed
+    dataset.timings["total"] = time.perf_counter() - started
+    return dataset

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
-__all__ = ["Seed", "derive_seed_int"]
+__all__ = ["Seed", "StreamFamily", "derive_seed_int"]
 
 _PATH_SEPARATOR = "\x1f"  # unit separator: cannot collide with str(part)
 
@@ -73,3 +73,31 @@ class Seed:
 
     def __repr__(self) -> str:
         return f"Seed({self.root})"
+
+
+class StreamFamily:
+    """Lazily-derived sequential substreams, one per actor key.
+
+    A component serving many actors (the cloud ASR serving every device,
+    a skill backend serving several accounts) must not draw from one
+    shared sequential stream: which draws an actor sees would then depend
+    on which *other* actors are present and in what order they call in.
+    A ``StreamFamily`` gives each actor key its own deterministic stream,
+    making per-actor results invariant to co-resident actors — the
+    property the persona-sharded parallel runner relies on to merge
+    shard artifacts back into the serial result.
+    """
+
+    def __init__(self, seed: Seed, *namespace: object) -> None:
+        self._seed = seed
+        self._namespace = tuple(namespace)
+        self._streams: Dict[Tuple[str, ...], random.Random] = {}
+
+    def stream(self, *key: object) -> random.Random:
+        """The sequential stream for ``key``, created on first use."""
+        parts = tuple(str(p) for p in key)
+        stream = self._streams.get(parts)
+        if stream is None:
+            stream = self._seed.rng(*self._namespace, *parts)
+            self._streams[parts] = stream
+        return stream

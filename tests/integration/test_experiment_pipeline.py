@@ -138,3 +138,50 @@ class TestConfigValidation:
     def test_bad_iterations_rejected(self):
         with pytest.raises(ValueError):
             ExperimentConfig(post_iterations=0)
+
+    def test_zero_crawl_sites_rejected(self):
+        with pytest.raises(ValueError, match="crawl_sites"):
+            ExperimentConfig(crawl_sites=0)
+
+    def test_zero_discovery_target_rejected(self):
+        with pytest.raises(ValueError, match="prebid_discovery_target"):
+            ExperimentConfig(prebid_discovery_target=0)
+
+    def test_crawl_sites_beyond_discovery_target_rejected(self):
+        # The crawl set is a prefix of the discovered sites; asking for
+        # more crawl sites than the discovery target silently crawled a
+        # short list before this was validated.
+        with pytest.raises(ValueError, match="cannot exceed"):
+            ExperimentConfig(crawl_sites=30, prebid_discovery_target=20)
+
+    def test_nonpositive_audio_hours_rejected(self):
+        with pytest.raises(ValueError, match="audio_hours"):
+            ExperimentConfig(audio_hours=0.0)
+        with pytest.raises(ValueError, match="audio_hours"):
+            ExperimentConfig(audio_hours=-1.5)
+
+
+class TestRerequestGuard:
+    def test_rerequest_tolerates_personas_without_exports(self):
+        """Regression: ``dsar_exports[-1]`` raised IndexError when a
+        persona had never completed a DSAR request."""
+        from repro.core.experiment import ExperimentRunner
+        from repro.core.personas import all_personas
+        from repro.core.world import build_world
+
+        config = ExperimentConfig(
+            skills_per_persona=2,
+            pre_iterations=1,
+            post_iterations=1,
+            crawl_sites=2,
+            prebid_discovery_target=5,
+            audio_hours=0.5,
+        )
+        personas = [p for p in all_personas() if p.uses_echo][:2]
+        runner = ExperimentRunner(build_world(Seed(31)), config, personas=personas)
+        runner._setup_personas(personas)
+        for persona in personas:
+            assert runner._artifacts[persona.name].dsar_exports == []
+        runner._rerequest_missing_interest_files(personas)  # must not raise
+        for persona in personas:
+            assert runner._artifacts[persona.name].dsar_exports == []

@@ -1,0 +1,108 @@
+"""Serial vs parallel campaign equivalence (the determinism contract).
+
+The parallel runner's whole claim is that sharding the campaign by
+persona changes *nothing observable*: for the same seed and config, the
+exported dataset — every CSV and the JSON summary — is byte-identical
+to the serial run's, for any worker count and either backend.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner, run_experiment
+from repro.core.export import EXPORT_FILES, export_dataset
+from repro.core.parallel import run_parallel_experiment
+from repro.core.personas import all_personas
+from repro.core.world import build_world
+from repro.util.rng import Seed
+
+TINY = ExperimentConfig(
+    skills_per_persona=2,
+    pre_iterations=1,
+    post_iterations=1,
+    crawl_sites=2,
+    prebid_discovery_target=5,
+    audio_hours=0.5,
+)
+
+SEED_ROOT = 2026
+
+
+def _export_digests(dataset, out_dir):
+    export_dataset(dataset, out_dir)
+    return {
+        name: hashlib.sha256((out_dir / name).read_bytes()).hexdigest()
+        for name in EXPORT_FILES
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_digests(tmp_path_factory):
+    dataset = run_experiment(Seed(SEED_ROOT), TINY)
+    out = tmp_path_factory.mktemp("serial-export")
+    return _export_digests(dataset, out)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize(
+        ("workers", "backend"),
+        [
+            (1, "thread"),
+            (2, "thread"),
+            (4, "thread"),
+            (2, "process"),
+            (4, "process"),
+        ],
+    )
+    def test_export_bit_identical_to_serial(
+        self, serial_digests, tmp_path, workers, backend
+    ):
+        dataset = run_parallel_experiment(
+            Seed(SEED_ROOT), TINY, workers=workers, backend=backend
+        )
+        assert _export_digests(dataset, tmp_path) == serial_digests
+
+    def test_different_seed_changes_exports(self, serial_digests, tmp_path):
+        dataset = run_parallel_experiment(
+            Seed(SEED_ROOT + 1), TINY, workers=2, backend="thread"
+        )
+        digests = _export_digests(dataset, tmp_path)
+        assert digests != serial_digests
+
+    def test_merged_dataset_shape(self):
+        dataset = run_parallel_experiment(
+            Seed(SEED_ROOT), TINY, workers=3, backend="thread"
+        )
+        assert list(dataset.personas) == [p.name for p in all_personas()]
+        assert dataset.world is not None
+        assert len(dataset.prebid_sites) == TINY.prebid_discovery_target
+        # Worker wall-clock surfaces per shard, plus parent-side totals.
+        assert any(key.startswith("shard0.") for key in dataset.timings)
+        assert "total" in dataset.timings and "scatter" in dataset.timings
+
+
+class TestRunnerSubsets:
+    def test_serial_run_records_phase_timings(self):
+        dataset = run_experiment(Seed(SEED_ROOT), TINY)
+        for phase in ("setup", "discovery", "pre_crawls", "post_crawls", "total"):
+            assert phase in dataset.timings
+            assert dataset.timings[phase] >= 0.0
+
+    def test_subset_runner_only_builds_its_personas(self):
+        roster = all_personas()
+        subset = roster[:2]
+        world = build_world(Seed(SEED_ROOT))
+        dataset = ExperimentRunner(world, TINY, personas=subset).run()
+        assert list(dataset.personas) == [p.name for p in subset]
+
+    def test_empty_subset_rejected(self):
+        world = build_world(Seed(SEED_ROOT))
+        with pytest.raises(ValueError, match="empty"):
+            ExperimentRunner(world, TINY, personas=[])
+
+    def test_duplicate_subset_rejected(self):
+        roster = all_personas()
+        world = build_world(Seed(SEED_ROOT))
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentRunner(world, TINY, personas=[roster[0], roster[0]])

@@ -1,0 +1,128 @@
+"""Unit tests for the on-disk dataset cache (repro.core.cache)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
+    DatasetCache,
+    config_fingerprint,
+    default_cache_dir,
+)
+from repro.core.experiment import ExperimentConfig, run_cached_experiment
+
+TINY = ExperimentConfig(
+    skills_per_persona=2,
+    pre_iterations=1,
+    post_iterations=1,
+    crawl_sites=2,
+    prebid_discovery_target=5,
+    audio_hours=0.5,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_memory(monkeypatch):
+    """Each test starts with an empty in-process cache."""
+    monkeypatch.setattr(DatasetCache, "_memory", {})
+
+
+def _bid_rows(dataset):
+    return [
+        (name, b.iteration, b.site, b.slot_id, b.bidder, b.cpm)
+        for name, a in dataset.personas.items()
+        for b in a.bids
+    ]
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert config_fingerprint(TINY) == config_fingerprint(
+            dataclasses.replace(TINY)
+        )
+
+    def test_sensitive_to_every_field(self):
+        base = config_fingerprint(TINY)
+        changed = dataclasses.replace(TINY, second_interaction_wave=False)
+        assert config_fingerprint(changed) != base
+
+    def test_default_cache_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestDatasetCache:
+    def test_miss_runs_and_persists(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        dataset = cache.get_or_run(123, TINY)
+        assert dataset.personas
+        assert cache.path_for(123, TINY).is_file()
+
+    def test_disk_hit_reproduces_artifacts(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        first = cache.get_or_run(123, TINY)
+        DatasetCache._memory.clear()  # simulate a fresh process
+        second = DatasetCache(tmp_path).get_or_run(123, TINY)
+        assert _bid_rows(first) == _bid_rows(second)
+        # A disk hit re-attaches a generative-truth world handle.
+        assert second.world is not None
+        assert len(second.world.catalog) == len(first.world.catalog)
+
+    def test_returns_independent_copies(self, tmp_path):
+        """Regression: the lru_cache version aliased every caller."""
+        cache = DatasetCache(tmp_path)
+        first = cache.get_or_run(123, TINY)
+        second = cache.get_or_run(123, TINY)
+        assert first is not second
+        assert first.personas is not second.personas
+        name = next(iter(first.personas))
+        kept = len(second.personas[name].bids)
+        first.personas[name].bids.clear()
+        first.policy_fetches.clear()
+        assert len(second.personas[name].bids) == kept
+        third = cache.get_or_run(123, TINY)
+        assert len(third.personas[name].bids) == kept
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        path = cache.path_for(123, TINY)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        payload["schema"] = CACHE_SCHEMA_VERSION - 1
+        path.write_bytes(pickle.dumps(payload))
+        assert cache._load(123, TINY) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        cache.path_for(123, TINY).write_bytes(b"not a pickle")
+        assert cache._load(123, TINY) is None
+        DatasetCache._memory.clear()
+        # Recompute succeeds and overwrites the bad entry.
+        dataset = cache.get_or_run(123, TINY)
+        assert dataset.personas
+        assert cache._load(123, TINY) is not None
+
+    def test_different_configs_use_different_entries(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        other = dataclasses.replace(TINY, post_iterations=2)
+        assert cache.path_for(123, TINY) != cache.path_for(123, other)
+
+    def test_clear_removes_disk_and_memory(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        cache.clear()
+        assert not list(tmp_path.glob("dataset-*.pkl"))
+        assert not DatasetCache._memory
+
+
+class TestRunCachedExperiment:
+    def test_copies_are_independent(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_cached_experiment(321, TINY)
+        second = run_cached_experiment(321, TINY)
+        assert first is not second
+        assert _bid_rows(first) == _bid_rows(second)
