@@ -10,8 +10,9 @@ import os
 import time
 
 from repro.alexa import AmazonAccount, EchoDevice
-from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.core.parallel import _run_shard, run_parallel_experiment, shard_personas
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.core.parallel import _run_shard, shard_personas
 from repro.core.personas import all_personas
 from repro.core.world import build_world
 from repro.util.rng import Seed
@@ -91,7 +92,7 @@ def bench_parallel_speedup(benchmark):
     seed = Seed(105)
 
     started = time.perf_counter()
-    serial_dataset = run_experiment(seed, config)
+    serial_dataset = run_campaign(config, seed, obs=False)
     serial_seconds = time.perf_counter() - started
 
     # Each shard timed in isolation: the max is what a 4-worker run
@@ -104,7 +105,7 @@ def bench_parallel_speedup(benchmark):
     critical_path = max(shard_seconds)
 
     parallel_dataset = benchmark.pedantic(
-        lambda: run_parallel_experiment(seed, config, workers=4),
+        lambda: run_campaign(config, seed, parallel=True, workers=4, obs=False),
         rounds=1,
         iterations=1,
     )
@@ -127,3 +128,50 @@ def bench_parallel_speedup(benchmark):
             f"measured 4-worker speedup {measured_speedup:.2f}x < 1.8x "
             f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
         )
+
+
+def bench_obs_overhead(benchmark):
+    """Full tracing (spans + counters + events) vs observability off.
+
+    The observability layer's budget is <5% of campaign wall-clock; the
+    bound asserted here is looser (15%) to absorb shared-runner timing
+    noise — the ``obs_overhead`` ratio in ``extra_info`` is the number
+    to watch for drift.
+    """
+    config = ExperimentConfig(
+        skills_per_persona=8,
+        pre_iterations=2,
+        post_iterations=6,
+        crawl_sites=8,
+        prebid_discovery_target=50,
+        audio_hours=2.0,
+    )
+    seed = Seed(106)
+    rounds = 3
+
+    def best_of(fn):
+        times = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    run_campaign(config, seed, obs=False)  # warm imports and caches
+    disabled = best_of(lambda: run_campaign(config, seed, obs=False))
+    traced_dataset = benchmark.pedantic(
+        lambda: run_campaign(config, seed), rounds=1, iterations=1
+    )
+    traced = best_of(lambda: run_campaign(config, seed))
+
+    overhead = traced / disabled
+    benchmark.extra_info["disabled_seconds"] = round(disabled, 3)
+    benchmark.extra_info["traced_seconds"] = round(traced, 3)
+    benchmark.extra_info["obs_overhead"] = round(overhead, 4)
+
+    assert traced_dataset.obs is not None
+    assert traced_dataset.obs.metrics.value("openwpm.bids_collected") > 0
+    assert overhead <= 1.15, (
+        f"observability overhead {100 * (overhead - 1):.1f}% exceeds the "
+        f"budget (traced {traced:.2f}s vs disabled {disabled:.2f}s)"
+    )

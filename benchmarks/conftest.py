@@ -8,7 +8,7 @@ personas are significant).
 
 import pytest
 
-from repro.core.experiment import run_cached_experiment
+from repro.core.campaign import run_campaign
 from repro.core.personas import interest_personas
 
 
@@ -41,13 +41,12 @@ def dataset(request):
     same artifacts either way.
     """
     if request.config.getoption("--parallel"):
-        from repro.core.parallel import run_parallel_experiment
-        from repro.util.rng import Seed
-
-        return run_parallel_experiment(
-            Seed(42), workers=request.config.getoption("--workers")
+        return run_campaign(
+            seed=42,
+            parallel=True,
+            workers=request.config.getoption("--workers"),
         )
-    return run_cached_experiment(42)
+    return run_campaign(seed=42, cache=True)
 
 
 @pytest.fixture(scope="session")

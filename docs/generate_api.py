@@ -8,6 +8,58 @@ import pkgutil
 
 import repro
 
+PREAMBLE = """\
+## Observability
+
+Every campaign run traces itself by default.  `run_campaign` returns its
+dataset with an attached `repro.obs.ObsCollector` (`dataset.obs`) holding
+four artifacts:
+
+* **Spans** (`dataset.obs.tracer`) — a nested span tree over the campaign
+  phases and per-persona work.  Deterministic spans (`det=True`: all
+  `persona:*` work plus prebid discovery) carry integer simulated-time
+  durations (`sim_us`) derived from the world clock; every span also
+  carries wall-clock timings in separate `real_*` fields.  The
+  simulated-time tree (`tracer.sim_tree_json()`) is byte-identical
+  between serial and parallel runs of the same seed and config.
+* **Metrics** (`dataset.obs.metrics`) — typed counters and gauges with
+  per-metric merge policies (`sum`, `first`, `max`, `min`) so parallel
+  shards combine correctly: persona-partitioned work sums, per-shard
+  duplicated work (discovery) deduplicates.
+* **Events** (`dataset.obs.events`) — an ordered structured log
+  (`schema`, `seq`, `type`, `sim_time`, `fields`) for discrete
+  occurrences: phase completions, skill-install failures, DSAR
+  re-requests.
+* **Manifest** (`dataset.obs.manifest`) — how the run was executed: seed
+  root, config fingerprint, entrypoint (`serial`/`parallel`/`cached`),
+  worker topology and persona shards, cache hit, package version.
+
+Write everything as one JSONL trace with
+`dataset.obs.write_trace(path)`, or from the CLI with
+`python -m repro run --trace-out trace.jsonl --metrics-out metrics.json`;
+`python -m repro report obs-summary` renders a phase/counter summary.
+Pass `obs=False` to `run_campaign` to disable collection entirely
+(null-object fast path, <5% overhead budget either way — enforced by
+`benchmarks/bench_pipeline_throughput.py::bench_obs_overhead`).
+
+## Migrating to `run_campaign`
+
+The three legacy entrypoints are deprecated shims; `run_campaign` is the
+one entrypoint used by the CLI, tests, and benchmarks.
+
+| legacy call | replacement |
+|---|---|
+| `run_experiment(seed, config)` | `run_campaign(config, seed)` |
+| `run_parallel_experiment(seed, config, workers=4, backend="process")` | `run_campaign(config, seed, parallel=True, workers=4, backend="process")` |
+| `run_cached_experiment(seed_root, config)` | `run_campaign(config, seed_root, cache=True)` |
+
+Note the argument order change: `run_campaign` takes `(config, seed)` —
+config first, matching how call sites are usually parameterized — and
+everything else is keyword-only.  The shims emit `DeprecationWarning`
+and delegate to `run_campaign`; they do not attach an observability
+collector (`dataset.obs is None`).
+"""
+
 
 def first_line(obj) -> str:
     doc = inspect.getdoc(obj) or ""
@@ -20,6 +72,7 @@ def main() -> None:
         "",
         "Generated from the package's docstrings (`python docs/generate_api.py`).",
         "",
+        PREAMBLE,
     ]
     for modinfo in sorted(
         pkgutil.walk_packages(repro.__path__, "repro."), key=lambda m: m.name

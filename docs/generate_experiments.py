@@ -8,7 +8,7 @@ tables. Usage: python docs/generate_experiments.py
 import io
 import pathlib
 
-from repro.core.experiment import run_cached_experiment
+from repro.core.campaign import run_campaign
 from repro.core import (bid_summary_table, significance_vs_vanilla, holiday_window_means,
                         detect_cookie_syncing, analyze_profiling, policy_availability,
                         analyze_traffic, analyze_compliance, run_validation_study,
@@ -46,7 +46,7 @@ PAPER13 = {"voice recording": (20, 18, 147, 258), "customer id": (11, 9, 38, 84)
 
 
 def main() -> None:
-    ds = run_cached_experiment(42)
+    ds = run_campaign(seed=42, cache=True)
     world = ds.world
     vendor_by_skill = {s.skill_id: s.vendor for s in world.catalog}
     traffic = analyze_traffic(ds, world.org_resolver(), world.filter_list, vendor_by_skill)
@@ -74,7 +74,7 @@ def main() -> None:
     w("""# EXPERIMENTS — paper vs measured
 
 All measured values below come from the default full-scale campaign
-(`run_experiment(Seed(42))` — 450 skills, 9 interest + 4 control
+(`run_campaign(seed=42)` — 450 skills, 9 interest + 4 control
 personas, 6 pre- + 25 post-interaction crawl iterations over 20 prebid
 sites, 6 h audio per (skill, persona), 3 DSAR requests per persona).
 Regenerate any row with its benchmark: `pytest benchmarks/<bench> --benchmark-only -s`,

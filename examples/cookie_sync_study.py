@@ -11,7 +11,8 @@ import argparse
 
 import networkx as nx
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import render_kv, render_table
 from repro.core.syncing import detect_cookie_syncing
 from repro.util.rng import Seed
@@ -31,7 +32,7 @@ def main() -> None:
         audio_hours=0.1,
     )
     print("running crawls ...")
-    dataset = run_experiment(Seed(args.seed), config)
+    dataset = run_campaign(config, Seed(args.seed))
     analysis = detect_cookie_syncing(dataset)
 
     print()

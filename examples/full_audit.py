@@ -25,7 +25,8 @@ from repro.core import (
     policy_availability,
     significance_vs_vanilla,
 )
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import render_kv, render_table
 from repro.util.rng import Seed
 
@@ -53,7 +54,7 @@ def main() -> None:
     if args.small:
         print("(note: --small trades fidelity for speed — significance tests"
               " and interest inference need the full-scale campaign)")
-    dataset = run_experiment(Seed(args.seed), config)
+    dataset = run_campaign(config, Seed(args.seed))
     world = dataset.world
 
     # ---- RQ1: who collects and propagates data? ------------------------ #

@@ -13,7 +13,8 @@ from repro.core.compliance import (
     policy_availability,
     run_validation_study,
 )
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import render_kv, render_table
 from repro.data import datatypes as dt
 from repro.util.rng import Seed
@@ -37,7 +38,7 @@ def main() -> None:
         audio_hours=0.1,
     )
     print("running the skills campaign ...")
-    dataset = run_experiment(Seed(args.seed), config)
+    dataset = run_campaign(config, Seed(args.seed))
     world = dataset.world
 
     availability = policy_availability(dataset)

@@ -7,18 +7,20 @@ Profiling, and Ad Targeting in the Amazon Smart Speaker Ecosystem"*
 
 Quickstart::
 
-    from repro import Seed, run_experiment, ExperimentConfig
+    from repro import run_campaign, ExperimentConfig
     from repro.core import bid_summary_table, detect_cookie_syncing
 
-    dataset = run_experiment(Seed(42))
+    dataset = run_campaign(ExperimentConfig(), seed=42)
     for row in bid_summary_table(dataset):
         print(row.persona, row.summary.median, row.summary.mean)
     sync = detect_cookie_syncing(dataset)
     print(sync.partner_count, "advertisers sync cookies with Amazon")
+    print(dataset.obs.summary()["counters"])  # the campaign trace
 
 Package map:
 
 - :mod:`repro.core` — the auditing framework (experiment + analyses)
+- :mod:`repro.obs` — seeded-deterministic observability (spans, metrics)
 - :mod:`repro.alexa` — simulated Echo ecosystem (devices, cloud, DSAR)
 - :mod:`repro.adtech` — header bidding, DSPs, cookie sync, audio ads
 - :mod:`repro.web` — browsers and the OpenWPM-style crawler
@@ -28,17 +30,19 @@ Package map:
 - :mod:`repro.data` — the seeded world and its calibration tables
 """
 
+from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig, run_cached_experiment, run_experiment
 from repro.core.parallel import run_parallel_experiment
 from repro.util.rng import Seed
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentConfig",
     "Seed",
     "__version__",
     "run_cached_experiment",
+    "run_campaign",
     "run_experiment",
     "run_parallel_experiment",
 ]

@@ -35,6 +35,7 @@ from repro.data.calibration import (
 from repro.data.domains import AMAZON_ADS_DOMAIN
 from repro.netsim.endpoints import registrable_domain
 from repro.netsim.http import HttpRequest, HttpResponse
+from repro.obs import NULL_OBS
 from repro.util.ids import stable_hash
 from repro.util.rng import Seed
 
@@ -95,6 +96,9 @@ class AdTechWorld:
         #: (partner code, downstream domain, uid) completed syncs.
         self._downstream_done: Set[Tuple[str, str, str]] = set()
         self._profiles: Dict[str, PersonaState] = {}
+        #: Observability sink; the experiment runner swaps in its
+        #: collector so exchange counters land in the campaign trace.
+        self.obs = NULL_OBS
         self._register_endpoints()
 
     # ------------------------------------------------------------------ #
@@ -202,6 +206,7 @@ class AdTechWorld:
         the threshold, its interest segment becomes available to bidders —
         how the web control personas (§3.1.2) get targeted without ever
         touching an Echo."""
+        self.obs.inc("adtech.tracker_hits")
         uid = request.cookies.get("uid", "")
         state = self._uid_index.get(uid)
         category = request.query.get("cat", "")
@@ -219,6 +224,7 @@ class AdTechWorld:
             if request.path != "/bid":
                 # Sync confirmations and other pixels.
                 return HttpResponse(status=200, body={"ok": True})
+            self.obs.inc("adtech.bid_requests")
             uid = request.cookies.get("uid", "")
             state = self._uid_index.get(uid)
             if state is None:
@@ -256,6 +262,7 @@ class AdTechWorld:
         for domain in self._downstream_by_partner.get(bidder.code, ()):
             if (bidder.code, domain, uid) not in self._downstream_done:
                 self._downstream_done.add((bidder.code, domain, uid))
+                self.obs.inc("adtech.downstream_syncs")
                 urls.append(f"https://{domain}/setuid?partner={bidder.code}&uid={uid}")
         return urls
 
@@ -267,6 +274,7 @@ class AdTechWorld:
         uid = query.get("uid", "")
         if bidder_code and uid:
             self._matches.add((bidder_code, uid))
+            self.obs.inc("adtech.cookie_syncs")
         return HttpResponse(
             status=302,
             redirect_url=(

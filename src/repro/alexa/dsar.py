@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from repro.alexa.cloud import AlexaCloud
 from repro.alexa.profiler import InterestProfiler
 from repro.data.calibration import MISSING_INTEREST_FILE_PERSONAS
+from repro.obs import NULL_OBS
 
 __all__ = ["DataRequestPortal", "DataExport", "AdvertisingInterestsFile"]
 
@@ -54,6 +55,9 @@ class DataRequestPortal:
         self._cloud = cloud
         self._profiler = InterestProfiler(cloud.catalog)
         self._logs: Dict[str, _RequestLog] = {}
+        #: Observability sink; the experiment runner swaps in its
+        #: collector so export counters land in the campaign trace.
+        self.obs = NULL_OBS
 
     def request_data(self, customer_id: str) -> DataExport:
         """Issue one data request and return the export bundle."""
@@ -69,6 +73,15 @@ class DataRequestPortal:
         )
         if self._interest_file_missing(state.account.persona, log):
             interests = None
+
+        self.obs.inc("dsar.requests")
+        if interests is None:
+            self.obs.inc("dsar.interest_files_missing")
+            self.obs.event(
+                "dsar.interest_file_missing",
+                persona=state.account.persona,
+                request_index=log.total,
+            )
 
         transcripts = tuple(r.transcript for r in state.interactions)
         files = {

@@ -4,22 +4,31 @@ Commands
 --------
 ``run``        run the full (or scaled) campaign and export artifacts
 ``tables``     print the paper's headline tables from a fresh campaign
+``report``     render campaign reports (``obs-summary``)
 ``policheck``  run the §7 policy-compliance analysis
 ``sync``       run the §5.5 cookie-sync analysis
 ``audio``      run the §5.4 audio-ad study
 ``defend``     run the §8.1 defense evaluations
 ``version``    print the package version
+
+Every campaign-running command shares one flag set (``--seed``,
+``--small``, ``--parallel``, ``--workers``, ``--backend``, ``--quiet``,
+``--trace-out``, ``--metrics-out``) and goes through
+:func:`repro.core.run_campaign`.  Output is emitted through the
+``repro.cli`` logger; ``--quiet`` raises the threshold to warnings.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from repro import __version__
 from repro.core.bids import bid_summary_table, significance_vs_vanilla
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.export import export_dataset
 from repro.core.report import render_kv, render_table
 from repro.core.syncing import detect_cookie_syncing
@@ -27,52 +36,122 @@ from repro.util.rng import Seed
 
 __all__ = ["main", "build_parser"]
 
+_LOG = logging.getLogger("repro.cli")
+
+
+class _ConsoleHandler(logging.Handler):
+    """Stdout handler that resolves ``sys.stdout`` at emit time, so
+    output lands in whatever stream is active (pytest's ``capsys``
+    swaps the stream between tests)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def _configure_logging(quiet: bool = False) -> None:
+    """Idempotent logger setup for the ``repro`` namespace."""
+    root = logging.getLogger("repro")
+    if not any(isinstance(h, _ConsoleHandler) for h in root.handlers):
+        handler = _ConsoleHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING if quiet else logging.INFO)
+    root.propagate = False
+
+
+# ---------------------------------------------------------------------- #
+# Parsers
+# ---------------------------------------------------------------------- #
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Flags every command shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=42)
+    parent.add_argument(
+        "--quiet", action="store_true", help="suppress informational output"
+    )
+    return parent
+
+
+def _campaign_parent(common: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Flags every campaign-running command shares, on top of the
+    common set.  Declared once; each subcommand mounts it via
+    ``parents=[...]`` instead of redeclaring the flags."""
+    parent = argparse.ArgumentParser(add_help=False, parents=[common])
+    parent.add_argument("--small", action="store_true", help="scaled-down campaign")
+    parent.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shard the campaign by persona across workers; exports and "
+        "the merged trace's simulated-time span tree are identical to a "
+        "serial run",
+    )
+    parent.add_argument(
+        "--workers", type=int, default=4, help="worker count for --parallel"
+    )
+    parent.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="executor backend for --parallel",
+    )
+    parent.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the campaign trace (manifest, spans, events) as JSONL",
+    )
+    parent.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write campaign counters/gauges as JSON",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="echo-audit: smart-speaker ecosystem auditing framework",
     )
+    common = _common_parent()
+    campaign = _campaign_parent(common)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run the campaign and export artifacts")
-    run.add_argument("--seed", type=int, default=42)
+    run = sub.add_parser(
+        "run", parents=[campaign], help="run the campaign and export artifacts"
+    )
     run.add_argument("--out", default="results", help="output directory")
-    run.add_argument("--small", action="store_true", help="scaled-down campaign")
-    run.add_argument(
-        "--parallel",
-        action="store_true",
-        help="shard the campaign by persona across worker processes; "
-        "the exported artifacts are bit-identical to a serial run",
-    )
-    run.add_argument(
-        "--workers", type=int, default=4, help="worker count for --parallel"
-    )
-    run.add_argument(
-        "--backend",
-        choices=("process", "thread"),
-        default="process",
-        help="executor backend for --parallel",
+
+    sub.add_parser("tables", parents=[campaign], help="print headline tables")
+
+    report = sub.add_parser("report", parents=[campaign], help="render reports")
+    report.add_argument(
+        "view",
+        choices=("obs-summary",),
+        help="obs-summary: per-phase cost, counters, and the run manifest",
     )
 
-    tables = sub.add_parser("tables", help="print headline tables")
-    tables.add_argument("--seed", type=int, default=42)
-    tables.add_argument("--small", action="store_true")
-
-    policheck = sub.add_parser("policheck", help="run the §7 compliance analysis")
-    policheck.add_argument("--seed", type=int, default=42)
+    policheck = sub.add_parser(
+        "policheck", parents=[campaign], help="run the §7 compliance analysis"
+    )
     policheck.add_argument("--with-amazon-policy", action="store_true")
 
-    sync = sub.add_parser("sync", help="run the §5.5 cookie-sync analysis")
-    sync.add_argument("--seed", type=int, default=42)
-    sync.add_argument("--small", action="store_true")
+    sub.add_parser("sync", parents=[campaign], help="run the §5.5 cookie-sync analysis")
 
-    audio = sub.add_parser("audio", help="run the §5.4 audio-ad study")
-    audio.add_argument("--seed", type=int, default=42)
+    audio = sub.add_parser(
+        "audio", parents=[common], help="run the §5.4 audio-ad study"
+    )
     audio.add_argument("--hours", type=float, default=6.0)
 
-    defend = sub.add_parser("defend", help="run the §8.1 defense evaluations")
-    defend.add_argument("--seed", type=int, default=42)
+    sub.add_parser(
+        "defend", parents=[common], help="run the §8.1 defense evaluations"
+    )
 
     sub.add_parser("version", help="print version")
     return parser
@@ -91,50 +170,113 @@ def _config(small: bool) -> ExperimentConfig:
     )
 
 
-def _cmd_run(args) -> int:
-    if args.parallel:
-        from repro.core.parallel import run_parallel_experiment
+def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
+    """One code path from parsed flags to a campaign dataset."""
+    dataset = run_campaign(
+        config if config is not None else _config(args.small),
+        args.seed,
+        parallel=args.parallel,
+        workers=args.workers if args.parallel else None,
+        backend=args.backend,
+    )
+    _write_obs_outputs(dataset, args)
+    return dataset
 
-        dataset = run_parallel_experiment(
-            Seed(args.seed),
-            _config(args.small),
-            workers=args.workers,
-            backend=args.backend,
-        )
-    else:
-        dataset = run_experiment(Seed(args.seed), _config(args.small))
+
+def _write_obs_outputs(dataset, args) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if dataset.obs is None:
+        if trace_out or metrics_out:
+            _LOG.warning("observability was disabled; nothing to write")
+        return
+    if trace_out:
+        count = dataset.obs.write_trace(trace_out)
+        _LOG.info("wrote %d trace records to %s", count, trace_out)
+    if metrics_out:
+        dataset.obs.write_metrics(metrics_out)
+        _LOG.info("wrote metrics to %s", metrics_out)
+
+
+# ---------------------------------------------------------------------- #
+# Commands
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_run(args) -> int:
+    dataset = _run_campaign_from_args(args)
     counts = export_dataset(dataset, args.out)
-    print(render_kv(counts, title=f"exported to {args.out}/"))
+    _LOG.info("%s", render_kv(counts, title=f"exported to {args.out}/"))
     if dataset.timings:
         total = dataset.timings.get("total", 0.0)
-        print(f"campaign wall-clock: {total:.1f}s")
+        _LOG.info("campaign wall-clock: %.1fs", total)
     return 0
 
 
 def _cmd_tables(args) -> int:
-    dataset = run_experiment(Seed(args.seed), _config(args.small))
+    dataset = _run_campaign_from_args(args)
     rows = [
         (r.persona, f"{r.summary.median:.3f}", f"{r.summary.mean:.3f}")
         for r in bid_summary_table(dataset)
     ]
-    print(render_table(["persona", "median CPM", "mean CPM"], rows, title="Table 5"))
-    print()
+    _LOG.info(
+        "%s\n", render_table(["persona", "median CPM", "mean CPM"], rows, title="Table 5")
+    )
     rows = [
         (p, f"{r.p_value:.3f}", f"{r.effect_size:.3f}", "yes" if r.significant else "no")
         for p, r in significance_vs_vanilla(dataset).items()
     ]
-    print(render_table(["persona", "p", "effect", "significant"], rows, title="Table 7"))
+    _LOG.info(
+        "%s\n", render_table(["persona", "p", "effect", "significant"], rows, title="Table 7")
+    )
     sync = detect_cookie_syncing(dataset)
-    print()
-    print(
+    _LOG.info(
+        "%s",
         render_kv(
             {
                 "partners syncing with Amazon": sync.partner_count,
                 "downstream third parties": sync.downstream_count,
             },
             title="§5.5",
-        )
+        ),
     )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    dataset = _run_campaign_from_args(args)
+    if dataset.obs is None:
+        _LOG.warning("observability was disabled; no summary available")
+        return 1
+    summary = dataset.obs.summary()
+    rows = [
+        (name, f"{entry['real_s']:.3f}", f"{entry['sim_s']:.1f}", entry["spans"])
+        for name, entry in sorted(summary["phases"].items())
+    ]
+    _LOG.info(
+        "%s\n",
+        render_table(["phase", "real s", "sim s", "spans"], rows, title="campaign phases"),
+    )
+    _LOG.info("%s\n", render_kv(summary["counters"], title="counters"))
+    if summary["gauges"]:
+        _LOG.info("%s\n", render_kv(summary["gauges"], title="gauges"))
+    manifest = summary["manifest"]
+    if manifest is not None:
+        _LOG.info(
+            "%s",
+            render_kv(
+                {
+                    "seed": manifest["seed_root"],
+                    "config": manifest["config_fingerprint"],
+                    "entrypoint": manifest["entrypoint"],
+                    "workers": manifest["workers"],
+                    "backend": manifest["backend"],
+                    "personas": manifest["persona_count"],
+                    "events": summary["events"],
+                },
+                title="run manifest",
+            ),
+        )
     return 0
 
 
@@ -160,7 +302,8 @@ def _cmd_defend(args) -> int:
     evaluation = evaluate_blocking(device, marketplace, skills, blocking)
     for spec in skills:
         device.background_sync(list(spec.amazon_endpoints))
-    print(
+    _LOG.info(
+        "%s",
         render_kv(
             {
                 "skills functional": f"{evaluation.skills_functional}/{evaluation.skills_run}",
@@ -168,7 +311,7 @@ def _cmd_defend(args) -> int:
                 "tracking requests blocked": blocking.report.blocked_total,
             },
             title="selective blocking",
-        )
+        ),
     )
     return 0
 
@@ -184,10 +327,11 @@ def _cmd_policheck(args) -> int:
         prebid_discovery_target=2,
         audio_hours=0.1,
     )
-    dataset = run_experiment(Seed(args.seed), config)
+    dataset = _run_campaign_from_args(args, config=config)
     world = dataset.world
     availability = policy_availability(dataset)
-    print(
+    _LOG.info(
+        "%s\n",
         render_kv(
             {
                 "skills": availability.total_skills,
@@ -196,7 +340,7 @@ def _cmd_policheck(args) -> int:
                 "generic (no Amazon mention)": availability.generic,
             },
             title="§7.1",
-        )
+        ),
     )
     compliance = analyze_compliance(
         dataset,
@@ -216,21 +360,22 @@ def _cmd_policheck(args) -> int:
         for data_type in dt.ALL_DATA_TYPES
         for counts in [compliance.datatype_table.get(data_type, {})]
     ]
-    print()
-    print(
+    _LOG.info(
+        "%s",
         render_table(
             ["data type", "clear", "vague", "omitted", "no policy"],
             rows,
             title="Table 13",
-        )
+        ),
     )
     return 0
 
 
 def _cmd_sync(args) -> int:
-    dataset = run_experiment(Seed(args.seed), _config(args.small))
+    dataset = _run_campaign_from_args(args)
     analysis = detect_cookie_syncing(dataset)
-    print(
+    _LOG.info(
+        "%s",
         render_kv(
             {
                 "sync events": len(analysis.events),
@@ -239,7 +384,7 @@ def _cmd_sync(args) -> int:
                 "downstream third parties": analysis.downstream_count,
             },
             title="§5.5 cookie syncing",
-        )
+        ),
     )
     return 0
 
@@ -256,18 +401,22 @@ def _cmd_audio(args) -> int:
             session = server.stream(skill, persona, hours=args.hours)
             brands = extract_audio_ads(transcribe_session(session))
             rows.append((skill, persona, len(brands)))
-    print(render_table(["skill", "persona", "ads"], rows, title="§5.4 audio ads"))
+    _LOG.info(
+        "%s", render_table(["skill", "persona", "ads"], rows, title="§5.4 audio ads")
+    )
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(quiet=getattr(args, "quiet", False))
     if args.command == "version":
-        print(__version__)
+        _LOG.info("%s", __version__)
         return 0
     handlers = {
         "run": _cmd_run,
         "tables": _cmd_tables,
+        "report": _cmd_report,
         "policheck": _cmd_policheck,
         "sync": _cmd_sync,
         "audio": _cmd_audio,

@@ -34,6 +34,7 @@ from repro.core.compliance import (
     run_validation_study,
 )
 from repro.core.cache import DatasetCache
+from repro.core.campaign import run_campaign
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
@@ -105,6 +106,7 @@ __all__ = [
     "rank_biserial",
     "representative_bids",
     "run_cached_experiment",
+    "run_campaign",
     "run_experiment",
     "run_parallel_experiment",
     "run_validation_study",

@@ -38,7 +38,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
-    run_experiment,
+    _run_serial_experiment,
 )
 from repro.core.world import build_world
 from repro.util.rng import Seed
@@ -52,7 +52,8 @@ __all__ = [
 
 #: Bump whenever the pickled dataset layout changes shape; stale entries
 #: are silently treated as misses and recomputed.
-CACHE_SCHEMA_VERSION = 1
+#: v2: AuditDataset gained the ``obs`` collector field.
+CACHE_SCHEMA_VERSION = 2
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -81,24 +82,36 @@ class DatasetCache:
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Whether the most recent :meth:`get_or_run` was served from the
+        #: cache (memory or disk) rather than computed.  Feeds the run
+        #: manifest's ``cache_hit`` field.
+        self.last_hit = False
 
     # ------------------------------------------------------------------ #
 
     def get_or_run(
-        self, seed_root: int, config: ExperimentConfig = ExperimentConfig()
+        self,
+        seed_root: int,
+        config: ExperimentConfig = ExperimentConfig(),
+        compute=None,
     ) -> AuditDataset:
         """The campaign dataset for ``(seed_root, config)``.
 
-        Runs the campaign on a miss; loads from disk otherwise.  Always
-        returns an independent deep copy — mutations never propagate to
-        other callers or back into the cache.
+        Runs the campaign on a miss (via ``compute``, a zero-argument
+        callable; defaults to the serial campaign); loads from disk
+        otherwise.  Always returns an independent deep copy — mutations
+        never propagate to other callers or back into the cache.
         """
         key = self._key(seed_root, config)
         dataset = self._memory.get(key)
         if dataset is None:
             dataset = self._load(seed_root, config)
+        self.last_hit = dataset is not None
         if dataset is None:
-            dataset = run_experiment(Seed(seed_root), config)
+            if compute is None:
+                dataset = _run_serial_experiment(Seed(seed_root), config)
+            else:
+                dataset = compute()
             self._store(seed_root, config, dataset)
         self._memory[key] = dataset
         return copy.deepcopy(dataset)

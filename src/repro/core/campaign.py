@@ -1,0 +1,201 @@
+"""The one campaign entrypoint: :func:`run_campaign`.
+
+The framework grew three ways to run the measurement campaign — serial
+(``run_experiment``), persona-sharded parallel
+(``run_parallel_experiment``), and disk-cached
+(``run_cached_experiment``) — each with its own argument order and no
+shared observability story.  :func:`run_campaign` collapses them behind
+one signature::
+
+    dataset = run_campaign(config, seed)                     # serial
+    dataset = run_campaign(config, seed, parallel=True,
+                           workers=4, backend="process")     # sharded
+    dataset = run_campaign(config, seed, cache=True)         # cached
+
+Observability is on by default: every run traces into an
+:class:`~repro.obs.ObsCollector` (spans, counters, events, manifest)
+exposed as ``dataset.obs``.  Pass ``obs=False`` to disable it, or your
+own collector to trace into it.  Parallel runs merge per-shard
+collectors so the simulated-time span tree is byte-identical to the
+serial run's for the same seed.
+
+The legacy entrypoints survive as thin shims that raise
+``DeprecationWarning`` and delegate here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.experiment import (
+    AuditDataset,
+    ExperimentConfig,
+    _run_serial_experiment,
+)
+from repro.core.parallel import _run_parallel_experiment, shard_personas
+from repro.core.personas import all_personas
+from repro.obs import NULL_OBS, ObsCollector, RunManifest
+from repro.util.rng import Seed
+
+__all__ = ["run_campaign"]
+
+#: Default worker count when ``parallel=True`` and ``workers`` is unset.
+_DEFAULT_WORKERS = 2
+
+
+def _resolve_seed(seed: Union[int, Seed]) -> Seed:
+    if isinstance(seed, Seed):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(f"seed must be an int or Seed, got {type(seed).__name__}")
+    return Seed(seed)
+
+
+def _resolve_obs(obs: Union[None, bool, ObsCollector]):
+    """``None`` → fresh collector, ``False`` → disabled, collector → as-is."""
+    if obs is None or obs is True:
+        return ObsCollector()
+    if obs is False:
+        return NULL_OBS
+    if isinstance(obs, ObsCollector):
+        return obs
+    raise TypeError(
+        f"obs must be None, a bool, or an ObsCollector, got {type(obs).__name__}"
+    )
+
+
+def _resolve_cache(cache):
+    """``None``/``False`` → off, ``True`` → default root, path → that root,
+    :class:`~repro.core.cache.DatasetCache` → as-is."""
+    from repro.core.cache import DatasetCache
+
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return DatasetCache()
+    if isinstance(cache, (str, Path)):
+        return DatasetCache(Path(cache))
+    if isinstance(cache, DatasetCache):
+        return cache
+    raise TypeError(
+        "cache must be None, a bool, a path, or a DatasetCache, got "
+        f"{type(cache).__name__}"
+    )
+
+
+def run_campaign(
+    config: Optional[ExperimentConfig] = None,
+    seed: Union[int, Seed] = 42,
+    *,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    backend: str = "process",
+    cache=None,
+    obs: Union[None, bool, ObsCollector] = None,
+) -> AuditDataset:
+    """Run the full measurement campaign and return its dataset.
+
+    Parameters
+    ----------
+    config:
+        Scale knobs; ``None`` means the paper-scale default.
+    seed:
+        Root seed as an ``int`` or a :class:`~repro.util.rng.Seed`.
+    parallel:
+        Shard the persona roster across workers.  The exported dataset —
+        and the merged trace's simulated-time span tree — are identical
+        to the serial run's for the same seed.
+    workers, backend:
+        Parallel topology (only valid with ``parallel=True``); backend
+        is ``"process"`` or ``"thread"``.
+    cache:
+        ``True`` / a path / a :class:`~repro.core.cache.DatasetCache` to
+        memoize the serial campaign on disk per ``(seed, config)``.
+        Mutually exclusive with ``parallel``.
+    obs:
+        ``None`` (default) traces into a fresh
+        :class:`~repro.obs.ObsCollector`, returned as ``dataset.obs``;
+        ``False`` disables observability; an existing collector traces
+        into it (serial/cached only).
+    """
+    from repro import __version__
+    from repro.core.cache import config_fingerprint
+
+    if config is None:
+        config = ExperimentConfig()
+    seed = _resolve_seed(seed)
+    collector = _resolve_obs(obs)
+    cache_store = _resolve_cache(cache)
+
+    if not parallel and workers is not None:
+        raise ValueError("workers requires parallel=True")
+    if parallel and cache_store is not None:
+        raise ValueError(
+            "cache=... is mutually exclusive with parallel=True; the cache "
+            "stores serial campaigns (a cached parallel run would never "
+            "exercise the shard merge it exists to verify)"
+        )
+    if parallel and isinstance(collector, ObsCollector) and obs not in (None, True):
+        raise ValueError(
+            "cannot trace a parallel run into a caller-supplied collector; "
+            "pass obs=None and read the merged collector from dataset.obs"
+        )
+
+    fingerprint = config_fingerprint(config)
+    roster = tuple(p.name for p in all_personas())
+
+    if parallel:
+        n_workers = _DEFAULT_WORKERS if workers is None else workers
+        dataset = _run_parallel_experiment(
+            seed,
+            config,
+            workers=n_workers,
+            backend=backend,
+            collect_obs=collector.enabled,
+        )
+        shards = tuple(
+            tuple(p.name for p in shard)
+            for shard in shard_personas(all_personas(), n_workers)
+        )
+        manifest = RunManifest(
+            seed_root=seed.root,
+            config_fingerprint=fingerprint,
+            entrypoint="parallel",
+            workers=len(shards),
+            backend=backend,
+            shards=shards,
+            package_version=__version__,
+        )
+    elif cache_store is not None:
+        dataset = cache_store.get_or_run(
+            seed.root,
+            config,
+            compute=lambda: _run_serial_experiment(seed, config, obs=collector),
+        )
+        manifest = RunManifest(
+            seed_root=seed.root,
+            config_fingerprint=fingerprint,
+            entrypoint="cached",
+            shards=(roster,),
+            cache_hit=cache_store.last_hit,
+            package_version=__version__,
+        )
+    else:
+        dataset = _run_serial_experiment(seed, config, obs=collector)
+        manifest = RunManifest(
+            seed_root=seed.root,
+            config_fingerprint=fingerprint,
+            entrypoint="serial",
+            shards=(roster,),
+            package_version=__version__,
+        )
+
+    if dataset.obs is not None:
+        manifest.phase_real_seconds = {
+            name: seconds
+            for name, seconds in dataset.timings.items()
+            if "." not in name  # skip shard-prefixed worker timings
+        }
+        dataset.obs.manifest = manifest
+    return dataset

@@ -20,8 +20,9 @@ Timeline (simulated dates mirror the paper's December-2021 campaign):
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.adtech.audio import StreamSession
 from repro.alexa.account import AmazonAccount
@@ -34,6 +35,7 @@ from repro.data.skill_catalog import STREAMING_SKILLS
 from repro.data.websites import WEB_PRIMING_SITES, WebsiteSpec
 from repro.netsim.http import HttpRequest, HttpResponse
 from repro.netsim.pcap import CaptureSession
+from repro.obs import NULL_OBS, ObsCollector
 from repro.policies.corpus import PolicyDocument
 from repro.util.rng import Seed
 from repro.web.browser import Browser, BrowserProfile
@@ -63,7 +65,7 @@ class ExperimentConfig:
     crawl_sites: int = 20
     prebid_discovery_target: int = 200
     audio_hours: float = 6.0
-    audio_personas: tuple = (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)
+    audio_personas: Tuple[str, ...] = (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)
     second_interaction_wave: bool = True
     run_avs_echo: bool = True
 
@@ -87,6 +89,17 @@ class ExperimentConfig:
             )
         if self.audio_hours <= 0:
             raise ValueError(f"audio_hours must be positive, got {self.audio_hours}")
+        # Normalise to a tuple so configs hash/fingerprint consistently,
+        # then validate each member: a typo'd category used to silently
+        # yield zero audio sessions.
+        object.__setattr__(self, "audio_personas", tuple(self.audio_personas))
+        valid_audio = set(cat.ALL_CATEGORIES) | {cat.VANILLA}
+        for name in self.audio_personas:
+            if name not in valid_audio:
+                raise ValueError(
+                    f"unknown audio persona {name!r}: audio streaming needs an "
+                    f"Echo-holding persona, one of {sorted(valid_audio)}"
+                )
 
 
 @dataclass
@@ -138,6 +151,10 @@ class AuditDataset:
     #: Wall-clock seconds per campaign phase (diagnostics only — never
     #: exported, so serial and parallel runs stay export-identical).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Observability collector for the run that produced this dataset
+    #: (spans, metrics, events, manifest) — None when tracing was off.
+    #: Never consulted by exports or analyses.
+    obs: Optional[ObsCollector] = None
 
     def artifacts(self, persona_name: str) -> PersonaArtifacts:
         return self.personas[persona_name]
@@ -168,6 +185,7 @@ class ExperimentRunner:
         world: World,
         config: ExperimentConfig = ExperimentConfig(),
         personas: Optional[Sequence[Persona]] = None,
+        obs: Optional[ObsCollector] = None,
     ) -> None:
         self.world = world
         self.config = config
@@ -177,6 +195,13 @@ class ExperimentRunner:
         names = [p.name for p in self._personas]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate personas in subset: {names}")
+        self.obs = obs if obs is not None else NULL_OBS
+        if self.obs.enabled:
+            # Simulated timestamps come from the world clock; counters in
+            # the world's services (DSAR portal, ad exchange) report here.
+            self.obs.bind_clock(world.clock)
+            world.dsar.obs = self.obs
+            world.adtech.obs = self.obs
         self.timings: Dict[str, float] = {}
         self._artifacts: Dict[str, PersonaArtifacts] = {}
         self._devices: Dict[str, EchoDevice] = {}
@@ -188,42 +213,61 @@ class ExperimentRunner:
     # Orchestration
     # ------------------------------------------------------------------ #
 
-    def _timed(self, phase: str, fn, *args, **kwargs):
-        """Run one phase, accumulating its wall-clock under ``phase``."""
+    def _phase(self, name: str, fn, *args, det: bool = False, **attrs):
+        """Run one phase under a ``phase:<name>`` span, accumulating its
+        host wall-clock under ``name`` (several spans can share a key —
+        the three DSAR rounds all land in ``timings["dsar"]``)."""
         started = time.perf_counter()
-        try:
-            return fn(*args, **kwargs)
-        finally:
-            elapsed = time.perf_counter() - started
-            self.timings[phase] = self.timings.get(phase, 0.0) + elapsed
+        with self.obs.span(f"phase:{name}", det=det, **attrs):
+            try:
+                return fn(*args)
+            finally:
+                elapsed = time.perf_counter() - started
+                self.timings[name] = self.timings.get(name, 0.0) + elapsed
+                self.obs.event("phase.end", phase=name)
 
     def run(self) -> AuditDataset:
         personas = self._personas
         total_started = time.perf_counter()
-        self._timed("setup", self._setup_personas, personas)
-        crawl_sites, prebid_sites = self._timed("discovery", self._discover_sites)
-        self._timed(
-            "pre_crawls", self._run_pre_interaction_crawls, personas, crawl_sites
+        self.obs.event(
+            "campaign.start",
+            seed_root=self.world.seed.root,
+            personas=len(personas),
         )
-        self._advance_to_day(11)  # Dec 21
-        self._timed("install", self._install_all_skills, personas)
-        self._timed("dsar", self._request_dsar_all, personas)  # DSAR #1 (install-only)
-        self._advance_to_day(12)  # Dec 22
-        self._timed("interaction_wave_1", self._run_interaction_wave, personas, True)
-        self._mark_interacted(personas)
-        self._timed("dsar", self._request_dsar_all, personas)  # DSAR #2
-        self._timed(
-            "post_crawls", self._run_post_interaction_crawls, personas, crawl_sites
-        )
-        self._timed("audio", self._run_audio_sessions, personas)
-        if self.config.second_interaction_wave:
-            self._timed(
-                "interaction_wave_2", self._run_interaction_wave, personas, False
+        with self.obs.span("campaign"):
+            self._phase("setup", self._setup_personas, personas)
+            crawl_sites, prebid_sites = self._phase(
+                "discovery", self._discover_sites, det=True
             )
-            self._timed("dsar", self._request_dsar_all, personas)  # DSAR #3
-            self._timed("dsar", self._rerequest_missing_interest_files, personas)
-        policy_fetches = self._timed("policies", self._collect_policies, personas)
+            self._phase(
+                "pre_crawls", self._run_pre_interaction_crawls, personas, crawl_sites
+            )
+            self._advance_to_day(11)  # Dec 21
+            self._phase("install", self._install_all_skills, personas)
+            # DSAR #1 (install-only)
+            self._phase("dsar", self._request_dsar_all, personas, wave=1)
+            self._advance_to_day(12)  # Dec 22
+            self._phase(
+                "interaction_wave_1", self._run_interaction_wave, personas, True
+            )
+            self._mark_interacted(personas)
+            self._phase("dsar", self._request_dsar_all, personas, wave=2)
+            self._phase(
+                "post_crawls", self._run_post_interaction_crawls, personas, crawl_sites
+            )
+            self._phase("audio", self._run_audio_sessions, personas)
+            if self.config.second_interaction_wave:
+                self._phase(
+                    "interaction_wave_2", self._run_interaction_wave, personas, False
+                )
+                self._phase("dsar", self._request_dsar_all, personas, wave=3)
+                self._phase(
+                    "dsar", self._rerequest_missing_interest_files, personas,
+                    wave=3, rerequest=True,
+                )
+            policy_fetches = self._phase("policies", self._collect_policies, personas)
         self.timings["total"] = time.perf_counter() - total_started
+        self.obs.event("campaign.end", personas=len(personas))
         return AuditDataset(
             personas=self._artifacts,
             prebid_sites=prebid_sites,
@@ -231,6 +275,7 @@ class ExperimentRunner:
             policy_fetches=policy_fetches,
             world=self.world,
             timings=dict(self.timings),
+            obs=self.obs if self.obs.enabled else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -239,48 +284,53 @@ class ExperimentRunner:
 
     def _setup_personas(self, personas: Sequence[Persona]) -> None:
         for persona in personas:
-            artifacts = PersonaArtifacts(
-                persona=persona, profile_id=f"profile-{persona.name}"
+            with self.obs.span("persona:setup", det=True, persona=persona.name):
+                self._setup_one_persona(persona)
+
+    def _setup_one_persona(self, persona: Persona) -> None:
+        artifacts = PersonaArtifacts(
+            persona=persona, profile_id=f"profile-{persona.name}"
+        )
+        profile = BrowserProfile(
+            profile_id=artifacts.profile_id, persona=persona.name
+        )
+        if persona.uses_echo:
+            account = AmazonAccount(email=persona.email, persona=persona.name)
+            artifacts.account = account
+            device = EchoDevice(
+                f"echo-{persona.name}",
+                account,
+                self.world.router,
+                self.world.cloud,
+                self.world.seed,
             )
-            profile = BrowserProfile(
-                profile_id=artifacts.profile_id, persona=persona.name
-            )
-            if persona.uses_echo:
-                account = AmazonAccount(email=persona.email, persona=persona.name)
-                artifacts.account = account
-                device = EchoDevice(
-                    f"echo-{persona.name}",
-                    account,
+            self._devices[persona.name] = device
+            if self.config.run_avs_echo and persona.kind == "interest":
+                avs_account = AmazonAccount(
+                    email=f"avs-{persona.name}@persona.example.com",
+                    persona=f"avs-{persona.name}",
+                )
+                self._avs_devices[persona.name] = AVSEcho(
+                    f"avs-{persona.name}",
+                    avs_account,
                     self.world.router,
                     self.world.cloud,
                     self.world.seed,
                 )
-                self._devices[persona.name] = device
-                if self.config.run_avs_echo and persona.kind == "interest":
-                    avs_account = AmazonAccount(
-                        email=f"avs-{persona.name}@persona.example.com",
-                        persona=f"avs-{persona.name}",
-                    )
-                    self._avs_devices[persona.name] = AVSEcho(
-                        f"avs-{persona.name}",
-                        avs_account,
-                        self.world.router,
-                        self.world.cloud,
-                        self.world.seed,
-                    )
-                profile.login_amazon(account)
-            self._profiles[persona.name] = profile
-            self.world.adtech.register_profile(profile)
-            self._crawlers[persona.name] = OpenWPMCrawler(
-                profile,
-                self.world.universe,
-                self.world.adtech,
-                self.world.clock,
-                self.world.seed,
-            )
-            self._artifacts[persona.name] = artifacts
-            if persona.kind == "web":
-                self._prime_web_persona(persona)
+            profile.login_amazon(account)
+        self._profiles[persona.name] = profile
+        self.world.adtech.register_profile(profile)
+        self._crawlers[persona.name] = OpenWPMCrawler(
+            profile,
+            self.world.universe,
+            self.world.adtech,
+            self.world.clock,
+            self.world.seed,
+            obs=self.obs,
+        )
+        self._artifacts[persona.name] = artifacts
+        if persona.kind == "web":
+            self._prime_web_persona(persona)
 
     def _prime_web_persona(self, persona: Persona) -> None:
         """Visit the category's top-50 sites to build browsing history.
@@ -296,8 +346,10 @@ class ExperimentRunner:
                     domain, _make_priming_site_handler(persona.category)
                 )
             page = browser.get(f"https://{domain}/")
+            self.obs.inc("web.priming_requests")
             for pixel_url in page.body.get("trackers", []):
                 browser.get(pixel_url)
+                self.obs.inc("web.priming_requests")
 
     # ------------------------------------------------------------------ #
     # Phase 2: site discovery + crawls
@@ -313,19 +365,27 @@ class ExperimentRunner:
             probe_profile,
             self.world.clock,
             target=self.config.prebid_discovery_target,
+            obs=self.obs,
         )
         return prebid_sites[: self.config.crawl_sites], prebid_sites
 
     def _crawl_all(
         self, personas: Sequence[Persona], sites: List[WebsiteSpec], iteration: int
     ) -> None:
-        for persona in personas:
-            crawler = self._crawlers[persona.name]
-            result = crawler.crawl_iteration(sites, iteration)
-            artifacts = self._artifacts[persona.name]
-            artifacts.bids.extend(result.bids)
-            artifacts.ads.extend(result.ads)
-            artifacts.loaded_slots.update(result.loaded_slots)
+        with self.obs.span("crawl:iteration", iteration=iteration):
+            for persona in personas:
+                crawler = self._crawlers[persona.name]
+                with self.obs.span(
+                    "persona:crawl",
+                    det=True,
+                    persona=persona.name,
+                    iteration=iteration,
+                ):
+                    result = crawler.crawl_iteration(sites, iteration)
+                artifacts = self._artifacts[persona.name]
+                artifacts.bids.extend(result.bids)
+                artifacts.ads.extend(result.ads)
+                artifacts.loaded_slots.update(result.loaded_slots)
         # Request logs accumulate inside each browser; snapshot at the end.
 
     def _run_pre_interaction_crawls(
@@ -367,13 +427,22 @@ class ExperimentRunner:
             artifacts = self._artifacts[persona.name]
             account = artifacts.account
             assert account is not None
-            for spec in self._skills_for(persona):
-                receipt = self.world.marketplace.install(account, spec.skill_id)
-                if not receipt.installed:
-                    artifacts.install_failures.append(spec.skill_id)
-                avs = self._avs_devices.get(persona.name)
-                if avs is not None and not spec.fails_to_load:
-                    self.world.marketplace.install(avs.account, spec.skill_id)
+            with self.obs.span("persona:install", det=True, persona=persona.name):
+                for spec in self._skills_for(persona):
+                    receipt = self.world.marketplace.install(account, spec.skill_id)
+                    if receipt.installed:
+                        self.obs.inc("skills.installed")
+                    else:
+                        artifacts.install_failures.append(spec.skill_id)
+                        self.obs.inc("skills.install_failures")
+                        self.obs.event(
+                            "skill.install_failure",
+                            persona=persona.name,
+                            skill_id=spec.skill_id,
+                        )
+                    avs = self._avs_devices.get(persona.name)
+                    if avs is not None and not spec.fails_to_load:
+                        self.world.marketplace.install(avs.account, spec.skill_id)
 
     def _run_interaction_wave(
         self, personas: Sequence[Persona], capture: bool
@@ -385,22 +454,29 @@ class ExperimentRunner:
             artifacts = self._artifacts[persona.name]
             device = self._devices[persona.name]
             avs = self._avs_devices.get(persona.name)
-            for spec in self._skills_for(persona):
-                if spec.skill_id in artifacts.install_failures:
-                    continue
-                session = None
-                if capture:
-                    session = self.world.router.start_capture(
-                        label=spec.skill_id, device_filter=device.device_id
-                    )
-                device.run_skill_session(spec)
-                device.background_sync(list(spec.amazon_endpoints))
-                if session is not None:
-                    self.world.router.stop_capture(session)
-                    artifacts.skill_captures[spec.skill_id] = session
-                if avs is not None:
-                    avs.run_skill_session(spec)
-                self.world.clock.advance(30.0)
+            with self.obs.span(
+                "persona:interactions",
+                det=True,
+                persona=persona.name,
+                capture=capture,
+            ):
+                for spec in self._skills_for(persona):
+                    if spec.skill_id in artifacts.install_failures:
+                        continue
+                    session = None
+                    if capture:
+                        session = self.world.router.start_capture(
+                            label=spec.skill_id, device_filter=device.device_id
+                        )
+                    device.run_skill_session(spec)
+                    device.background_sync(list(spec.amazon_endpoints))
+                    self.obs.inc("skills.sessions")
+                    if session is not None:
+                        self.world.router.stop_capture(session)
+                        artifacts.skill_captures[spec.skill_id] = session
+                    if avs is not None:
+                        avs.run_skill_session(spec)
+                    self.world.clock.advance(30.0)
             self.world.cloud.advance_epoch(artifacts.account.customer_id)
         # The vanilla account tracks the same experiment phases (its DSAR
         # requests are timed identically to the interest personas').
@@ -427,14 +503,16 @@ class ExperimentRunner:
                 continue  # persona lives in another shard
             artifacts = self._artifacts[persona_name]
             device = self._devices[persona_name]
-            for skill in STREAMING_SKILLS:
-                device.say(f"alexa, play top hits on {skill.invocation_name}")
-                artifacts.audio_sessions.append(
-                    self.world.audio_server.stream(
-                        skill.name, persona_name, hours=self.config.audio_hours
+            with self.obs.span("persona:audio", det=True, persona=persona_name):
+                for skill in STREAMING_SKILLS:
+                    device.say(f"alexa, play top hits on {skill.invocation_name}")
+                    artifacts.audio_sessions.append(
+                        self.world.audio_server.stream(
+                            skill.name, persona_name, hours=self.config.audio_hours
+                        )
                     )
-                )
-                self.world.clock.advance(self.config.audio_hours * 3600.0)
+                    self.obs.inc("audio.stream_sessions")
+                    self.world.clock.advance(self.config.audio_hours * 3600.0)
 
     # ------------------------------------------------------------------ #
     # Phase 5: DSAR
@@ -445,7 +523,8 @@ class ExperimentRunner:
             if not persona.uses_echo:
                 continue
             artifacts = self._artifacts[persona.name]
-            export = self.world.dsar.request_data(artifacts.account.customer_id)
+            with self.obs.span("persona:dsar", det=True, persona=persona.name):
+                export = self.world.dsar.request_data(artifacts.account.customer_id)
             artifacts.dsar_exports.append(export)
 
     def _rerequest_missing_interest_files(self, personas: Sequence[Persona]) -> None:
@@ -457,7 +536,13 @@ class ExperimentRunner:
             if not artifacts.dsar_exports:
                 continue  # no DSAR ever completed for this persona
             if artifacts.dsar_exports[-1].advertising_interests is None:
-                export = self.world.dsar.request_data(artifacts.account.customer_id)
+                self.obs.event("dsar.rerequest", persona=persona.name)
+                with self.obs.span(
+                    "persona:dsar", det=True, persona=persona.name, rerequest=True
+                ):
+                    export = self.world.dsar.request_data(
+                        artifacts.account.customer_id
+                    )
                 artifacts.dsar_exports.append(export)
 
     # ------------------------------------------------------------------ #
@@ -469,14 +554,24 @@ class ExperimentRunner:
         for persona in personas:
             if persona.kind != "interest":
                 continue
-            for spec in self._skills_for(persona):
-                url = self.world.marketplace.privacy_policy_url(spec.skill_id)
-                document = (
-                    self.world.corpus.get(spec.skill_id) if url is not None else None
-                )
-                fetches.append(
-                    PolicyFetch(skill_id=spec.skill_id, url=url, document=document)
-                )
+            with self.obs.span("persona:policies", det=True, persona=persona.name):
+                for spec in self._skills_for(persona):
+                    url = self.world.marketplace.privacy_policy_url(spec.skill_id)
+                    document = (
+                        self.world.corpus.get(spec.skill_id)
+                        if url is not None
+                        else None
+                    )
+                    self.obs.inc("policies.checked")
+                    if url is None:
+                        self.obs.inc("policies.missing_link")
+                    elif document is None:
+                        self.obs.inc("policies.broken_link")
+                    fetches.append(
+                        PolicyFetch(
+                            skill_id=spec.skill_id, url=url, document=document
+                        )
+                    )
         return fetches
 
     # ------------------------------------------------------------------ #
@@ -503,25 +598,46 @@ def _make_priming_site_handler(category: str):
     return handler
 
 
+def _run_serial_experiment(
+    seed: Seed,
+    config: ExperimentConfig = ExperimentConfig(),
+    obs: Optional[ObsCollector] = None,
+) -> AuditDataset:
+    """Build a world for ``seed`` and run the full campaign on it.
+
+    Internal serial engine behind :func:`repro.core.run_campaign`; call
+    that instead of this.
+    """
+    world = build_world(seed)
+    return ExperimentRunner(world, config, obs=obs).run()
+
+
 def run_experiment(
     seed: Seed, config: ExperimentConfig = ExperimentConfig()
 ) -> AuditDataset:
-    """Build a world for ``seed`` and run the full campaign on it."""
-    world = build_world(seed)
-    return ExperimentRunner(world, config).run()
+    """Deprecated alias — use :func:`repro.core.run_campaign`.
+
+    Note the argument order flip: ``run_campaign(config, seed)``.
+    """
+    warnings.warn(
+        "run_experiment(seed, config) is deprecated; use "
+        "run_campaign(config, seed) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_serial_experiment(seed, config)
 
 
 def run_cached_experiment(
     seed_root: int = 42, config: ExperimentConfig = ExperimentConfig()
 ) -> AuditDataset:
-    """Full-scale campaign, cached per (seed, config) for the benchmark suite.
+    """Deprecated alias — use ``run_campaign(config, seed, cache=True)``."""
+    warnings.warn(
+        "run_cached_experiment(seed_root, config) is deprecated; use "
+        "run_campaign(config, seed_root, cache=True) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.campaign import run_campaign
 
-    Datasets are memoized on disk (see :mod:`repro.core.cache`), so repeat
-    invocations — including across processes — skip the campaign entirely.
-    Every call returns an independent deep copy: mutating one caller's
-    dataset can never leak into another's (the aliasing bug the old
-    ``functools.lru_cache`` version had).
-    """
-    from repro.core.cache import DatasetCache
-
-    return DatasetCache().get_or_run(seed_root, config)
+    return run_campaign(config, seed_root, cache=True)

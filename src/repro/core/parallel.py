@@ -31,9 +31,10 @@ which do not pickle).  The merged dataset carries a fresh
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.experiment import (
     AuditDataset,
@@ -45,6 +46,7 @@ from repro.core.experiment import (
 from repro.core.personas import Persona, all_personas
 from repro.core.world import build_world
 from repro.data.websites import WebsiteSpec
+from repro.obs import ObsCollector, merge_collectors
 from repro.util.rng import Seed
 
 __all__ = [
@@ -72,6 +74,10 @@ class ShardResult:
     crawl_sites: List[WebsiteSpec]
     policy_fetches: List[PolicyFetch]
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Per-shard observability collector (None when tracing was off).
+    #: Collectors are world-free, so they pickle across the process
+    #: boundary with the rest of the bundle.
+    obs: Optional[ObsCollector] = None
 
 
 def shard_personas(
@@ -105,13 +111,15 @@ def _run_shard(
     seed: Seed,
     config: ExperimentConfig,
     persona_names: Sequence[str],
+    collect_obs: bool = False,
 ) -> ShardResult:
     """Run the campaign for one persona subset in a private world.
 
     Module-level (not a closure) so the process backend can pickle it.
     The world is rebuilt inside the worker from the shared root seed:
     worlds hold unpicklable service closures and must never cross the
-    process boundary.
+    process boundary.  With ``collect_obs`` the worker traces into a
+    fresh :class:`~repro.obs.ObsCollector` that rides back on the result.
     """
     roster = {p.name: p for p in all_personas()}
     unknown = [n for n in persona_names if n not in roster]
@@ -119,7 +127,8 @@ def _run_shard(
         raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")
     personas = [roster[name] for name in persona_names]
     world = build_world(seed)
-    dataset = ExperimentRunner(world, config, personas=personas).run()
+    obs = ObsCollector() if collect_obs else None
+    dataset = ExperimentRunner(world, config, personas=personas, obs=obs).run()
     return ShardResult(
         shard_index=shard_index,
         persona_names=list(persona_names),
@@ -128,6 +137,7 @@ def _run_shard(
         crawl_sites=dataset.crawl_sites,
         policy_fetches=dataset.policy_fetches,
         timings=dataset.timings,
+        obs=dataset.obs,
     )
 
 
@@ -181,6 +191,13 @@ def merge_shard_results(
         for phase, seconds in result.timings.items():
             timings[f"shard{result.shard_index}.{phase}"] = seconds
 
+    obs = None
+    if all(result.obs is not None for result in ordered):
+        obs = merge_collectors(
+            [result.obs for result in ordered],
+            roster=[p.name for p in all_personas()],
+        )
+
     return AuditDataset(
         personas=personas,
         prebid_sites=list(reference.prebid_sites),
@@ -188,20 +205,25 @@ def merge_shard_results(
         policy_fetches=policy_fetches,
         world=build_world(seed),
         timings=timings,
+        obs=obs,
     )
 
 
-def run_parallel_experiment(
+def _run_parallel_experiment(
     seed: Seed,
     config: ExperimentConfig = ExperimentConfig(),
     workers: int = 2,
     backend: str = "process",
+    collect_obs: bool = False,
 ) -> AuditDataset:
     """Run the campaign sharded by persona across ``workers`` workers.
 
-    The exported form of the returned dataset is bit-identical to
-    ``run_experiment(seed, config)`` for any worker count and either
-    backend — see ``tests/integration/test_parallel_equivalence.py``.
+    Internal parallel engine behind :func:`repro.core.run_campaign`.
+    The exported form of the returned dataset is bit-identical to the
+    serial campaign's for any worker count and either backend — see
+    ``tests/integration/test_parallel_equivalence.py`` — and with
+    ``collect_obs`` the merged trace's simulated-time span tree is
+    byte-identical too (``tests/integration/test_obs_equivalence.py``).
     Worker-local wall-clock lands in ``dataset.timings`` under
     ``shard<i>.<phase>`` keys, plus ``scatter`` (shard fan-out and
     collection) and ``total`` for the whole parallel run.
@@ -218,12 +240,19 @@ def run_parallel_experiment(
     )
     if len(shards) == 1:
         # One shard is the serial campaign; skip the executor entirely.
-        results = [_run_shard(0, seed, config, [p.name for p in shards[0]])]
+        results = [
+            _run_shard(0, seed, config, [p.name for p in shards[0]], collect_obs)
+        ]
     else:
         with executor_cls(max_workers=len(shards)) as pool:
             futures = [
                 pool.submit(
-                    _run_shard, index, seed, config, [p.name for p in shard]
+                    _run_shard,
+                    index,
+                    seed,
+                    config,
+                    [p.name for p in shard],
+                    collect_obs,
                 )
                 for index, shard in enumerate(shards)
             ]
@@ -234,3 +263,20 @@ def run_parallel_experiment(
     dataset.timings["scatter"] = scatter_elapsed
     dataset.timings["total"] = time.perf_counter() - started
     return dataset
+
+
+def run_parallel_experiment(
+    seed: Seed,
+    config: ExperimentConfig = ExperimentConfig(),
+    workers: int = 2,
+    backend: str = "process",
+) -> AuditDataset:
+    """Deprecated alias — use ``run_campaign(config, seed, parallel=True)``."""
+    warnings.warn(
+        "run_parallel_experiment(seed, config) is deprecated; use "
+        "run_campaign(config, seed, parallel=True, workers=..., "
+        "backend=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_parallel_experiment(seed, config, workers=workers, backend=backend)

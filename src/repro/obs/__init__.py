@@ -1,0 +1,43 @@
+"""Seeded-deterministic observability for the auditing framework.
+
+Four pieces, one handle:
+
+* :class:`~repro.obs.tracer.Tracer` — span-based tracing with simulated
+  (world-clock) and real (``perf_counter``) time in separate fields;
+* :class:`~repro.obs.metrics.MetricsRegistry` — typed counters/gauges
+  with per-metric deterministic merge policies;
+* :class:`~repro.obs.events.EventLog` — structured JSONL events with a
+  stable schema;
+* :class:`~repro.obs.manifest.RunManifest` — seed, config fingerprint,
+  worker topology, per-phase wall-clock.
+
+:class:`~repro.obs.collector.ObsCollector` bundles them; pass one to
+:func:`repro.core.run_campaign` (or let it create one) and read it back
+from ``dataset.obs``.  Disabled observability is the
+:data:`~repro.obs.collector.NULL_OBS` null object, so instrumented code
+never branches on an ``if``.
+"""
+
+from repro.obs.collector import NULL_OBS, NullObs, ObsCollector, merge_collectors
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+from repro.obs.metrics import MERGE_POLICIES, Counter, Gauge, MetricsRegistry
+from repro.obs.tracer import SPAN_SCHEMA_VERSION, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "Gauge",
+    "MANIFEST_SCHEMA_VERSION",
+    "MERGE_POLICIES",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObs",
+    "ObsCollector",
+    "RunManifest",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "merge_collectors",
+]

@@ -1,0 +1,108 @@
+"""Structured JSONL event log with a stable schema.
+
+Every event is one JSON object with exactly five top-level keys — the
+schema contract the unit tests pin down:
+
+``schema``
+    integer, :data:`EVENT_SCHEMA_VERSION`;
+``seq``
+    0-based emission index within this log;
+``type``
+    dotted event name (``"phase.end"``, ``"dsar.export"``, …);
+``sim_time``
+    simulated seconds since the campaign epoch when the event fired
+    (``null`` when no world clock was bound);
+``fields``
+    free-form JSON-scalar payload.
+
+Serialisation is canonical (sorted keys, compact separators), so a log
+replayed from the same seed diffs clean line-by-line except for ``seq``
+renumbering after merges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO
+
+__all__ = ["EventLog", "EVENT_SCHEMA_VERSION"]
+
+#: Bump when the event record layout changes shape.
+EVENT_SCHEMA_VERSION = 1
+
+_TOP_LEVEL_KEYS = ("schema", "seq", "type", "sim_time", "fields")
+
+
+class EventLog:
+    """Append-only structured event sink."""
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self._records: List[Dict[str, object]] = []
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event_type: str, **fields: object) -> Dict[str, object]:
+        """Record one event, stamping the current simulated time."""
+        for key, value in fields.items():
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise TypeError(
+                    f"event field {key!r} must be a JSON scalar, got "
+                    f"{type(value).__name__}"
+                )
+        record: Dict[str, object] = {
+            "schema": EVENT_SCHEMA_VERSION,
+            "seq": len(self._records),
+            "type": event_type,
+            "sim_time": (
+                None if self._clock is None else round(self._clock.now, 6)
+            ),
+            "fields": {key: fields[key] for key in sorted(fields)},
+        }
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._records)
+
+    def records(self) -> List[Dict[str, object]]:
+        return list(self._records)
+
+    def of_type(self, event_type: str) -> List[Dict[str, object]]:
+        return [r for r in self._records if r["type"] == event_type]
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per line."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self._records
+        )
+
+    def write(self, handle: TextIO) -> int:
+        """Write the JSONL form to ``handle``; returns the line count."""
+        text = self.to_jsonl()
+        if text:
+            handle.write(text + "\n")
+        return len(self._records)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def merge(logs: Sequence["EventLog"]) -> "EventLog":
+        """Concatenate shard logs (callers pass them sorted by shard
+        index) and renumber ``seq`` so the merged log is itself valid."""
+        merged = EventLog()
+        for log in logs:
+            for record in log._records:
+                copied = dict(record)
+                copied["seq"] = len(merged._records)
+                merged._records.append(copied)
+        return merged

@@ -1,0 +1,221 @@
+"""Span-based tracing over the campaign's two clocks.
+
+Every span records *two* time axes, kept in separate fields:
+
+* **simulated time** — read from the world's
+  :class:`~repro.util.clock.SimClock`; advances only when the simulation
+  says so, and therefore reproducible from the seed;
+* **real time** — ``time.perf_counter``; what the host actually spent,
+  never reproducible.
+
+The canonical export (:meth:`Tracer.sim_tree`) carries *only* the
+simulated axis, so two runs of the same seed produce byte-identical
+trees no matter how fast the hardware was.  Spans opened with
+``det=True`` assert a stronger property: their simulated duration is
+*shard-invariant* — it depends only on the span's own actor (a persona's
+seed-keyed advances), not on which other personas share the world.
+Those are the spans whose ``sim_us`` appears in the canonical tree; the
+persona-sharded parallel runner relies on this to merge shard traces
+into a tree byte-identical to the serial run's
+(:func:`repro.obs.collector.merge_collectors`).
+
+Durations are quantised to integer microseconds.  Simulated clock reads
+sit on different float bases in different shards (other personas shift
+the clock), so raw ``end - start`` differences can disagree in the last
+ulp; at campaign magnitudes (~1e6 s) that residue is ~1e-10 s, far below
+the 0.5 µs rounding threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "SPAN_SCHEMA_VERSION"]
+
+#: Bump when the span record layout changes shape.
+SPAN_SCHEMA_VERSION = 1
+
+
+def _canonical_attrs(attrs: Dict[str, object]) -> Dict[str, object]:
+    """Attrs restricted to JSON scalars, insertion order dropped."""
+    clean: Dict[str, object] = {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TypeError(
+                f"span attribute {key!r} must be a JSON scalar, got "
+                f"{type(value).__name__}"
+            )
+        clean[key] = value
+    return clean
+
+
+@dataclass
+class Span:
+    """One timed unit of campaign work."""
+
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: Whether the simulated duration is seed-deterministic and
+    #: shard-invariant (see module docstring).  Only ``det`` spans carry
+    #: ``sim_us`` in the canonical tree.
+    det: bool = False
+    sim_start: Optional[float] = None
+    sim_end: Optional[float] = None
+    real_start: Optional[float] = None
+    real_end: Optional[float] = None
+    status: str = "ok"
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def sim_elapsed(self) -> Optional[float]:
+        """Simulated seconds spent inside the span, if a clock was bound."""
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    @property
+    def sim_us(self) -> Optional[int]:
+        """Simulated duration in integer microseconds (``det`` spans only)."""
+        if not self.det:
+            return None
+        elapsed = self.sim_elapsed
+        if elapsed is None:
+            return None
+        return round(elapsed * 1e6)
+
+    @property
+    def real_elapsed(self) -> Optional[float]:
+        """Host seconds spent inside the span."""
+        if self.real_start is None or self.real_end is None:
+            return None
+        return self.real_end - self.real_start
+
+    # ------------------------------------------------------------------ #
+
+    def sim_node(self) -> Dict[str, object]:
+        """This span (and its subtree) on the simulated axis only."""
+        return {
+            "name": self.name,
+            "attrs": _canonical_attrs(self.attrs),
+            "sim_us": self.sim_us,
+            "children": [child.sim_node() for child in self.children],
+        }
+
+    def record(self, span_id: int, parent_id: Optional[int]) -> Dict[str, object]:
+        """Flat, JSONL-ready record carrying both time axes."""
+        return {
+            "schema": SPAN_SCHEMA_VERSION,
+            "id": span_id,
+            "parent_id": parent_id,
+            "name": self.name,
+            "attrs": _canonical_attrs(self.attrs),
+            "det": self.det,
+            "status": self.status,
+            "sim_start": None if self.sim_start is None else round(self.sim_start, 6),
+            "sim_end": None if self.sim_end is None else round(self.sim_end, 6),
+            "sim_us": self.sim_us,
+            "real_elapsed_s": (
+                None if self.real_elapsed is None else round(self.real_elapsed, 6)
+            ),
+        }
+
+
+class Tracer:
+    """Builds the span tree for one campaign (or one shard of one).
+
+    The tracer is created before the world exists, so the sim clock is
+    bound late via :meth:`bind_clock`.  Spans opened without a bound
+    clock simply carry no simulated timestamps.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def bind_clock(self, clock) -> None:
+        """Attach the world clock that simulated timestamps read from."""
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def span(self, name: str, *, det: bool = False, **attrs: object) -> Iterator[Span]:
+        """Open a span; nests under the innermost open span."""
+        node = Span(name=name, attrs=_canonical_attrs(attrs), det=det)
+        if self._clock is not None:
+            node.sim_start = self._clock.now
+        node.real_start = time.perf_counter()
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        except BaseException:
+            node.status = "error"
+            raise
+        finally:
+            node.real_end = time.perf_counter()
+            if self._clock is not None:
+                node.sim_end = self._clock.now
+            popped = self._stack.pop()
+            assert popped is node, "span stack corrupted"
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------ #
+    # Exports
+    # ------------------------------------------------------------------ #
+
+    def sim_tree(self) -> List[Dict[str, object]]:
+        """The simulated-time span forest, canonical form.
+
+        Contains only seed-reproducible fields (names, attributes, and
+        the ``sim_us`` of ``det`` spans) — byte-identical across serial
+        and merged-parallel runs of the same seed.
+        """
+        return [root.sim_node() for root in self.roots]
+
+    def sim_tree_json(self) -> str:
+        """Canonical JSON serialisation of :meth:`sim_tree`."""
+        return json.dumps(
+            self.sim_tree(), sort_keys=True, separators=(",", ":")
+        )
+
+    def records(self) -> List[Dict[str, object]]:
+        """Flat pre-order span records with both time axes."""
+        out: List[Dict[str, object]] = []
+
+        def walk(span: Span, parent_id: Optional[int]) -> None:
+            span_id = len(out)
+            out.append(span.record(span_id, parent_id))
+            for child in span.children:
+                walk(child, span_id)
+
+        for root in self.roots:
+            walk(root, None)
+        return out
+
+    def phase_real_seconds(self) -> Dict[str, float]:
+        """Accumulated host seconds per ``phase:*`` span, by phase name."""
+        totals: Dict[str, float] = {}
+
+        def walk(span: Span) -> None:
+            if span.name.startswith("phase:") and span.real_elapsed is not None:
+                key = span.name[len("phase:") :]
+                totals[key] = totals.get(key, 0.0) + span.real_elapsed
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return totals

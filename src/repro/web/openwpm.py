@@ -19,6 +19,7 @@ from repro.adtech.ads import AdCreative
 from repro.adtech.exchange import AdTechWorld
 from repro.adtech.prebid import PrebidSession, register_publisher
 from repro.data.websites import N_PREBID_TARGET, WebsiteSpec
+from repro.obs import NULL_OBS
 from repro.util.clock import SimClock
 from repro.util.rng import Seed
 from repro.web.browser import Browser, BrowserProfile, WebUniverse
@@ -70,17 +71,23 @@ def discover_prebid_sites(
     probe_profile: BrowserProfile,
     clock: SimClock,
     target: int = N_PREBID_TARGET,
+    obs=NULL_OBS,
 ) -> List[WebsiteSpec]:
     """Probe the toplist for prebid support, stopping at ``target`` sites.
 
     Registers every probed site's page handler in the web universe as a
     side effect (the simulation's stand-in for the site existing).
+
+    Discovery runs once per world — every parallel shard repeats it
+    identically — so its counters use the ``"first"`` merge policy.
     """
     browser = Browser(probe_profile, universe, clock)
     found: List[WebsiteSpec] = []
+    probed = 0
     for site in toplist:
         register_publisher(site, universe)
         session = PrebidSession(site, browser, adtech, iteration=-1)
+        probed += 1
         if session.version() is not None:
             found.append(site)
         if len(found) >= target:
@@ -89,6 +96,8 @@ def discover_prebid_sites(
         raise RuntimeError(
             f"toplist exhausted with only {len(found)} prebid sites (need {target})"
         )
+    obs.inc("discovery.sites_probed", probed, merge="first")
+    obs.inc("discovery.prebid_sites_found", len(found), merge="first")
     return found
 
 
@@ -103,12 +112,14 @@ class OpenWPMCrawler:
         clock: SimClock,
         seed: Seed,
         bot_mitigation: bool = True,
+        obs=NULL_OBS,
     ) -> None:
         self.profile = profile
         self.browser = Browser(profile, universe, clock)
         self.adtech = adtech
         self.clock = clock
         self.bot_mitigation = bot_mitigation
+        self.obs = obs
         self._rng = seed.rng("openwpm", profile.profile_id)
         adtech.register_profile(profile)
 
@@ -152,6 +163,9 @@ class OpenWPMCrawler:
                     )
                 )
             slot_index += len(bids)
+            self.obs.inc("openwpm.pages_visited")
             if self.bot_mitigation:
                 self.clock.advance(self._rng.uniform(10, 30))
+        self.obs.inc("openwpm.bids_collected", len(result.bids))
+        self.obs.inc("openwpm.ads_rendered", len(result.ads))
         return result

@@ -7,7 +7,8 @@ their own fixtures locally.
 
 import pytest
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.world import build_world
 from repro.util.rng import Seed
 
@@ -35,4 +36,4 @@ def world(seed):
 @pytest.fixture(scope="session")
 def small_dataset():
     """A complete but scaled-down audit campaign."""
-    return run_experiment(Seed(7), SMALL_CONFIG)
+    return run_campaign(SMALL_CONFIG, Seed(7))

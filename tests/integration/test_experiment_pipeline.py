@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.bids import common_slots, significance_vs_vanilla
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.data import categories as cat
 from repro.util.rng import Seed
 
@@ -95,8 +96,8 @@ class TestDeterminism:
             prebid_discovery_target=5,
             audio_hours=0.5,
         )
-        a = run_experiment(Seed(99), config)
-        b = run_experiment(Seed(99), config)
+        a = run_campaign(config, Seed(99))
+        b = run_campaign(config, Seed(99))
         bids_a = [(r.slot_id, r.bidder, r.cpm) for r in a.vanilla.bids]
         bids_b = [(r.slot_id, r.bidder, r.cpm) for r in b.vanilla.bids]
         assert bids_a == bids_b
@@ -113,8 +114,8 @@ class TestDeterminism:
             prebid_discovery_target=5,
             audio_hours=0.5,
         )
-        a = run_experiment(Seed(99), config)
-        b = run_experiment(Seed(100), config)
+        a = run_campaign(config, Seed(99))
+        b = run_campaign(config, Seed(100))
         assert [r.cpm for r in a.vanilla.bids] != [r.cpm for r in b.vanilla.bids]
 
 

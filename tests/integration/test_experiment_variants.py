@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
 from repro.core.profiling import analyze_profiling
 from repro.data import categories as cat
 from repro.util.rng import Seed
@@ -19,16 +20,14 @@ TINY = dict(
 
 class TestConfigVariants:
     def test_without_avs_echo(self):
-        dataset = run_experiment(
-            Seed(31), ExperimentConfig(run_avs_echo=False, **TINY)
-        )
+        dataset = run_campaign(ExperimentConfig(run_avs_echo=False, **TINY), Seed(31))
         for artifacts in dataset.interest_personas:
             assert artifacts.avs_plaintext == []
             assert artifacts.skill_captures  # Echo captures unaffected
 
     def test_without_second_wave(self):
-        dataset = run_experiment(
-            Seed(31), ExperimentConfig(second_interaction_wave=False, **TINY)
+        dataset = run_campaign(
+            ExperimentConfig(second_interaction_wave=False, **TINY), Seed(31)
         )
         for artifacts in dataset.personas.values():
             if artifacts.persona.uses_echo:
@@ -40,28 +39,27 @@ class TestConfigVariants:
         )
 
     def test_custom_audio_personas(self):
-        dataset = run_experiment(
-            Seed(31),
-            ExperimentConfig(audio_personas=(cat.VANILLA,), **TINY),
+        dataset = run_campaign(
+            ExperimentConfig(audio_personas=(cat.VANILLA,), **TINY), Seed(31)
         )
         assert dataset.artifacts(cat.VANILLA).audio_sessions
         assert not dataset.artifacts(cat.FASHION).audio_sessions
 
     def test_fewer_skills_fewer_captures(self):
-        dataset = run_experiment(Seed(31), ExperimentConfig(**TINY))
+        dataset = run_campaign(ExperimentConfig(**TINY), Seed(31))
         for artifacts in dataset.interest_personas:
             assert len(artifacts.skill_captures) <= 3
 
     def test_pre_iterations_zero(self):
         config = ExperimentConfig(**{**TINY, "pre_iterations": 0})
-        dataset = run_experiment(Seed(31), config)
+        dataset = run_campaign(config, Seed(31))
         for artifacts in dataset.personas.values():
             assert all(b.iteration >= 0 for b in artifacts.bids)
 
 
 class TestClockSchedule:
     def test_campaign_spans_december_to_january(self):
-        dataset = run_experiment(Seed(32), ExperimentConfig(**TINY))
+        dataset = run_campaign(ExperimentConfig(**TINY), Seed(32))
         # The campaign starts Dec 10 2021 and post crawls run into January.
         final = dataset.world.clock.datetime()
         assert final.year == 2021 and final.month == 12 or final.year == 2022
@@ -70,7 +68,7 @@ class TestClockSchedule:
         config = ExperimentConfig(
             **{**TINY, "pre_iterations": 3, "post_iterations": 6}
         )
-        dataset = run_experiment(Seed(33), config)
+        dataset = run_campaign(config, Seed(33))
         vanilla = dataset.vanilla
         import statistics
 

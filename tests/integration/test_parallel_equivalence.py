@@ -10,9 +10,9 @@ import hashlib
 
 import pytest
 
-from repro.core.experiment import ExperimentConfig, ExperimentRunner, run_experiment
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.core.export import EXPORT_FILES, export_dataset
-from repro.core.parallel import run_parallel_experiment
 from repro.core.personas import all_personas
 from repro.core.world import build_world
 from repro.util.rng import Seed
@@ -39,7 +39,7 @@ def _export_digests(dataset, out_dir):
 
 @pytest.fixture(scope="module")
 def serial_digests(tmp_path_factory):
-    dataset = run_experiment(Seed(SEED_ROOT), TINY)
+    dataset = run_campaign(TINY, Seed(SEED_ROOT))
     out = tmp_path_factory.mktemp("serial-export")
     return _export_digests(dataset, out)
 
@@ -58,21 +58,21 @@ class TestParallelEquivalence:
     def test_export_bit_identical_to_serial(
         self, serial_digests, tmp_path, workers, backend
     ):
-        dataset = run_parallel_experiment(
-            Seed(SEED_ROOT), TINY, workers=workers, backend=backend
+        dataset = run_campaign(
+            TINY, Seed(SEED_ROOT), parallel=True, workers=workers, backend=backend
         )
         assert _export_digests(dataset, tmp_path) == serial_digests
 
     def test_different_seed_changes_exports(self, serial_digests, tmp_path):
-        dataset = run_parallel_experiment(
-            Seed(SEED_ROOT + 1), TINY, workers=2, backend="thread"
+        dataset = run_campaign(
+            TINY, Seed(SEED_ROOT + 1), parallel=True, workers=2, backend="thread"
         )
         digests = _export_digests(dataset, tmp_path)
         assert digests != serial_digests
 
     def test_merged_dataset_shape(self):
-        dataset = run_parallel_experiment(
-            Seed(SEED_ROOT), TINY, workers=3, backend="thread"
+        dataset = run_campaign(
+            TINY, Seed(SEED_ROOT), parallel=True, workers=3, backend="thread"
         )
         assert list(dataset.personas) == [p.name for p in all_personas()]
         assert dataset.world is not None
@@ -84,7 +84,7 @@ class TestParallelEquivalence:
 
 class TestRunnerSubsets:
     def test_serial_run_records_phase_timings(self):
-        dataset = run_experiment(Seed(SEED_ROOT), TINY)
+        dataset = run_campaign(TINY, Seed(SEED_ROOT))
         for phase in ("setup", "discovery", "pre_crawls", "post_crawls", "total"):
             assert phase in dataset.timings
             assert dataset.timings[phase] >= 0.0

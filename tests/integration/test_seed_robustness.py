@@ -13,7 +13,7 @@ Marked slow: each seed runs the full campaign (~20 s).
 import pytest
 
 from repro.core.bids import significance_vs_vanilla
-from repro.core.experiment import run_experiment
+from repro.core.campaign import run_campaign
 from repro.data import categories as cat
 from repro.util.rng import Seed
 
@@ -31,7 +31,7 @@ WEAK = {cat.SMART_HOME, cat.WINE, cat.HEALTH}
 @pytest.mark.slow
 @pytest.mark.parametrize("seed_root", [43, 44])
 def test_significance_pattern_robust_across_seeds(seed_root):
-    dataset = run_experiment(Seed(seed_root))
+    dataset = run_campaign(seed=Seed(seed_root))
     results = significance_vs_vanilla(dataset)
     significant = {p for p, r in results.items() if r.significant}
     assert STRONG <= significant

@@ -11,6 +11,7 @@ from repro.core.cache import (
     config_fingerprint,
     default_cache_dir,
 )
+from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig, run_cached_experiment
 
 TINY = ExperimentConfig(
@@ -120,9 +121,20 @@ class TestDatasetCache:
 
 
 class TestRunCachedExperiment:
-    def test_copies_are_independent(self, monkeypatch, tmp_path):
+    def test_shim_warns_and_copies_are_independent(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        first = run_cached_experiment(321, TINY)
-        second = run_cached_experiment(321, TINY)
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            first = run_cached_experiment(321, TINY)
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            second = run_cached_experiment(321, TINY)
         assert first is not second
+        assert _bid_rows(first) == _bid_rows(second)
+
+    def test_campaign_cache_hit_sets_manifest(self, tmp_path):
+        first = run_campaign(TINY, 321, cache=tmp_path)
+        assert first.obs is not None
+        assert first.obs.manifest.entrypoint == "cached"
+        assert first.obs.manifest.cache_hit is False
+        second = run_campaign(TINY, 321, cache=tmp_path)
+        assert second.obs.manifest.cache_hit is True
         assert _bid_rows(first) == _bid_rows(second)

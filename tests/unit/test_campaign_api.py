@@ -1,0 +1,115 @@
+"""Unit tests for the unified run_campaign entrypoint (repro.core.campaign)."""
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.experiment import (
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.parallel import run_parallel_experiment
+from repro.obs import ObsCollector
+from repro.util.rng import Seed
+
+TINY = ExperimentConfig(
+    skills_per_persona=2,
+    pre_iterations=1,
+    post_iterations=1,
+    crawl_sites=2,
+    prebid_discovery_target=5,
+    audio_hours=0.5,
+)
+
+
+class TestSerialPath:
+    def test_returns_dataset_with_obs(self):
+        dataset = run_campaign(TINY, 2001)
+        assert dataset.personas
+        assert dataset.obs is not None
+        assert dataset.obs.manifest.entrypoint == "serial"
+        assert dataset.obs.manifest.seed_root == 2001
+        assert dataset.obs.manifest.workers == 1
+        assert dataset.obs.manifest.phase_real_seconds
+
+    def test_obs_false_disables(self):
+        dataset = run_campaign(TINY, 2001, obs=False)
+        assert dataset.obs is None
+
+    def test_caller_supplied_collector(self):
+        collector = ObsCollector()
+        dataset = run_campaign(TINY, 2001, obs=collector)
+        assert dataset.obs is collector
+        assert collector.metrics.value("skills.installed") > 0
+
+    def test_accepts_seed_object(self):
+        dataset = run_campaign(TINY, Seed(2001))
+        assert dataset.obs.manifest.seed_root == 2001
+
+
+class TestParallelPath:
+    def test_thread_backend_merges_obs(self):
+        dataset = run_campaign(TINY, 2002, parallel=True, workers=2, backend="thread")
+        assert dataset.obs is not None
+        manifest = dataset.obs.manifest
+        assert manifest.entrypoint == "parallel"
+        assert manifest.backend == "thread"
+        assert manifest.workers == len(manifest.shards) == 2
+        assert manifest.persona_count == len(dataset.personas)
+
+
+class TestValidation:
+    def test_workers_without_parallel(self):
+        with pytest.raises(ValueError, match="parallel=True"):
+            run_campaign(TINY, 1, workers=4)
+
+    def test_parallel_with_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_campaign(TINY, 1, parallel=True, cache=tmp_path)
+
+    def test_parallel_with_caller_collector(self):
+        with pytest.raises(ValueError, match="caller-supplied"):
+            run_campaign(TINY, 1, parallel=True, obs=ObsCollector())
+
+    def test_rejects_bad_seed_type(self):
+        with pytest.raises(TypeError, match="seed"):
+            run_campaign(TINY, "42")
+        with pytest.raises(TypeError, match="seed"):
+            run_campaign(TINY, True)
+
+    def test_rejects_bad_obs_type(self):
+        with pytest.raises(TypeError, match="obs"):
+            run_campaign(TINY, 1, obs="trace.jsonl")
+
+    def test_rejects_bad_cache_type(self):
+        with pytest.raises(TypeError, match="cache"):
+            run_campaign(TINY, 1, cache=42)
+
+
+class TestLegacyShims:
+    def test_run_experiment_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            dataset = run_experiment(Seed(2001), TINY)
+        assert dataset.personas
+        assert dataset.obs is None
+
+    def test_run_parallel_experiment_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            dataset = run_parallel_experiment(
+                Seed(2002), TINY, workers=2, backend="thread"
+            )
+        assert dataset.personas
+        assert dataset.obs is None
+
+    def test_shim_matches_campaign_artifacts(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment(Seed(2003), TINY)
+        modern = run_campaign(TINY, 2003, obs=False)
+        legacy_bids = {
+            name: [(b.site, b.bidder, b.cpm) for b in audit.bids]
+            for name, audit in legacy.personas.items()
+        }
+        modern_bids = {
+            name: [(b.site, b.bidder, b.cpm) for b in audit.bids]
+            for name, audit in modern.personas.items()
+        }
+        assert legacy_bids == modern_bids

@@ -3,6 +3,8 @@
 import subprocess
 import sys
 
+from repro import __version__
+
 
 class TestModuleEntry:
     def test_version_via_module(self):
@@ -13,7 +15,7 @@ class TestModuleEntry:
             timeout=120,
         )
         assert result.returncode == 0
-        assert result.stdout.strip() == "1.0.0"
+        assert result.stdout.strip() == __version__
 
     def test_help_lists_commands(self):
         result = subprocess.run(

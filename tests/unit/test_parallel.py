@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.core.campaign import run_campaign
 from repro.core.parallel import (
     ShardResult,
     merge_shard_results,
-    run_parallel_experiment,
     shard_personas,
 )
 from repro.core.personas import all_personas
@@ -101,8 +101,8 @@ class TestMergeShardResults:
 class TestRunParallelValidation:
     def test_bad_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
-            run_parallel_experiment(Seed(1), backend="greenlet")
+            run_campaign(seed=1, parallel=True, backend="greenlet")
 
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ValueError, match="workers"):
-            run_parallel_experiment(Seed(1), workers=0)
+            run_campaign(seed=1, parallel=True, workers=0)
