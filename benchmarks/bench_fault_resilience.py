@@ -1,0 +1,94 @@
+"""Campaign resilience under injected network faults.
+
+Runs a scaled-down campaign under the ``mild`` and ``harsh`` fault
+profiles and measures what the fault subsystem promises: the run still
+completes with a full persona roster, every injected fault and client
+retry is accounted for in the observability counters, and the dataset
+stays usable (partial, not broken) even when hard failures exhaust the
+retry budget."""
+
+import dataclasses
+
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.core.personas import all_personas
+from repro.core.report import render_kv
+from repro.util.rng import Seed
+
+SMALL = ExperimentConfig(
+    skills_per_persona=4,
+    pre_iterations=2,
+    post_iterations=2,
+    crawl_sites=3,
+    prebid_discovery_target=8,
+    audio_hours=1.0,
+    fault_profile="mild",
+)
+
+
+def _run_faulted_campaigns():
+    mild = run_campaign(SMALL, Seed(42))
+    harsh = run_campaign(
+        dataclasses.replace(SMALL, fault_profile="harsh"), Seed(42)
+    )
+    return mild, harsh
+
+
+def _fault_stats(dataset):
+    counters = dataset.obs.metrics.as_dict()["counters"]
+    injected = {
+        k.split(".")[-1]: v
+        for k, v in counters.items()
+        if k.startswith(("net.faults.", "web.faults."))
+    }
+    total_injected = sum(
+        v for k, v in counters.items() if ".faults." in k
+    )
+    retries = sum(v for k, v in counters.items() if k.endswith(".retries"))
+    exhausted = sum(
+        v for k, v in counters.items() if k.endswith(".retry_exhausted")
+    )
+    degraded = sum(
+        v
+        for k, v in counters.items()
+        if k.endswith(("_failures", "sessions_failed", "requests_failed"))
+    )
+    return total_injected, retries, exhausted, degraded
+
+
+def bench_fault_resilience(benchmark):
+    mild, harsh = benchmark.pedantic(_run_faulted_campaigns, rounds=2, iterations=1)
+
+    mild_injected, mild_retries, mild_exhausted, mild_degraded = _fault_stats(mild)
+    harsh_injected, harsh_retries, harsh_exhausted, harsh_degraded = _fault_stats(
+        harsh
+    )
+    print()
+    print(
+        render_kv(
+            {
+                "mild: faults injected": mild_injected,
+                "mild: client retries": mild_retries,
+                "mild: retry budget exhausted": mild_exhausted,
+                "mild: degraded operations": mild_degraded,
+                "harsh: faults injected": harsh_injected,
+                "harsh: client retries": harsh_retries,
+                "harsh: retry budget exhausted": harsh_exhausted,
+                "harsh: degraded operations": harsh_degraded,
+            },
+            title="campaign resilience under injected faults",
+        )
+    )
+
+    # Both runs complete with the full roster — faults degrade, never abort.
+    roster = [p.name for p in all_personas()]
+    assert list(mild.personas) == roster
+    assert list(harsh.personas) == roster
+    assert mild.obs.manifest.fault_profile == "mild"
+    assert harsh.obs.manifest.fault_profile == "harsh"
+
+    # Faults fired and clients fought back.
+    assert mild_injected > 0 and mild_retries > 0
+    # A 4x-rate profile injects strictly more faults than mild.
+    assert harsh_injected > mild_injected
+    assert harsh_retries > mild_retries

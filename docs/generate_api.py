@@ -42,6 +42,41 @@ Pass `obs=False` to `run_campaign` to disable collection entirely
 (null-object fast path, <5% overhead budget either way — enforced by
 `benchmarks/bench_pipeline_throughput.py::bench_obs_overhead`).
 
+## Fault injection and retries
+
+`run_campaign` drives a perfectly healthy network unless a fault profile
+is set (`ExperimentConfig(fault_profile=...)`, or `--faults` on the
+CLI).  The subsystem lives in `repro.netsim.faults`:
+
+* **`FaultProfile`** — a named mix of per-request rates for the four
+  failure modes in `FAULT_KINDS` (`nxdomain`, `timeout`, `http_5xx`,
+  `slow`).  `FaultProfile.parse` accepts a profile name from
+  `FAULT_PROFILES` (`none` / `mild` / `harsh`) or a float overall rate.
+* **`FaultPlan`** — turns a profile into concrete per-request
+  `FaultDecision`s.  Decisions are drawn from `StreamFamily` substreams
+  keyed by `(actor, domain)` and derived from the world `Seed`, so an
+  actor's fault schedule depends only on its own request sequence —
+  never on shard composition.  Serial and persona-sharded parallel
+  campaigns therefore stay byte-identical under every profile
+  (`tests/integration/test_fault_resilience.py`), and `fault_profile`
+  is part of the config fingerprint.
+* **`RetryPolicy`** — capped exponential backoff shared by Echo
+  devices, the AVS Echo, and the crawler.  Backoff burns *simulated*
+  seconds (`SimClock.advance`); library code never sleeps on the host
+  clock.  Retries fire on `NetworkError` and on retryable statuses
+  (500/502/503/504); once exhausted, the last retryable response is
+  returned for callers to check `.ok`, while a final `NetworkError` is
+  re-raised for the caller's degradation path.
+
+**Partial-dataset semantics.** A faulted campaign never aborts: a voice
+command whose retries exhaust yields no reply, a failed crawl hop is
+logged with a synthetic `504`, a failed skill session is skipped.  The
+dataset that comes back is valid but partial, and every loss is
+accounted for in the metrics (`net.faults.*`, `web.faults.*`,
+`<scope>.retries`, `<scope>.retry_exhausted`, `device.*_failures`,
+`skills.sessions_failed`) plus the manifest's `fault_profile` field —
+so partial data is always distinguishable from a healthy run.
+
 ## Migrating to `run_campaign`
 
 The three legacy entrypoints are deprecated shims; `run_campaign` is the

@@ -35,7 +35,7 @@ from repro.core.experiment import ExperimentConfig, run_cached_experiment, run_e
 from repro.core.parallel import run_parallel_experiment
 from repro.util.rng import Seed
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentConfig",

@@ -18,8 +18,10 @@ from repro.alexa.account import AmazonAccount
 from repro.alexa.cloud import VOICE_ENDPOINT, AlexaCloud
 from repro.data.skill_catalog import SkillSpec
 from repro.netsim.endpoints import registrable_domain
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.netsim.http import HttpRequest, HttpResponse
 from repro.netsim.router import NetworkError, Router
+from repro.obs.collector import NULL_OBS
 from repro.util.rng import Seed
 
 __all__ = ["EchoDevice", "AVSEcho", "PlaintextRecord"]
@@ -58,11 +60,16 @@ class EchoDevice:
         router: Router,
         cloud: AlexaCloud,
         seed: Seed,
+        retry: Optional[RetryPolicy] = None,
+        obs=NULL_OBS,
     ) -> None:
         self.device_id = device_id
         self.account = account
         self.router = router
         self.cloud = cloud
+        #: Shared client retry policy; backoff burns SimClock time only.
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.obs = obs
         self._rng = seed.rng("device", device_id)
         self.ip = router.attach_device(device_id)
         cloud.register_account(account)
@@ -88,18 +95,23 @@ class EchoDevice:
         command = self.cloud.voice.detect_wake_word(utterance, speaker=self.device_id)
         if command is None:
             return None
-        response = self._send(
-            VOICE_ENDPOINT,
-            body={
-                "event": "recognize",
-                "voice_recording": command,
-                # Raw audio inevitably carries the speaker's voice signal.
-                "voice_characteristics": self.speaker_profile.as_signal(),
-                "customer_id": self.account.customer_id,
-                "device_id": self.device_id,
-                "allow_streaming": self.allows_streaming,
-            },
-        )
+        try:
+            response = self._send(
+                VOICE_ENDPOINT,
+                body={
+                    "event": "recognize",
+                    "voice_recording": command,
+                    # Raw audio inevitably carries the speaker's voice signal.
+                    "voice_characteristics": self.speaker_profile.as_signal(),
+                    "customer_id": self.account.customer_id,
+                    "device_id": self.device_id,
+                    "allow_streaming": self.allows_streaming,
+                },
+            )
+        except NetworkError:
+            # Retries exhausted: the utterance is lost, the session isn't.
+            self.obs.inc("device.voice_failures")
+            return None
         if not response.ok:
             return None
         self._current_skill = (
@@ -144,7 +156,10 @@ class EchoDevice:
                         },
                     )
                 except NetworkError:
-                    break  # endpoint unreachable (e.g. blocked); retry later
+                    # Endpoint unreachable (blocked or retries exhausted);
+                    # drop the remaining batches and sync again next time.
+                    self.obs.inc("device.sync_failures")
+                    break
 
     # ------------------------------------------------------------------ #
 
@@ -168,14 +183,18 @@ class EchoDevice:
                 except NetworkError:
                     continue  # dead third-party endpoint; skill degrades
             elif kind == "upload":
-                self._send(
-                    "api.amazonalexa.com",
-                    body={
-                        "event": "skill-data",
-                        "skill_id": self._current_skill,
-                        "data": dict(directive.get("data", {})),
-                    },
-                )
+                try:
+                    self._send(
+                        "api.amazonalexa.com",
+                        body={
+                            "event": "skill-data",
+                            "skill_id": self._current_skill,
+                            "data": dict(directive.get("data", {})),
+                        },
+                    )
+                except NetworkError:
+                    self.obs.inc("device.upload_failures")
+                    continue  # the skill's data upload is lost, not the session
         return speech
 
     def _may_contact(self, host: str) -> bool:
@@ -190,7 +209,12 @@ class EchoDevice:
     def _send_raw(self, request: HttpRequest) -> HttpResponse:
         if self.instrumented:
             self._log_plaintext(request)
-        return self.router.send(self.device_id, request)
+        return self.retry.call(
+            self.router.clock,
+            lambda: self.router.send(self.device_id, request),
+            obs=self.obs,
+            scope="device",
+        )
 
     def _log_plaintext(self, request: HttpRequest) -> None:
         raise NotImplementedError  # only AVSEcho logs plaintext

@@ -12,8 +12,8 @@ Commands
 ``version``    print the package version
 
 Every campaign-running command shares one flag set (``--seed``,
-``--small``, ``--parallel``, ``--workers``, ``--backend``, ``--quiet``,
-``--trace-out``, ``--metrics-out``) and goes through
+``--small``, ``--parallel``, ``--workers``, ``--backend``, ``--faults``,
+``--quiet``, ``--trace-out``, ``--metrics-out``) and goes through
 :func:`repro.core.run_campaign`.  Output is emitted through the
 ``repro.cli`` logger; ``--quiet`` raises the threshold to warnings.
 """
@@ -21,6 +21,7 @@ Every campaign-running command shares one flag set (``--seed``,
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import logging
 import sys
 from typing import List, Optional
@@ -100,6 +101,13 @@ def _campaign_parent(common: argparse.ArgumentParser) -> argparse.ArgumentParser
         help="executor backend for --parallel",
     )
     parent.add_argument(
+        "--faults",
+        metavar="PROFILE",
+        default="none",
+        help="network fault profile: none|mild|harsh or a float rate "
+        "(e.g. 0.05); seeded and deterministic, see repro.netsim.faults",
+    )
+    parent.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -172,8 +180,12 @@ def _config(small: bool) -> ExperimentConfig:
 
 def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
     """One code path from parsed flags to a campaign dataset."""
+    config = config if config is not None else _config(args.small)
+    faults = getattr(args, "faults", "none")
+    if faults != config.fault_profile:
+        config = dataclasses.replace(config, fault_profile=faults)
     dataset = run_campaign(
-        config if config is not None else _config(args.small),
+        config,
         args.seed,
         parallel=args.parallel,
         workers=args.workers if args.parallel else None,
@@ -271,6 +283,7 @@ def _cmd_report(args) -> int:
                     "entrypoint": manifest["entrypoint"],
                     "workers": manifest["workers"],
                     "backend": manifest["backend"],
+                    "faults": manifest["fault_profile"],
                     "personas": manifest["persona_count"],
                     "events": summary["events"],
                 },

@@ -53,7 +53,9 @@ __all__ = [
 #: Bump whenever the pickled dataset layout changes shape; stale entries
 #: are silently treated as misses and recomputed.
 #: v2: AuditDataset gained the ``obs`` collector field.
-CACHE_SCHEMA_VERSION = 2
+#: v3: fault-injection era — ExperimentConfig gained ``fault_profile``
+#: (fingerprints shifted) and reattached worlds honour it.
+CACHE_SCHEMA_VERSION = 3
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -153,7 +155,7 @@ class DatasetCache:
             return None
         dataset: AuditDataset = payload["dataset"]
         # Re-attach a generative-truth world (see module docstring).
-        dataset.world = build_world(Seed(seed_root))
+        dataset.world = build_world(Seed(seed_root), faults=config.fault_profile)
         return dataset
 
     def _store(

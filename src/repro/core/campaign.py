@@ -166,6 +166,7 @@ def run_campaign(
             backend=backend,
             shards=shards,
             package_version=__version__,
+            fault_profile=config.fault_profile,
         )
     elif cache_store is not None:
         dataset = cache_store.get_or_run(
@@ -180,6 +181,7 @@ def run_campaign(
             shards=(roster,),
             cache_hit=cache_store.last_hit,
             package_version=__version__,
+            fault_profile=config.fault_profile,
         )
     else:
         dataset = _run_serial_experiment(seed, config, obs=collector)
@@ -189,6 +191,7 @@ def run_campaign(
             entrypoint="serial",
             shards=(roster,),
             package_version=__version__,
+            fault_profile=config.fault_profile,
         )
 
     if dataset.obs is not None:

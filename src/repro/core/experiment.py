@@ -33,8 +33,10 @@ from repro.core.world import World, build_world
 from repro.data import categories as cat
 from repro.data.skill_catalog import STREAMING_SKILLS
 from repro.data.websites import WEB_PRIMING_SITES, WebsiteSpec
+from repro.netsim.faults import FaultProfile
 from repro.netsim.http import HttpRequest, HttpResponse
 from repro.netsim.pcap import CaptureSession
+from repro.netsim.router import NetworkError
 from repro.obs import NULL_OBS, ObsCollector
 from repro.policies.corpus import PolicyDocument
 from repro.util.rng import Seed
@@ -68,6 +70,9 @@ class ExperimentConfig:
     audio_personas: Tuple[str, ...] = (cat.CONNECTED_CAR, cat.FASHION, cat.VANILLA)
     second_interaction_wave: bool = True
     run_avs_echo: bool = True
+    #: Network fault profile: ``"none"``, ``"mild"``, ``"harsh"``, or a
+    #: float rate (e.g. ``"0.05"``).  See :mod:`repro.netsim.faults`.
+    fault_profile: str = "none"
 
     def __post_init__(self) -> None:
         if self.skills_per_persona < 1 or self.skills_per_persona > 50:
@@ -100,6 +105,11 @@ class ExperimentConfig:
                     f"unknown audio persona {name!r}: audio streaming needs an "
                     f"Echo-holding persona, one of {sorted(valid_audio)}"
                 )
+        # Validate + normalise (e.g. "MILD" -> "mild", "0.10" ->
+        # "rate:0.1") so equivalent profiles fingerprint identically.
+        object.__setattr__(
+            self, "fault_profile", FaultProfile.parse(self.fault_profile).name
+        )
 
 
 @dataclass
@@ -202,6 +212,7 @@ class ExperimentRunner:
             self.obs.bind_clock(world.clock)
             world.dsar.obs = self.obs
             world.adtech.obs = self.obs
+            world.router.obs = self.obs
         self.timings: Dict[str, float] = {}
         self._artifacts: Dict[str, PersonaArtifacts] = {}
         self._devices: Dict[str, EchoDevice] = {}
@@ -303,6 +314,7 @@ class ExperimentRunner:
                 self.world.router,
                 self.world.cloud,
                 self.world.seed,
+                obs=self.obs,
             )
             self._devices[persona.name] = device
             if self.config.run_avs_echo and persona.kind == "interest":
@@ -316,6 +328,7 @@ class ExperimentRunner:
                     self.world.router,
                     self.world.cloud,
                     self.world.seed,
+                    obs=self.obs,
                 )
             profile.login_amazon(account)
         self._profiles[persona.name] = profile
@@ -327,6 +340,7 @@ class ExperimentRunner:
             self.world.clock,
             self.world.seed,
             obs=self.obs,
+            faults=self.world.fault_plan,
         )
         self._artifacts[persona.name] = artifacts
         if persona.kind == "web":
@@ -366,6 +380,7 @@ class ExperimentRunner:
             self.world.clock,
             target=self.config.prebid_discovery_target,
             obs=self.obs,
+            faults=self.world.fault_plan,
         )
         return prebid_sites[: self.config.crawl_sites], prebid_sites
 
@@ -468,9 +483,21 @@ class ExperimentRunner:
                         session = self.world.router.start_capture(
                             label=spec.skill_id, device_filter=device.device_id
                         )
-                    device.run_skill_session(spec)
-                    device.background_sync(list(spec.amazon_endpoints))
-                    self.obs.inc("skills.sessions")
+                    # Devices absorb transient faults internally (retry +
+                    # degrade); this belt keeps a persona whose session
+                    # still dies from aborting the whole campaign — the
+                    # partial dataset stays valid, the loss is recorded.
+                    try:
+                        device.run_skill_session(spec)
+                        device.background_sync(list(spec.amazon_endpoints))
+                        self.obs.inc("skills.sessions")
+                    except NetworkError:
+                        self.obs.inc("skills.sessions_failed")
+                        self.obs.event(
+                            "skill.session_failure",
+                            persona=persona.name,
+                            skill_id=spec.skill_id,
+                        )
                     if session is not None:
                         self.world.router.stop_capture(session)
                         artifacts.skill_captures[spec.skill_id] = session
@@ -608,7 +635,7 @@ def _run_serial_experiment(
     Internal serial engine behind :func:`repro.core.run_campaign`; call
     that instead of this.
     """
-    world = build_world(seed)
+    world = build_world(seed, faults=config.fault_profile)
     return ExperimentRunner(world, config, obs=obs).run()
 
 

@@ -126,7 +126,10 @@ def _run_shard(
     if unknown:
         raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")
     personas = [roster[name] for name in persona_names]
-    world = build_world(seed)
+    # Faults come from the root seed (never shard order): every shard's
+    # FaultPlan draws identical per-(actor, domain) schedules, which is
+    # what keeps faulted parallel runs byte-identical to serial.
+    world = build_world(seed, faults=config.fault_profile)
     obs = ObsCollector() if collect_obs else None
     dataset = ExperimentRunner(world, config, personas=personas, obs=obs).run()
     return ShardResult(
@@ -142,7 +145,9 @@ def _run_shard(
 
 
 def merge_shard_results(
-    seed: Seed, results: Sequence[ShardResult]
+    seed: Seed,
+    results: Sequence[ShardResult],
+    fault_profile: Optional[str] = None,
 ) -> AuditDataset:
     """Deterministically reassemble shard results into one dataset.
 
@@ -203,7 +208,7 @@ def merge_shard_results(
         prebid_sites=list(reference.prebid_sites),
         crawl_sites=list(reference.crawl_sites),
         policy_fetches=policy_fetches,
-        world=build_world(seed),
+        world=build_world(seed, faults=fault_profile),
         timings=timings,
         obs=obs,
     )
@@ -259,7 +264,7 @@ def _run_parallel_experiment(
             results = [future.result() for future in futures]
     scatter_elapsed = time.perf_counter() - started
 
-    dataset = merge_shard_results(seed, results)
+    dataset = merge_shard_results(seed, results, fault_profile=config.fault_profile)
     dataset.timings["scatter"] = scatter_elapsed
     dataset.timings["total"] = time.perf_counter() - started
     return dataset

@@ -89,41 +89,57 @@ def detect_cookie_syncing(dataset: AuditDataset) -> SyncAnalysis:
     analysis = SyncAnalysis(partner_downstream=defaultdict(set))
     for artifacts in dataset.personas.values():
         for request in artifacts.request_log:
-            event = _parse_sync(request, artifacts.persona.name)
-            if event is None:
-                continue
-            analysis.events.append(event)
-            destination = event.destination_host
-            if "amazon-adsystem" in destination:
-                analysis.amazon_partners.add(event.source)
-            elif _is_amazon_source(event):
-                analysis.amazon_outbound_targets.add(destination)
-            else:
-                analysis.downstream_parties.add(destination)
-                analysis.partner_downstream[event.source].add(destination)
+            for event in _parse_syncs(request, artifacts.persona.name):
+                _classify(analysis, event)
     analysis.partner_downstream = dict(analysis.partner_downstream)
     return analysis
 
 
-def _parse_sync(request: LoggedRequest, persona: str) -> SyncEvent | None:
+def _classify(analysis: SyncAnalysis, event: SyncEvent) -> None:
+    analysis.events.append(event)
+    destination = event.destination_host
+    if "amazon-adsystem" in destination:
+        analysis.amazon_partners.add(event.source)
+    elif _is_amazon_source(event):
+        analysis.amazon_outbound_targets.add(destination)
+    else:
+        analysis.downstream_parties.add(destination)
+        analysis.partner_downstream[event.source].add(destination)
+
+
+def _parse_syncs(request: LoggedRequest, persona: str) -> List[SyncEvent]:
+    """Every sync event a request carries — one per distinct ID value.
+
+    Sync URLs can repeat an ID parameter (``uid=a&uid=b`` piggybacks two
+    identifiers on one call); a plain ``dict(parse_qsl(...))`` would keep
+    only the last value per key, silently missing the others.
+    """
     parsed = urlparse(request.url)
     if not _SYNC_PATHS.search(parsed.path):
-        return None
-    params = dict(parse_qsl(parsed.query))
-    uid = next((params[p] for p in _ID_PARAMS if p in params), None)
-    if uid is None:
-        return None
+        return []
+    pairs = parse_qsl(parsed.query)
+    uids: List[str] = []
+    for param in _ID_PARAMS:
+        for name, value in pairs:
+            if name == param and value not in uids:
+                uids.append(value)
+    if not uids:
+        return []
+    params = dict(pairs)
     source = params.get("bidder") or params.get("partner") or params.get("source")
     if source is None:
         # Fall back to the redirect chain's origin host.
         source = urlparse(request.chain_root).netloc
-    return SyncEvent(
-        persona=persona,
-        source=source,
-        destination_host=parsed.netloc,
-        uid=uid,
-        url=request.url,
-    )
+    return [
+        SyncEvent(
+            persona=persona,
+            source=source,
+            destination_host=parsed.netloc,
+            uid=uid,
+            url=request.url,
+        )
+        for uid in uids
+    ]
 
 
 def _is_amazon_source(event: SyncEvent) -> bool:

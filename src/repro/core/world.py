@@ -10,7 +10,7 @@ toplist), the policy corpus, and the auditor's own knowledge bases
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Union
 
 from repro.adtech.audio import AudioAdServer
 from repro.adtech.exchange import AdTechWorld
@@ -26,6 +26,7 @@ from repro.data.domains import (
 from repro.data.skill_catalog import SkillCatalog, build_catalog
 from repro.data.websites import WebsiteSpec, build_toplist
 from repro.netsim.endpoints import EndpointRegistry
+from repro.netsim.faults import FaultPlan, FaultProfile
 from repro.netsim.router import Router
 from repro.orgmap.entity_db import EntityDatabase
 from repro.orgmap.filterlists import FilterList
@@ -64,6 +65,9 @@ class World:
     entity_db: EntityDatabase
     whois: WhoisService
     filter_list: FilterList
+    #: Seeded fault schedule shared by the router and the browsers;
+    #: ``None`` means a perfectly healthy network.
+    fault_plan: Optional[FaultPlan] = None
 
     def org_resolver(self) -> OrgResolver:
         return OrgResolver(self.entity_db, self.whois)
@@ -73,17 +77,31 @@ class World:
         return {entity.name: entity.categories for entity in ORG_ENTITIES}
 
 
-def build_world(seed: Seed, catalog: SkillCatalog = None) -> World:
+def build_world(
+    seed: Seed,
+    catalog: SkillCatalog = None,
+    faults: Optional[Union[str, FaultProfile]] = None,
+) -> World:
     """Stand up the whole simulated lab for one seed.
 
     Pass a custom ``catalog`` to audit your own skills: any
     :class:`~repro.data.skill_catalog.SkillSpec` whose endpoints exist in
     the domain catalog can be installed, exercised, captured, and checked
     against its policy exactly like the built-in 450.
+
+    ``faults`` — a fault profile name (``"none"``/``"mild"``/``"harsh"``),
+    a float-rate string, or a :class:`~repro.netsim.faults.FaultProfile` —
+    installs a seeded :class:`~repro.netsim.faults.FaultPlan` on the
+    router and exposes it as :attr:`World.fault_plan` for the browsers.
     """
     clock = SimClock()
     registry = build_endpoint_registry()
-    router = Router(registry, clock)
+    fault_plan: Optional[FaultPlan] = None
+    if faults is not None:
+        profile = FaultProfile.parse(faults)
+        if profile.enabled:
+            fault_plan = FaultPlan(seed, profile)
+    router = Router(registry, clock, faults=fault_plan)
     if catalog is None:
         catalog = build_catalog(seed)
     cloud = AlexaCloud(catalog, router, clock, seed)
@@ -114,4 +132,5 @@ def build_world(seed: Seed, catalog: SkillCatalog = None) -> World:
         entity_db=entity_db,
         whois=whois,
         filter_list=filter_list,
+        fault_plan=fault_plan,
     )

@@ -59,7 +59,10 @@ class BlockingRouter:
         self.allowlist = set(allowlist or ())
         self.report = BlockReport()
 
-    # Facade: everything a device touches on the router.
+    # Facade: the full public Router surface, so code written against
+    # Router keeps working behind the defense wrapper.  (Guarded by
+    # tests/unit/test_defenses.py::TestFacadeSurface — extend this when
+    # Router grows a public attribute.)
     @property
     def clock(self):
         return self._inner.clock
@@ -67,6 +70,30 @@ class BlockingRouter:
     @property
     def registry(self):
         return self._inner.registry
+
+    @property
+    def dns(self):
+        return self._inner.dns
+
+    @property
+    def faults(self):
+        return self._inner.faults
+
+    @property
+    def obs(self):
+        return self._inner.obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._inner.obs = value
+
+    @property
+    def packets_forwarded(self) -> int:
+        return self._inner.packets_forwarded
+
+    @property
+    def LAN_PREFIX(self) -> str:
+        return self._inner.LAN_PREFIX
 
     def attach_device(self, device_id: str) -> str:
         return self._inner.attach_device(device_id)
@@ -83,10 +110,18 @@ class BlockingRouter:
     def stop_capture(self, session):
         return self._inner.stop_capture(session)
 
+    def dns_blackhole(self, device_id: str, host: str) -> None:
+        self._inner.dns_blackhole(device_id, host)
+
     def send(self, device_id: str, request: HttpRequest) -> HttpResponse:
         host = request.host
         if host not in self.allowlist and self.blocklist.is_blocked(host):
             self.report.blocked[host] = self.report.blocked.get(host, 0) + 1
+            self._inner.obs.inc("net.blocked_requests")
+            # A PiHole'd vantage point still sees the DNS query: emit the
+            # blackholed exchange (counted in packets_forwarded) and burn
+            # the failed round trip before failing the request.
+            self._inner.dns_blackhole(device_id, host)
             raise NetworkError(f"blocked by policy: {host}")
         self.report.allowed += 1
         return self._inner.send(device_id, request)

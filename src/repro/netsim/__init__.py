@@ -7,6 +7,14 @@ and tcpdump-style capture sessions.
 
 from repro.netsim.dns import DnsRecord, DnsServer, DnsTable, build_dns_table
 from repro.netsim.endpoints import Endpoint, EndpointRegistry, registrable_domain
+from repro.netsim.faults import (
+    DEFAULT_RETRY_POLICY,
+    FAULT_PROFILES,
+    FaultDecision,
+    FaultPlan,
+    FaultProfile,
+    RetryPolicy,
+)
 from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
 from repro.netsim.packet import Direction, Flow, Packet, Protocol, group_flows
 from repro.netsim.pcap import CaptureSession
@@ -14,18 +22,24 @@ from repro.netsim.router import NetworkError, Router, ServiceHandler
 
 __all__ = [
     "CaptureSession",
+    "DEFAULT_RETRY_POLICY",
     "Direction",
     "DnsRecord",
     "DnsServer",
     "DnsTable",
     "Endpoint",
     "EndpointRegistry",
+    "FAULT_PROFILES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultProfile",
     "Flow",
     "HttpRequest",
     "HttpResponse",
     "NetworkError",
     "Packet",
     "Protocol",
+    "RetryPolicy",
     "Router",
     "ServiceHandler",
     "build_dns_table",

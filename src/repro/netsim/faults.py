@@ -1,0 +1,303 @@
+"""Deterministic network fault injection and client retry policy.
+
+Real Echo traffic is dominated by retries, keepalives, and failure
+recovery (Janak et al., "An Analysis of Amazon Echo's Network
+Behavior"), and the paper's blocking evaluation (§7) is ultimately a
+question of how skills degrade when requests fail.  The closed-world
+``netsim`` originally had a binary success/:class:`NetworkError` model;
+this module adds the missing failure modes without giving up the
+simulation's reproducibility contract:
+
+* a :class:`FaultProfile` names the failure mix (DNS NXDOMAIN,
+  connection timeouts, 5xx responses, slow responses) as per-request
+  rates;
+* a :class:`FaultPlan` turns the profile into concrete per-request
+  :class:`FaultDecision`\\ s.  Decisions are drawn from
+  :class:`~repro.util.rng.StreamFamily` substreams keyed by
+  ``(actor, domain)`` and derived from the world
+  :class:`~repro.util.rng.Seed` — so an actor's fault schedule depends
+  only on its own request sequence, never on which other actors share
+  the world or on shard order.  That is the property that keeps
+  serial and persona-sharded parallel campaigns byte-identical under
+  every fault profile;
+* a :class:`RetryPolicy` gives clients capped exponential backoff
+  driven entirely by the :class:`~repro.util.clock.SimClock` — library
+  code never sleeps on the host clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.netsim.http import HttpResponse
+from repro.util.clock import SimClock
+from repro.util.rng import Seed, StreamFamily
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "DEFAULT_RETRY_POLICY",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultProfile",
+    "RetryPolicy",
+]
+
+#: The injectable failure modes, in the order the decision draw checks
+#: them (the order is part of the deterministic contract — reordering
+#: would reshuffle every seeded fault schedule).
+FAULT_KINDS = ("nxdomain", "timeout", "http_5xx", "slow")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named mix of per-request fault rates.
+
+    Rates are independent probabilities partitioning each request draw:
+    their sum must stay ≤ 1 and the remainder is a healthy request.
+    ``timeout_seconds`` is the connect timeout a client burns before a
+    timed-out request fails; slow responses inflate service latency by
+    an extra delay drawn uniformly from ``slow_extra_seconds``.
+    """
+
+    name: str
+    nxdomain_rate: float = 0.0
+    timeout_rate: float = 0.0
+    http_5xx_rate: float = 0.0
+    slow_rate: float = 0.0
+    timeout_seconds: float = 2.0
+    slow_extra_seconds: Tuple[float, float] = (0.2, 2.0)
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        if self.total_rate > 1.0:
+            raise ValueError(
+                f"fault rates must sum to <= 1, got {self.total_rate}"
+            )
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        lo, hi = self.slow_extra_seconds
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"slow_extra_seconds must be a (lo, hi) range, got "
+                f"{self.slow_extra_seconds}"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.nxdomain_rate
+            + self.timeout_rate
+            + self.http_5xx_rate
+            + self.slow_rate
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this profile can ever inject a fault."""
+        return self.total_rate > 0.0
+
+    @classmethod
+    def from_rate(cls, rate: float) -> "FaultProfile":
+        """A custom profile from one overall fault rate.
+
+        The rate is split across kinds in a fixed 1:2:3:4 ratio
+        (nxdomain : timeout : 5xx : slow) — rarest first, mirroring how
+        the named profiles weight hard failures below soft ones.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        return cls(
+            name=f"rate:{rate:g}",
+            nxdomain_rate=rate * 0.1,
+            timeout_rate=rate * 0.2,
+            http_5xx_rate=rate * 0.3,
+            slow_rate=rate * 0.4,
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultProfile":
+        """Resolve a ``--faults`` value: a profile name or a float rate."""
+        if isinstance(text, FaultProfile):
+            return text
+        key = str(text).strip().lower()
+        profile = FAULT_PROFILES.get(key)
+        if profile is not None:
+            return profile
+        try:
+            rate = float(key)
+        except ValueError:
+            raise ValueError(
+                f"unknown fault profile {text!r}: expected one of "
+                f"{sorted(FAULT_PROFILES)} or a float rate in [0, 1]"
+            ) from None
+        return cls.from_rate(rate)
+
+
+#: The named profiles the CLI exposes.  ``mild`` keeps a small campaign
+#: comfortably completable (soft faults dominate); ``harsh`` is the
+#: stress setting later scale-out work benchmarks against.
+FAULT_PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "mild": FaultProfile(
+        name="mild",
+        nxdomain_rate=0.002,
+        timeout_rate=0.008,
+        http_5xx_rate=0.02,
+        slow_rate=0.04,
+    ),
+    "harsh": FaultProfile(
+        name="harsh",
+        nxdomain_rate=0.01,
+        timeout_rate=0.04,
+        http_5xx_rate=0.08,
+        slow_rate=0.12,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injected fault: what goes wrong and how much sim time it burns."""
+
+    kind: str  # one of FAULT_KINDS
+    #: Simulated seconds the fault consumes: the connect timeout for
+    #: ``timeout``, the failed-resolution round trip for ``nxdomain``,
+    #: the extra service latency for ``slow``/``http_5xx``.
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0, got {self.seconds}")
+
+
+#: Sim seconds a failed DNS resolution costs the client.
+DNS_FAILURE_SECONDS = 0.05
+
+
+class FaultPlan:
+    """Seeded per-``(actor, domain)`` fault schedule for one world.
+
+    Every request attempt draws one decision from the stream named by
+    the requesting actor (device id or browser profile id) and the
+    target domain.  Because each ``(actor, domain)`` pair owns an
+    independent substream, an actor's Nth request to a domain gets the
+    same decision in every run of the same seed — regardless of what
+    other actors are doing, which is what keeps fault schedules
+    invariant across persona shards.
+    """
+
+    def __init__(self, seed: Seed, profile: FaultProfile) -> None:
+        self.profile = profile
+        self._streams = StreamFamily(seed.derive("faults"), profile.name)
+
+    def decide(self, actor: str, domain: str) -> Optional[FaultDecision]:
+        """The fault (if any) for this actor's next request to ``domain``."""
+        profile = self.profile
+        if not profile.enabled:
+            return None
+        stream = self._streams.stream(actor, domain)
+        draw = stream.random()
+        edge = profile.nxdomain_rate
+        if draw < edge:
+            return FaultDecision("nxdomain", seconds=DNS_FAILURE_SECONDS)
+        edge += profile.timeout_rate
+        if draw < edge:
+            return FaultDecision("timeout", seconds=profile.timeout_seconds)
+        edge += profile.http_5xx_rate
+        if draw < edge:
+            return FaultDecision("http_5xx", seconds=0.0)
+        edge += profile.slow_rate
+        if draw < edge:
+            lo, hi = profile.slow_extra_seconds
+            return FaultDecision("slow", seconds=stream.uniform(lo, hi))
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over the simulated clock.
+
+    ``max_attempts`` counts the initial try; backoff before retry *n*
+    (1-based) is ``min(base_backoff * multiplier**(n-1), max_backoff)``
+    simulated seconds.  Deterministic — no jitter — so retry timelines
+    reproduce from the seed alone.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.5
+    multiplier: float = 2.0
+    max_backoff: float = 4.0
+    #: Response statuses treated as transient failures worth retrying.
+    retry_statuses: Tuple[int, ...] = (500, 502, 503, 504)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def backoff(self, retry_number: int) -> float:
+        """Sim seconds to wait before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise ValueError(f"retry_number is 1-based, got {retry_number}")
+        return min(
+            self.base_backoff * self.multiplier ** (retry_number - 1),
+            self.max_backoff,
+        )
+
+    def call(
+        self,
+        clock: SimClock,
+        attempt: Callable[[], HttpResponse],
+        obs=None,
+        scope: str = "net",
+    ) -> HttpResponse:
+        """Run ``attempt`` under this policy, backing off on sim time.
+
+        Retries on :class:`~repro.netsim.router.NetworkError` and on
+        retryable statuses.  Returns the first healthy response, or the
+        last retryable-status response once attempts are exhausted
+        (callers check ``response.ok`` and degrade); re-raises the last
+        :class:`~repro.netsim.router.NetworkError` once exhausted.
+        Retry counts land in ``<scope>.retries`` /
+        ``<scope>.retry_exhausted`` on ``obs`` when given.
+        """
+        from repro.netsim.router import NetworkError  # avoid import cycle
+
+        last_error: Optional[NetworkError] = None
+        last_response: Optional[HttpResponse] = None
+        for attempt_number in range(1, self.max_attempts + 1):
+            if attempt_number > 1:
+                clock.advance(self.backoff(attempt_number - 1))
+                if obs is not None:
+                    obs.inc(f"{scope}.retries")
+            try:
+                response = attempt()
+            except NetworkError as exc:
+                last_error = exc
+                last_response = None
+                continue
+            if response.status not in self.retry_statuses:
+                return response
+            last_error = None
+            last_response = response
+        if obs is not None:
+            obs.inc(f"{scope}.retry_exhausted")
+        if last_error is not None:
+            raise last_error
+        assert last_response is not None
+        return last_response
+
+
+#: The shared client policy: Echo devices, the AVS Echo, and the
+#: OpenWPM-style crawler all retry with this unless configured otherwise.
+DEFAULT_RETRY_POLICY = RetryPolicy()

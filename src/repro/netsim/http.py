@@ -9,7 +9,7 @@ message or only ciphertext metadata is decided by the vantage point
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import parse_qsl, urlencode, urlparse
 
 __all__ = ["HttpRequest", "HttpResponse", "estimate_size"]
@@ -47,7 +47,22 @@ class HttpRequest:
 
     @property
     def query(self) -> Dict[str, str]:
+        """Query parameters, last value winning for repeated keys.
+
+        Kept for backward compatibility; sync/ID detection should use
+        :attr:`query_pairs` or :meth:`query_values`, which preserve
+        duplicated parameters (``uid=a&uid=b`` carries *two* IDs).
+        """
         return dict(parse_qsl(urlparse(self.url).query))
+
+    @property
+    def query_pairs(self) -> List[Tuple[str, str]]:
+        """All query parameters in URL order, duplicates preserved."""
+        return parse_qsl(urlparse(self.url).query)
+
+    def query_values(self, key: str) -> List[str]:
+        """Every value carried for ``key``, in URL order."""
+        return [value for name, value in self.query_pairs if name == key]
 
     @property
     def is_https(self) -> bool:

@@ -21,15 +21,24 @@ from typing import Callable, Dict, List, Optional
 
 from repro.netsim.dns import DNS_PORT, DnsServer
 from repro.netsim.endpoints import Endpoint, EndpointRegistry
+from repro.netsim.faults import DNS_FAILURE_SECONDS, FaultPlan
 from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
 from repro.netsim.packet import Direction, Packet, Protocol
 from repro.netsim.pcap import CaptureSession
+from repro.obs.collector import NULL_OBS
 from repro.util.clock import SimClock
 from repro.util.ids import IdFactory
 
 __all__ = ["Router", "ServiceHandler", "NetworkError"]
 
 ServiceHandler = Callable[[HttpRequest], HttpResponse]
+
+#: Sim seconds of network + service latency on a healthy request.
+BASE_LATENCY_SECONDS = 0.05
+#: Sim seconds a client burns discovering a connection is refused.
+CONNECT_FAILURE_SECONDS = 0.25
+#: The DNS blackhole address a PiHole-style blocker answers with.
+BLACKHOLE_IP = "0.0.0.0"
 
 
 class NetworkError(Exception):
@@ -41,10 +50,19 @@ class Router:
 
     LAN_PREFIX = "192.168.7."
 
-    def __init__(self, registry: EndpointRegistry, clock: SimClock) -> None:
+    def __init__(
+        self,
+        registry: EndpointRegistry,
+        clock: SimClock,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.registry = registry
         self.clock = clock
         self.dns = DnsServer(registry)
+        #: Seeded fault schedule; ``None`` means a perfectly healthy network.
+        self.faults = faults
+        #: Observability sink for fault counters; rebindable by the runner.
+        self.obs = NULL_OBS
         self._ids = IdFactory()
         self._device_ips: Dict[str, str] = {}
         self._services: Dict[str, ServiceHandler] = {}
@@ -115,13 +133,31 @@ class Router:
         Emits DNS packets (cleartext), then the request/response pair —
         with payloads visible only when the transport is plain HTTP.
         Raises :class:`NetworkError` for unknown hosts or unhandled
-        services, mirroring NXDOMAIN / connection-refused.
+        services, mirroring NXDOMAIN / connection-refused.  Every failure
+        path consumes simulated time — a failed request is never free —
+        and leaves the packets a passive vantage point would really see.
+
+        When a :class:`~repro.netsim.faults.FaultPlan` is installed, the
+        plan may additionally fail or slow the request; injected faults
+        are counted under ``net.faults.*`` on :attr:`obs`.
         """
         device_ip = self.device_ip(device_id)
-        endpoint = self._resolve(device_id, device_ip, request.host)
-        handler = self._services.get(request.host)
+        host = request.host
+        decision = self.faults.decide(device_id, host) if self.faults else None
+
+        if decision is not None and decision.kind == "nxdomain":
+            self.obs.inc("net.faults.nxdomain")
+            self._emit_dns_exchange(device_id, device_ip, host, answers=[])
+            self.clock.advance(decision.seconds)
+            raise NetworkError(f"NXDOMAIN: {host} [injected fault]")
+
+        endpoint = self._resolve(device_id, device_ip, host)
+        handler = self._services.get(host)
         if handler is None:
-            raise NetworkError(f"connection refused: no service at {request.host}")
+            # The resolver answered, so the connect attempt really goes
+            # out on the wire and burns time before it is refused.
+            self.clock.advance(CONNECT_FAILURE_SECONDS)
+            raise NetworkError(f"connection refused: no service at {host}")
 
         encrypted = request.is_https
         src_port = 49152 + self._ids.count("ephemeral-port") % 16000
@@ -143,8 +179,28 @@ class Router:
             )
         )
 
-        self.clock.advance(0.05)  # network + service latency
-        response = handler(request)
+        if decision is not None and decision.kind == "timeout":
+            # The request left the device (the packet above is on the
+            # wire) but no answer ever comes back.
+            self.obs.inc("net.faults.timeout")
+            self.clock.advance(decision.seconds)
+            raise NetworkError(f"connection timed out: {host}")
+
+        latency = BASE_LATENCY_SECONDS  # network + service latency
+        if decision is not None and decision.kind == "slow":
+            self.obs.inc("net.faults.slow")
+            latency += decision.seconds
+        self.clock.advance(latency)
+
+        if decision is not None and decision.kind == "http_5xx":
+            self.obs.inc("net.faults.http_5xx")
+            response = HttpResponse(
+                status=503,
+                headers={"x-injected-fault": "http-5xx"},
+                body={"error": f"service unavailable: {host}"},
+            )
+        else:
+            response = handler(request)
 
         response_payload = None if encrypted else response.to_payload()
         self._emit(
@@ -164,18 +220,52 @@ class Router:
         )
         return response
 
+    def dns_blackhole(self, device_id: str, host: str) -> None:
+        """Emit the DNS exchange a PiHole-style blocker produces.
+
+        The query still reaches the resolver — a passive vantage point
+        sees it — but the answer points at :data:`BLACKHOLE_IP`, so the
+        follow-up connection dies.  Consumes the failed-resolution round
+        trip of simulated time.  Used by
+        :class:`repro.defenses.blocking.BlockingRouter` before it raises.
+        """
+        device_ip = self.device_ip(device_id)
+        self._emit_dns_exchange(
+            device_id,
+            device_ip,
+            host,
+            answers=[{"domain": host, "ip": BLACKHOLE_IP, "ttl": 2}],
+        )
+        self.clock.advance(DNS_FAILURE_SECONDS)
+
     def _resolve(self, device_id: str, device_ip: str, host: str) -> Endpoint:
-        """Resolve ``host``, emitting the DNS query/response packets."""
+        """Resolve ``host``, emitting the DNS query/response packets.
+
+        An unknown host still produces an observable DNS exchange (query
+        plus empty NXDOMAIN answer) and burns the failed round trip
+        before :class:`NetworkError` is raised.
+        """
         endpoint = self.registry.lookup_domain(host)
         if endpoint is None:
+            self._emit_dns_exchange(device_id, device_ip, host, answers=[])
+            self.clock.advance(DNS_FAILURE_SECONDS)
             raise NetworkError(f"NXDOMAIN: {host}")
         record = self.dns.resolve(host)
+        self._emit_dns_exchange(
+            device_id,
+            device_ip,
+            host,
+            answers=[{"domain": record.domain, "ip": record.ip, "ttl": record.ttl}],
+        )
+        return endpoint
+
+    def _emit_dns_exchange(
+        self, device_id: str, device_ip: str, host: str, answers: List[dict]
+    ) -> None:
+        """Emit one DNS query/response packet pair (empty answers ≈ NXDOMAIN)."""
         dns_server_ip = f"{self.LAN_PREFIX}1"
         query_payload = {"kind": "dns-query", "domain": host}
-        response_payload = {
-            "kind": "dns-response",
-            "answers": [{"domain": record.domain, "ip": record.ip, "ttl": record.ttl}],
-        }
+        response_payload = {"kind": "dns-response", "answers": answers}
         common = dict(
             timestamp=self.clock.now,
             protocol=Protocol.DNS,
@@ -205,4 +295,3 @@ class Router:
                 **common,
             )
         )
-        return endpoint

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 __all__ = ["RunManifest", "MANIFEST_SCHEMA_VERSION"]
 
 #: Bump when the manifest layout changes shape.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: added ``fault_profile`` (network fault injection).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -32,6 +33,10 @@ class RunManifest:
     shards: Tuple[Tuple[str, ...], ...] = ()
     cache_hit: bool = False
     package_version: str = ""
+    #: Normalised network fault profile the run was driven under
+    #: (``"none"`` / ``"mild"`` / ``"harsh"`` / ``"rate:<r>"``) — part of
+    #: the deterministic half: same seed + same profile reproduces the run.
+    fault_profile: str = "none"
     #: Host seconds per campaign phase — never reproducible.
     phase_real_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -60,6 +65,7 @@ class RunManifest:
             "persona_count": self.persona_count,
             "cache_hit": self.cache_hit,
             "package_version": self.package_version,
+            "fault_profile": self.fault_profile,
         }
         if include_real:
             payload["real"] = {

@@ -17,7 +17,10 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.alexa.account import AmazonAccount
 from repro.netsim.endpoints import registrable_domain
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy
 from repro.netsim.http import HttpRequest, HttpResponse
+from repro.netsim.router import NetworkError
+from repro.obs.collector import NULL_OBS
 from repro.util.clock import SimClock
 from repro.util.ids import stable_hash
 
@@ -104,10 +107,23 @@ class WebUniverse:
 class Browser:
     """A cookie-aware, redirect-following, request-logging browser."""
 
-    def __init__(self, profile: BrowserProfile, universe: WebUniverse, clock: SimClock) -> None:
+    def __init__(
+        self,
+        profile: BrowserProfile,
+        universe: WebUniverse,
+        clock: SimClock,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        obs=NULL_OBS,
+    ) -> None:
         self.profile = profile
         self.universe = universe
         self.clock = clock
+        #: Seeded fault schedule, keyed by this profile's id — ``None``
+        #: leaves the browser on a perfectly healthy network.
+        self.faults = faults
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.obs = obs
         self.request_log: List[LoggedRequest] = []
 
     def get(self, url: str) -> HttpResponse:
@@ -118,7 +134,7 @@ class Browser:
         if depth > MAX_REDIRECTS:
             raise RuntimeError(f"redirect loop fetching {chain_root}")
         request = HttpRequest("GET", url, cookies=self._cookies_for(url))
-        response = self.universe.handle(request)
+        response = self._dispatch(request)
         for name, value in response.set_cookies.items():
             self.profile.jar.set(request.host, name, value)
         self.request_log.append(
@@ -137,6 +153,44 @@ class Browser:
         if response.redirect_url is not None:
             return self._fetch(response.redirect_url, chain_root, depth + 1)
         return response
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Hand the request to the universe, faults and retries applied.
+
+        Exhausted retries never raise: the hop degrades to a synthetic
+        error response so the failed fetch still lands in the request log
+        (OpenWPM records failed loads too) and callers checking
+        ``response.ok`` degrade instead of crashing the crawl.
+        """
+        if self.faults is None:
+            return self.universe.handle(request)
+
+        def attempt() -> HttpResponse:
+            decision = self.faults.decide(self.profile.profile_id, request.host)
+            if decision is None:
+                return self.universe.handle(request)
+            self.obs.inc(f"web.faults.{decision.kind}")
+            self.clock.advance(decision.seconds)
+            if decision.kind == "slow":
+                return self.universe.handle(request)
+            if decision.kind == "http_5xx":
+                return HttpResponse(
+                    status=503,
+                    headers={"x-injected-fault": "http-5xx"},
+                    body={"error": f"service unavailable: {request.host}"},
+                )
+            reason = "NXDOMAIN" if decision.kind == "nxdomain" else "connection timed out"
+            raise NetworkError(f"{reason}: {request.host} [injected fault]")
+
+        try:
+            return self.retry.call(self.clock, attempt, obs=self.obs, scope="web")
+        except NetworkError:
+            self.obs.inc("web.requests_failed")
+            return HttpResponse(
+                status=504,
+                headers={"x-injected-fault": "unreachable"},
+                body={"error": f"unreachable: {request.host}"},
+            )
 
     def _cookies_for(self, url: str) -> Dict[str, str]:
         host = HttpRequest("GET", url).host

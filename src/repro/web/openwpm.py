@@ -19,6 +19,7 @@ from repro.adtech.ads import AdCreative
 from repro.adtech.exchange import AdTechWorld
 from repro.adtech.prebid import PrebidSession, register_publisher
 from repro.data.websites import N_PREBID_TARGET, WebsiteSpec
+from repro.netsim.faults import FaultPlan, RetryPolicy
 from repro.obs import NULL_OBS
 from repro.util.clock import SimClock
 from repro.util.rng import Seed
@@ -72,6 +73,7 @@ def discover_prebid_sites(
     clock: SimClock,
     target: int = N_PREBID_TARGET,
     obs=NULL_OBS,
+    faults: "FaultPlan | None" = None,
 ) -> List[WebsiteSpec]:
     """Probe the toplist for prebid support, stopping at ``target`` sites.
 
@@ -79,9 +81,12 @@ def discover_prebid_sites(
     side effect (the simulation's stand-in for the site existing).
 
     Discovery runs once per world — every parallel shard repeats it
-    identically — so its counters use the ``"first"`` merge policy.
+    identically — so its counters use the ``"first"`` merge policy, and
+    the probe browser keeps ``NULL_OBS`` for its fault/retry counters
+    (summing identical per-shard repeats would overcount them).  A probe
+    that exhausts retries reads as "no prebid" for that site.
     """
-    browser = Browser(probe_profile, universe, clock)
+    browser = Browser(probe_profile, universe, clock, faults=faults)
     found: List[WebsiteSpec] = []
     probed = 0
     for site in toplist:
@@ -113,9 +118,13 @@ class OpenWPMCrawler:
         seed: Seed,
         bot_mitigation: bool = True,
         obs=NULL_OBS,
+        faults: "FaultPlan | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.profile = profile
-        self.browser = Browser(profile, universe, clock)
+        self.browser = Browser(
+            profile, universe, clock, faults=faults, retry=retry, obs=obs
+        )
         self.adtech = adtech
         self.clock = clock
         self.bot_mitigation = bot_mitigation

@@ -149,6 +149,26 @@ class TestSyncDetection:
         }
         assert sync.amazon_partners <= bid_bidders
 
+    def test_repeated_uid_params_all_detected(self):
+        # uid=a&uid=b piggybacks two identifiers on one sync call; a
+        # last-wins dict parse used to drop all but the final one.
+        from repro.core.syncing import _parse_syncs
+        from repro.web.browser import LoggedRequest
+
+        request = LoggedRequest(
+            timestamp=0.0,
+            url="https://sync.example.com/setuid?partner=dsp&uid=alpha&uid=beta",
+            method="GET",
+            cookies_sent={},
+            status=200,
+            set_cookies={},
+            redirect_to=None,
+            chain_root="https://pub.example.com/",
+        )
+        events = _parse_syncs(request, "p1")
+        assert [e.uid for e in events] == ["alpha", "beta"]
+        assert all(e.source == "dsp" for e in events)
+
 
 class TestTrafficAnalysis:
     @pytest.fixture(scope="class")

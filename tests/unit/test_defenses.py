@@ -14,7 +14,8 @@ from repro.defenses import (
     voice_exposure,
 )
 from repro.netsim.http import HttpRequest
-from repro.netsim.router import NetworkError, Router
+from repro.netsim.packet import Protocol
+from repro.netsim.router import BLACKHOLE_IP, NetworkError, Router
 from repro.orgmap.filterlists import FilterList
 from repro.util.clock import SimClock
 from repro.util.rng import Seed
@@ -83,6 +84,23 @@ class TestBlockingRouter:
         assert evaluation.breakage_rate == 0.0
         assert evaluation.functional_requests_allowed > 0
 
+    def test_blocked_request_still_shows_dns_query(self, rig):
+        # A PiHole'd network is not invisible: the resolver still sees the
+        # query, it just answers with a blackhole address.
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
+        blocking.attach_device("d1")
+        cap = blocking.start_capture("blocked")
+        before = blocking.packets_forwarded
+        clock_before = blocking.clock.now
+        with pytest.raises(NetworkError, match="blocked by policy"):
+            blocking.send("d1", HttpRequest("GET", "https://x.bad.com/t"))
+        assert blocking.packets_forwarded == before + 2
+        dns = [p for p in cap if p.protocol is Protocol.DNS]
+        assert dns[0].payload == {"kind": "dns-query", "domain": "x.bad.com"}
+        assert dns[1].payload["answers"][0]["ip"] == BLACKHOLE_IP
+        assert blocking.clock.now > clock_before  # blocking is not free
+
     def test_block_rate_property(self, rig):
         seed, router, *_ = rig
         blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
@@ -90,6 +108,46 @@ class TestBlockingRouter:
         with pytest.raises(NetworkError):
             blocking.send("d1", HttpRequest("GET", "https://x.bad.com/"))
         assert blocking.report.block_rate == 1.0
+
+
+class TestFacadeSurface:
+    """BlockingRouter must mirror Router's whole public surface.
+
+    This test fails the moment Router grows a public attribute the facade
+    lacks, so the two cannot silently drift apart (clients handed a
+    BlockingRouter would hit AttributeError deep inside a campaign).
+    """
+
+    def test_every_public_router_attribute_exists_on_facade(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
+        missing = [
+            name
+            for name in dir(router)
+            if not name.startswith("_") and not hasattr(blocking, name)
+        ]
+        assert not missing, (
+            f"BlockingRouter is missing Router attributes: {missing}; "
+            "extend the facade in repro/defenses/blocking.py"
+        )
+
+    def test_facade_forwards_state(self, rig):
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
+        assert blocking.clock is router.clock
+        assert blocking.registry is router.registry
+        assert blocking.dns is router.dns
+        assert blocking.faults is router.faults is None
+        assert blocking.packets_forwarded == router.packets_forwarded
+
+    def test_obs_setter_reaches_inner_router(self, rig):
+        from repro.obs import ObsCollector
+
+        seed, router, *_ = rig
+        blocking = BlockingRouter(router, FilterList.from_hosts(["x.bad.com"]))
+        obs = ObsCollector()
+        blocking.obs = obs  # how ExperimentRunner binds tracing
+        assert router.obs is obs
 
 
 class TestLocalProcessingEcho:

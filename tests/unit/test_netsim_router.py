@@ -174,6 +174,20 @@ class TestHttpModels:
         req = HttpRequest("GET", "https://a.example.com/p?x=1").with_query(y="2")
         assert req.query == {"x": "1", "y": "2"}
 
+    def test_query_repeated_keys_last_wins(self):
+        # The dict accessor keeps its historical last-wins shape...
+        req = HttpRequest("GET", "https://a.example.com/s?uid=alpha&uid=beta")
+        assert req.query == {"uid": "beta"}
+
+    def test_query_pairs_preserves_duplicates(self):
+        # ...while the pair accessors expose every value, in URL order.
+        req = HttpRequest(
+            "GET", "https://a.example.com/s?uid=alpha&x=1&uid=beta"
+        )
+        assert req.query_pairs == [("uid", "alpha"), ("x", "1"), ("uid", "beta")]
+        assert req.query_values("uid") == ["alpha", "beta"]
+        assert req.query_values("missing") == []
+
     def test_bad_method_rejected(self):
         with pytest.raises(ValueError):
             HttpRequest("FETCH", "https://a.example.com/")
