@@ -1,0 +1,90 @@
+"""Gate a fresh ``--bench-json`` report against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py CURRENT.json \
+        [BASELINE.json] [--tolerance 0.15]
+
+The committed baseline (``benchmarks/BENCH_pipeline.json``) records the
+``speedup`` ratio of each gated benchmark — optimized over legacy on the
+same machine — which is what makes the comparison portable: absolute
+seconds differ across runners, the ratio does not.  A benchmark fails
+the gate when its current speedup drops more than ``--tolerance``
+(default 15%) below the baseline's.  Fields other than ``speedup`` are
+informational and never gated.
+
+Refresh the baseline by re-running the benchmark with
+``--bench-json benchmarks/BENCH_pipeline.json`` and committing the
+result (see the ``bench_pipeline_throughput`` docstring).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_pipeline.json"
+DEFAULT_TOLERANCE = 0.15
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list:
+    """Return a list of human-readable failures (empty when the gate passes)."""
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        if "speedup" not in expected:
+            continue
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        if "speedup" not in measured:
+            failures.append(f"{name}: current report has no 'speedup' field")
+            continue
+        floor = expected["speedup"] * (1.0 - tolerance)
+        if measured["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {measured['speedup']:.2f}x is below "
+                f"{floor:.2f}x ({100 * tolerance:.0f}% under the baseline's "
+                f"{expected['speedup']:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh --bench-json report")
+    parser.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional speedup drop before failing (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(current, baseline, args.tolerance)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    gated = [n for n, v in baseline.items() if "speedup" in v]
+    for name in sorted(gated):
+        print(
+            f"ok {name}: speedup {current[name]['speedup']:.2f}x "
+            f"(baseline {baseline[name]['speedup']:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

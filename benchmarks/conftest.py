@@ -6,10 +6,17 @@ and asserts the qualitative shape (who wins, rough factors, which
 personas are significant).
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.campaign import run_campaign
 from repro.core.personas import interest_personas
+
+#: Measurements recorded via the ``bench_record`` fixture, keyed by
+#: benchmark name.  Written to ``--bench-json`` at session end.
+_BENCH_RESULTS = {}
 
 
 def pytest_addoption(parser):
@@ -28,6 +35,38 @@ def pytest_addoption(parser):
         default=4,
         help="worker count when --parallel is set",
     )
+    group.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write measurements recorded via the bench_record fixture "
+        "to PATH as JSON (see benchmarks/BENCH_pipeline.json for the "
+        "committed baseline and benchmarks/check_bench_regression.py "
+        "for the CI comparison)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record named measurements for the ``--bench-json`` report.
+
+    Benchmarks call ``bench_record(name, **fields)`` with whatever
+    scalar measurements they want persisted (seconds, ratios, counts).
+    Repeated calls with the same name merge their fields.
+    """
+
+    def record(name, **fields):
+        _BENCH_RESULTS.setdefault(name, {}).update(fields)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if path and _BENCH_RESULTS:
+        payload = json.dumps(_BENCH_RESULTS, indent=2, sort_keys=True)
+        Path(path).write_text(payload + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -35,10 +74,13 @@ def dataset(request):
     """The paper-scale campaign (450 skills, 31 crawl iterations, 13
     personas) under the default seed.
 
-    Served from the on-disk dataset cache when warm.  With ``--parallel``
-    a cold build uses the sharded runner instead of the serial one — the
-    two produce export-identical datasets, so every benchmark sees the
-    same artifacts either way.
+    Served from the on-disk dataset cache when warm, *without* the
+    deep-copy on read (``cache_copy=False``): the fixture is already
+    session-shared and the benchmarks only read it, so the copy would
+    buy nothing and cost more than loading the pickle.  With
+    ``--parallel`` a cold build uses the sharded runner instead of the
+    serial one — the two produce export-identical datasets, so every
+    benchmark sees the same artifacts either way.
     """
     if request.config.getoption("--parallel"):
         return run_campaign(
@@ -46,7 +88,7 @@ def dataset(request):
             parallel=True,
             workers=request.config.getoption("--workers"),
         )
-    return run_campaign(seed=42, cache=True)
+    return run_campaign(seed=42, cache=True, cache_copy=False)
 
 
 @pytest.fixture(scope="session")

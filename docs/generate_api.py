@@ -77,10 +77,57 @@ accounted for in the metrics (`net.faults.*`, `web.faults.*`,
 `skills.sessions_failed`) plus the manifest's `fault_profile` field —
 so partial data is always distinguishable from a healthy run.
 
+## Performance: the capture→analysis hot path
+
+Capture and analysis are profile-guided-optimized; the invariant is that
+none of it moves an exported byte
+(`tests/integration/test_pipeline_equivalence.py` pins serial vs
+4-worker exports under healthy and mild-faulted networks).
+
+* **Sealed flows** — `repro.netsim.packet.FlowTable` groups packets into
+  flows *as the router emits them*; stopping a capture seals the table
+  once (`Flow.seal()` freezes `total_bytes` / `sni` / `first_timestamp`
+  as cached aggregates).  Sealed flows are non-empty by construction — a
+  `FlowTable` only creates a flow when its first packet arrives — and
+  reject further packets.  `group_flows` survives as a thin wrapper that
+  builds and seals a table in one shot; hand-built unsealed `Flow`s keep
+  the legacy O(n)-per-property scan semantics.
+  `CaptureSession.dns_table()` is likewise built incrementally and free
+  to read.  The `flows.sealed` counter tracks how many flows each run
+  froze.
+* **Memoized analysis** — `OrgResolver.attribute_domain` and
+  `FilterList.is_blocked` cache per-domain answers (the underlying
+  entity DB, WHOIS answers, and rule set are immutable for a built
+  world); `analyze_traffic` classifies each distinct domain and
+  `(org, vendor)` pair once and can fan its per-persona resolution
+  across workers (`analyze_traffic(..., workers=4)`) with identical
+  results.  Repeat lookups the caches absorbed are counted as
+  `analysis.domain_cache_hits`; pass `memoize=False` to either cache
+  for the uncached legacy behaviour.
+* **Copy-on-read cache** — `DatasetCache.read(seed_root, config,
+  copy=True)` replaces `get_or_run` (which survives as a deep-copy
+  alias).  `copy=False` aliases the cached instance for read-only
+  consumers — `run_campaign(..., cache=True, cache_copy=False)`, the
+  CLI's `--cache` flag, and the benchmark session dataset all use it.
+  `CACHE_SCHEMA_VERSION` is 4 (sealed-flow era); older pickles are
+  recomputed.
+* **Benchmark gate** — `pytest benchmarks/... --bench-json PATH` writes
+  measurements recorded via the `bench_record` fixture;
+  `bench_pipeline_throughput` asserts the optimized path is ≥1.5× the
+  pre-optimization baseline and CI's `perf-smoke` job fails if the
+  speedup ratio drops >15% below the committed
+  `benchmarks/BENCH_pipeline.json` (compared by
+  `benchmarks/check_bench_regression.py`).  Refresh the baseline with
+  `PYTHONPATH=src python -m pytest
+  benchmarks/bench_pipeline_throughput.py::bench_pipeline_throughput
+  --bench-json benchmarks/BENCH_pipeline.json` and commit the result.
+
 ## Migrating to `run_campaign`
 
-The three legacy entrypoints are deprecated shims; `run_campaign` is the
-one entrypoint used by the CLI, tests, and benchmarks.
+The three legacy entrypoints are deprecated shims importable from
+`repro.core.experiment` / `repro.core.parallel` only (they are no longer
+re-exported from `repro` or `repro.core`); `run_campaign` is the one
+entrypoint used by the CLI, tests, and benchmarks.
 
 | legacy call | replacement |
 |---|---|

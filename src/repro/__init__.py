@@ -31,18 +31,14 @@ Package map:
 """
 
 from repro.core.campaign import run_campaign
-from repro.core.experiment import ExperimentConfig, run_cached_experiment, run_experiment
-from repro.core.parallel import run_parallel_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.util.rng import Seed
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ExperimentConfig",
     "Seed",
     "__version__",
-    "run_cached_experiment",
     "run_campaign",
-    "run_experiment",
-    "run_parallel_experiment",
 ]

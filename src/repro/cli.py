@@ -13,7 +13,8 @@ Commands
 
 Every campaign-running command shares one flag set (``--seed``,
 ``--small``, ``--parallel``, ``--workers``, ``--backend``, ``--faults``,
-``--quiet``, ``--trace-out``, ``--metrics-out``) and goes through
+``--cache``, ``--quiet``, ``--trace-out``, ``--metrics-out``) and goes
+through
 :func:`repro.core.run_campaign`.  Output is emitted through the
 ``repro.cli`` logger; ``--quiet`` raises the threshold to warnings.
 """
@@ -108,6 +109,13 @@ def _campaign_parent(common: argparse.ArgumentParser) -> argparse.ArgumentParser
         "(e.g. 0.05); seeded and deterministic, see repro.netsim.faults",
     )
     parent.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve the campaign from the on-disk dataset cache, computing "
+        "and storing it on first use; the CLI only reads the dataset, so "
+        "the cached instance is aliased without a deep copy",
+    )
+    parent.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -184,12 +192,15 @@ def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
     faults = getattr(args, "faults", "none")
     if faults != config.fault_profile:
         config = dataclasses.replace(config, fault_profile=faults)
+    use_cache = getattr(args, "cache", False)
     dataset = run_campaign(
         config,
         args.seed,
         parallel=args.parallel,
         workers=args.workers if args.parallel else None,
         backend=args.backend,
+        cache=True if use_cache else None,
+        cache_copy=not use_cache,
     )
     _write_obs_outputs(dataset, args)
     return dataset

@@ -41,12 +41,10 @@ from repro.core.experiment import (
     ExperimentRunner,
     PersonaArtifacts,
     PolicyFetch,
-    run_cached_experiment,
-    run_experiment,
 )
 from repro.core.parallel import (
     ShardResult,
-    run_parallel_experiment,
+    parallel_map,
     shard_personas,
 )
 from repro.core.personas import Persona, all_personas, control_personas, interest_personas
@@ -101,14 +99,12 @@ __all__ = [
     "holiday_window_means",
     "interest_personas",
     "mann_whitney_u",
+    "parallel_map",
     "partner_split",
     "policy_availability",
     "rank_biserial",
     "representative_bids",
-    "run_cached_experiment",
     "run_campaign",
-    "run_experiment",
-    "run_parallel_experiment",
     "run_validation_study",
     "shard_personas",
     "significance_vs_vanilla",

@@ -8,8 +8,11 @@ so every pytest session re-ran the full campaign.
 
 :class:`DatasetCache` fixes both.  Datasets are pickled to disk under a
 key derived from the seed root, the config fingerprint, and a schema
-version, so repeat runs — across processes — load in seconds.  Reads
-always return a deep copy, so callers can mutate their dataset freely.
+version, so repeat runs — across processes — load in seconds.  By
+default reads return a deep copy, so callers can mutate their dataset
+freely; read-only consumers (the CLI's report path, benchmarks) pass
+``copy=False`` to alias the cached instance and skip the deep copy,
+which for a paper-scale dataset costs more than loading the pickle.
 
 The pickled payload strips the :class:`~repro.core.world.World` handle
 (a world holds registered service closures, which do not pickle).  On a
@@ -25,13 +28,13 @@ The cache root is ``$REPRO_CACHE_DIR`` when set, else
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 import hashlib
 import json
 import os
 import pickle
 import tempfile
+from copy import copy as _shallow_copy, deepcopy as _deepcopy
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -55,7 +58,10 @@ __all__ = [
 #: v2: AuditDataset gained the ``obs`` collector field.
 #: v3: fault-injection era — ExperimentConfig gained ``fault_profile``
 #: (fingerprints shifted) and reattached worlds honour it.
-CACHE_SCHEMA_VERSION = 3
+#: v4: sealed-flow era — ``Packet``/``Flow`` became slotted dataclasses
+#: and captures pickle an incremental ``FlowTable``/``DnsTable``; v3
+#: pickles would unpickle into the wrong shape.
+CACHE_SCHEMA_VERSION = 4
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -91,18 +97,23 @@ class DatasetCache:
 
     # ------------------------------------------------------------------ #
 
-    def get_or_run(
+    def read(
         self,
         seed_root: int,
         config: ExperimentConfig = ExperimentConfig(),
+        *,
+        copy: bool = True,
         compute=None,
     ) -> AuditDataset:
         """The campaign dataset for ``(seed_root, config)``.
 
         Runs the campaign on a miss (via ``compute``, a zero-argument
         callable; defaults to the serial campaign); loads from disk
-        otherwise.  Always returns an independent deep copy — mutations
-        never propagate to other callers or back into the cache.
+        otherwise.  With ``copy=True`` (the default) returns an
+        independent deep copy — mutations never propagate to other
+        callers or back into the cache.  ``copy=False`` returns the
+        cached instance itself: much cheaper, but the caller must treat
+        it as read-only (exports, reports, benchmarks all qualify).
         """
         key = self._key(seed_root, config)
         dataset = self._memory.get(key)
@@ -116,7 +127,16 @@ class DatasetCache:
                 dataset = compute()
             self._store(seed_root, config, dataset)
         self._memory[key] = dataset
-        return copy.deepcopy(dataset)
+        return _deepcopy(dataset) if copy else dataset
+
+    def get_or_run(
+        self,
+        seed_root: int,
+        config: ExperimentConfig = ExperimentConfig(),
+        compute=None,
+    ) -> AuditDataset:
+        """Compatibility alias for :meth:`read` with deep-copy semantics."""
+        return self.read(seed_root, config, copy=True, compute=compute)
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk, under this root."""
@@ -163,7 +183,7 @@ class DatasetCache:
     ) -> None:
         path = self.path_for(seed_root, config)
         path.parent.mkdir(parents=True, exist_ok=True)
-        stripped = copy.copy(dataset)  # shallow: share artifacts, drop world
+        stripped = _shallow_copy(dataset)  # shallow: share artifacts, drop world
         stripped.world = None
         payload = {
             "schema": CACHE_SCHEMA_VERSION,

@@ -92,6 +92,7 @@ def run_campaign(
     workers: Optional[int] = None,
     backend: str = "process",
     cache=None,
+    cache_copy: bool = True,
     obs: Union[None, bool, ObsCollector] = None,
 ) -> AuditDataset:
     """Run the full measurement campaign and return its dataset.
@@ -113,6 +114,12 @@ def run_campaign(
         ``True`` / a path / a :class:`~repro.core.cache.DatasetCache` to
         memoize the serial campaign on disk per ``(seed, config)``.
         Mutually exclusive with ``parallel``.
+    cache_copy:
+        On a cache hit, ``True`` (default) returns an independent deep
+        copy of the cached dataset; ``False`` aliases the cached
+        instance — much cheaper, for read-only consumers (reports,
+        exports, benchmarks).  Attaching the run manifest to
+        ``dataset.obs`` is the one mutation this function itself makes.
     obs:
         ``None`` (default) traces into a fresh
         :class:`~repro.obs.ObsCollector`, returned as ``dataset.obs``;
@@ -130,6 +137,8 @@ def run_campaign(
 
     if not parallel and workers is not None:
         raise ValueError("workers requires parallel=True")
+    if not cache_copy and cache_store is None:
+        raise ValueError("cache_copy=False requires cache=...")
     if parallel and cache_store is not None:
         raise ValueError(
             "cache=... is mutually exclusive with parallel=True; the cache "
@@ -169,9 +178,10 @@ def run_campaign(
             fault_profile=config.fault_profile,
         )
     elif cache_store is not None:
-        dataset = cache_store.get_or_run(
+        dataset = cache_store.read(
             seed.root,
             config,
+            copy=cache_copy,
             compute=lambda: _run_serial_experiment(seed, config, obs=collector),
         )
         manifest = RunManifest(

@@ -52,6 +52,7 @@ from repro.util.rng import Seed
 __all__ = [
     "BACKENDS",
     "ShardResult",
+    "parallel_map",
     "shard_personas",
     "merge_shard_results",
     "run_parallel_experiment",
@@ -61,6 +62,29 @@ __all__ = [
 #: Python, so threads add no speedup); "thread" avoids fork/pickle cost
 #: and is what the determinism tests exercise cheaply.
 BACKENDS = ("process", "thread")
+
+
+def parallel_map(fn, items, workers=None, backend="thread"):
+    """Order-preserving map with optional worker fan-out.
+
+    ``workers=None`` (or ``<= 1``) runs serially in the caller's thread —
+    the default.  With more workers the items are mapped across a thread
+    or process pool, but results always come back in *input* order, not
+    completion order, so downstream aggregation stays deterministic
+    either way.  The process backend requires ``fn`` and every item to
+    pickle; shared mutable state on ``fn`` (e.g. memo caches) is only
+    shared under the thread backend.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    executor_cls = (
+        ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    )
+    with executor_cls(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 @dataclass

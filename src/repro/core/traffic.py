@@ -8,12 +8,15 @@ read here.
 
 from __future__ import annotations
 
+import functools
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.core.experiment import AuditDataset
+from repro.core.experiment import AuditDataset, PersonaArtifacts
+from repro.core.parallel import parallel_map
 from repro.netsim.pcap import CaptureSession
+from repro.obs.collector import NULL_OBS
 from repro.orgmap.filterlists import FilterList
 from repro.orgmap.resolver import OrgResolver
 
@@ -103,6 +106,9 @@ def analyze_traffic(
     resolver: OrgResolver,
     filter_list: FilterList,
     vendor_by_skill: Mapping[str, str],
+    *,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> TrafficAnalysis:
     """Run the §4 pipeline over all per-skill captures.
 
@@ -110,7 +116,30 @@ def analyze_traffic(
     name), which the auditor scrapes from the marketplace — it is used
     only to tell first-party (vendor-owned) endpoints from third parties,
     exactly as the paper does.
+
+    The expensive half — resolving every flow of every capture to a
+    domain and organization — is independent per persona, so with
+    ``workers > 1`` it fans out across :func:`repro.core.parallel.parallel_map`
+    while the aggregation below stays serial and in roster order; the
+    result is identical for any worker count.  Domain classification is
+    a single memoized pass: each distinct ``(org, vendor)`` pair and each
+    distinct domain is classified once, however many skills contact it.
+    Repeat lookups avoided by the resolver/filter-list/classification
+    caches are counted on ``dataset.obs`` as ``analysis.domain_cache_hits``
+    (in-process hits only: the process backend's worker-side resolver
+    copies do not report back).
     """
+    obs = dataset.obs if dataset.obs is not None else NULL_OBS
+    hits_start = resolver.cache_hits + filter_list.cache_hits
+
+    artifacts_list = list(dataset.interest_personas)
+    traffic_lists = parallel_map(
+        functools.partial(_persona_traffic, resolver=resolver),
+        artifacts_list,
+        workers=workers,
+        backend=backend,
+    )
+
     per_skill: List[SkillTraffic] = []
     skills_by_domain: Dict[str, Set[str]] = defaultdict(set)
     domain_org: Dict[str, str] = {}
@@ -120,20 +149,45 @@ def analyze_traffic(
     skill_classes: Dict[str, Set[OrgClass]] = defaultdict(set)
     failed: List[str] = []
 
-    for artifacts in dataset.interest_personas:
+    # Single classification pass: every (org, vendor) pair and every
+    # domain verdict is computed at most once for the whole dataset.
+    class_memo: Dict[Tuple[str, str], OrgClass] = {}
+    is_ad_memo: Dict[str, bool] = {}
+    local_hits = 0
+
+    def classify(org: str, vendor: str) -> OrgClass:
+        nonlocal local_hits
+        key = (org, vendor)
+        org_class = class_memo.get(key)
+        if org_class is None:
+            class_memo[key] = org_class = _classify_org(org, vendor)
+        else:
+            local_hits += 1
+        return org_class
+
+    def blocked(domain: str) -> bool:
+        nonlocal local_hits
+        verdict = is_ad_memo.get(domain)
+        if verdict is None:
+            is_ad_memo[domain] = verdict = filter_list.is_blocked(domain)
+        else:
+            local_hits += 1
+        return verdict
+
+    for artifacts, traffic_list in zip(artifacts_list, traffic_lists):
         persona = artifacts.persona.name
         at_set, fn_set = persona_third_party.setdefault(persona, (set(), set()))
         failed.extend(artifacts.install_failures)
-        for skill_id, capture in artifacts.skill_captures.items():
-            traffic = _skill_traffic(skill_id, persona, capture, resolver)
+        for traffic in traffic_list:
+            skill_id = traffic.skill_id
             per_skill.append(traffic)
             vendor = vendor_by_skill.get(skill_id, "")
             for domain, (org, requests) in traffic.domains.items():
                 skills_by_domain[domain].add(skill_id)
                 domain_org[domain] = org
-                org_class = _classify_org(org, vendor)
+                org_class = classify(org, vendor)
                 skill_classes[skill_id].add(org_class)
-                is_ad = filter_list.is_blocked(domain)
+                is_ad = blocked(domain)
                 traffic_matrix[(org_class, is_ad)] += requests
                 if org_class == "third party":
                     (at_set if is_ad else fn_set).add(domain)
@@ -146,10 +200,15 @@ def analyze_traffic(
         vendors = {
             vendor_by_skill.get(s, "") for s in skills_by_domain[domain]
         }
-        domain_class[domain] = _classify_org(
+        domain_class[domain] = classify(
             org, next(iter(vendors)) if len(vendors) == 1 else ""
         )
-        domain_is_ad[domain] = filter_list.is_blocked(domain)
+        domain_is_ad[domain] = blocked(domain)
+
+    obs.inc(
+        "analysis.domain_cache_hits",
+        (resolver.cache_hits + filter_list.cache_hits - hits_start) + local_hits,
+    )
 
     return TrafficAnalysis(
         per_skill=per_skill,
@@ -163,6 +222,21 @@ def analyze_traffic(
         skill_classes=dict(skill_classes),
         failed_skills=sorted(set(failed)),
     )
+
+
+def _persona_traffic(
+    artifacts: PersonaArtifacts, resolver: OrgResolver
+) -> List[SkillTraffic]:
+    """Resolve one persona's captures — the parallelizable unit of §4.
+
+    Module-level (not a closure) so the process backend can pickle it
+    via :func:`functools.partial`.
+    """
+    persona = artifacts.persona.name
+    return [
+        _skill_traffic(skill_id, persona, capture, resolver)
+        for skill_id, capture in artifacts.skill_captures.items()
+    ]
 
 
 def _skill_traffic(

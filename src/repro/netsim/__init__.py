@@ -16,7 +16,15 @@ from repro.netsim.faults import (
     RetryPolicy,
 )
 from repro.netsim.http import HttpRequest, HttpResponse, estimate_size
-from repro.netsim.packet import Direction, Flow, Packet, Protocol, group_flows
+from repro.netsim.packet import (
+    Direction,
+    Flow,
+    FlowTable,
+    Packet,
+    Protocol,
+    flow_key,
+    group_flows,
+)
 from repro.netsim.pcap import CaptureSession
 from repro.netsim.router import NetworkError, Router, ServiceHandler
 
@@ -34,6 +42,7 @@ __all__ = [
     "FaultPlan",
     "FaultProfile",
     "Flow",
+    "FlowTable",
     "HttpRequest",
     "HttpResponse",
     "NetworkError",
@@ -44,6 +53,7 @@ __all__ = [
     "ServiceHandler",
     "build_dns_table",
     "estimate_size",
+    "flow_key",
     "group_flows",
     "registrable_domain",
 ]

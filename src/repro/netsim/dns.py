@@ -10,7 +10,7 @@ names (§3.2 "Inferring origin").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.netsim.endpoints import EndpointRegistry
 from repro.netsim.packet import Packet
@@ -57,6 +57,9 @@ class DnsTable:
 
     Mirrors the paper's approach: the auditor does not get to query the
     registry, only to read DNS answers that appeared on the wire.
+    Capture sessions feed packets in as they are observed
+    (:meth:`add_packet`), so the table is complete the moment the capture
+    stops — no post-hoc re-scan of the packet list.
     """
 
     def __init__(self) -> None:
@@ -64,6 +67,14 @@ class DnsTable:
 
     def add(self, record: DnsRecord) -> None:
         self._ip_to_domain[record.ip] = record.domain
+
+    def add_packet(self, packet: Packet) -> None:
+        """Ingest one packet, recording any DNS answers it carries."""
+        payload = packet.payload
+        if payload is None or payload.get("kind") != "dns-response":
+            return
+        for answer in payload.get("answers", []):
+            self._ip_to_domain[answer["ip"]] = answer["domain"]
 
     def domain_for_ip(self, ip: str) -> Optional[str]:
         return self._ip_to_domain.get(ip)
@@ -76,11 +87,5 @@ def build_dns_table(packets: Iterable[Packet]) -> DnsTable:
     """Recover the IP→domain table from DNS response packets in a capture."""
     table = DnsTable()
     for packet in packets:
-        if packet.payload is None:
-            continue
-        if packet.payload.get("kind") != "dns-response":
-            continue
-        answers: List[dict] = packet.payload.get("answers", [])
-        for answer in answers:
-            table.add(DnsRecord(domain=answer["domain"], ip=answer["ip"]))
+        table.add_packet(packet)
     return table

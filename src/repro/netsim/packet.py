@@ -12,15 +12,44 @@ Payloads are plain dictionaries (parsed application messages) rather than
 byte strings — the paper's analysis operates on parsed fields, and keeping
 them structured avoids a redundant serialize/parse round trip while still
 modelling visibility correctly via the ``payload``/``None`` distinction.
+
+Hot-path design
+---------------
+
+A production-scale campaign emits millions of packets, and the analysis
+layer used to pay for that twice: once to capture, then again to re-scan
+every capture into flows post-hoc.  Three choices keep this layer cheap:
+
+* ``slots=True`` dataclasses — no per-instance ``__dict__``, which cuts
+  both memory and attribute-access cost on the two most-allocated types
+  in the simulator;
+* interned identity strings — ``device_id``/``src_ip``/``dst_ip``/``sni``
+  repeat across millions of packets, so :func:`sys.intern` dedups them
+  and makes the flow-key dict lookups pointer-compare fast;
+* **sealed flows** — a :class:`Flow` produced by a :class:`FlowTable`
+  maintains its aggregates (``total_bytes``, ``sni``,
+  ``first_timestamp``) incrementally as packets arrive and freezes them
+  at :meth:`Flow.seal`, so property access is O(1) instead of an O(n)
+  scan per read.
 """
 
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["Direction", "Protocol", "Packet", "Flow", "FlowKey", "group_flows"]
+__all__ = [
+    "Direction",
+    "Protocol",
+    "Packet",
+    "Flow",
+    "FlowKey",
+    "FlowTable",
+    "flow_key",
+    "group_flows",
+]
 
 
 class Direction(enum.Enum):
@@ -38,7 +67,7 @@ class Protocol(enum.Enum):
     DNS = "dns"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """A single captured datagram/record.
 
@@ -83,6 +112,36 @@ class Packet:
         for port in (self.src_port, self.dst_port):
             if not 0 <= port <= 65535:
                 raise ValueError(f"port out of range: {port}")
+        # Identity strings repeat across millions of packets; interning
+        # dedups the storage and turns downstream dict-key comparisons
+        # into pointer checks.
+        object.__setattr__(self, "src_ip", sys.intern(self.src_ip))
+        object.__setattr__(self, "dst_ip", sys.intern(self.dst_ip))
+        object.__setattr__(self, "device_id", sys.intern(self.device_id))
+        if self.sni is not None:
+            object.__setattr__(self, "sni", sys.intern(self.sni))
+
+    def __reduce__(self):
+        # Frozen slotted dataclasses have no __dict__ for the default
+        # pickle path (and Python 3.10 generates no slots-aware
+        # __getstate__), so rebuild through __init__ — which also
+        # re-interns the identity strings on load.
+        return (
+            self.__class__,
+            (
+                self.timestamp,
+                self.src_ip,
+                self.dst_ip,
+                self.src_port,
+                self.dst_port,
+                self.protocol,
+                self.size,
+                self.direction,
+                self.device_id,
+                self.sni,
+                self.payload,
+            ),
+        )
 
     @property
     def is_encrypted(self) -> bool:
@@ -94,17 +153,51 @@ class Packet:
         """IP of the non-device end of the packet."""
         return self.dst_ip if self.direction is Direction.OUTBOUND else self.src_ip
 
+    @property
+    def remote_port(self) -> int:
+        """Port of the non-device end of the packet."""
+        return (
+            self.dst_port if self.direction is Direction.OUTBOUND else self.src_port
+        )
+
 
 FlowKey = Tuple[str, str, int, str]
 """(device_id, remote_ip, remote_port, protocol value)"""
 
 
-@dataclass
+def flow_key(packet: Packet) -> FlowKey:
+    """The flow a packet belongs to: (device, remote ip/port, protocol)."""
+    return (
+        packet.device_id,
+        packet.remote_ip,
+        packet.remote_port,
+        packet.protocol.value,
+    )
+
+
+@dataclass(slots=True)
 class Flow:
-    """All packets between one device and one remote endpoint/port."""
+    """All packets between one device and one remote endpoint/port.
+
+    Flows produced by a :class:`FlowTable` (which includes
+    :func:`group_flows` and every :class:`~repro.netsim.pcap.CaptureSession`)
+    are *sealed*: their aggregates were accumulated incrementally as
+    packets arrived and are served in O(1).  A hand-built ``Flow`` whose
+    ``packets`` list is mutated directly stays unsealed and computes the
+    same aggregates by scanning, preserving the legacy semantics.
+    """
 
     key: FlowKey
     packets: List[Packet] = field(default_factory=list)
+    # Incrementally-maintained aggregates, frozen by seal().  Excluded
+    # from equality: a sealed and an unsealed flow with the same packets
+    # are the same flow.
+    _total_bytes: int = field(default=0, repr=False, compare=False)
+    _sni: Optional[str] = field(default=None, repr=False, compare=False)
+    _first_timestamp: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
+    _sealed: bool = field(default=False, repr=False, compare=False)
 
     @property
     def device_id(self) -> str:
@@ -119,12 +212,53 @@ class Flow:
         return self.key[2]
 
     @property
+    def sealed(self) -> bool:
+        """Whether the aggregates are frozen (O(1) property access)."""
+        return self._sealed
+
+    def _observe(self, packet: Packet) -> None:
+        """Append ``packet``, maintaining the running aggregates."""
+        if self._sealed:
+            raise ValueError(f"cannot add packets to sealed flow {self.key}")
+        self.packets.append(packet)
+        self._total_bytes += packet.size
+        if self._sni is None:
+            self._sni = packet.sni
+        if self._first_timestamp is None or packet.timestamp < self._first_timestamp:
+            self._first_timestamp = packet.timestamp
+
+    def seal(self) -> "Flow":
+        """Freeze the aggregates; sealed flows must be non-empty.
+
+        :class:`FlowTable` only creates a flow when its first packet
+        arrives, so an empty flow can never reach this point through the
+        capture path — sealing one is a caller bug, reported eagerly
+        instead of surfacing later as a confusing ``min()`` failure.
+        """
+        if not self.packets:
+            raise ValueError(f"cannot seal empty flow {self.key}")
+        if not self._sealed:
+            # Hand-built flows may have bypassed _observe; recompute so
+            # sealing is always safe, not only on the FlowTable path.
+            self._total_bytes = sum(p.size for p in self.packets)
+            self._sni = next(
+                (p.sni for p in self.packets if p.sni is not None), None
+            )
+            self._first_timestamp = min(p.timestamp for p in self.packets)
+            self._sealed = True
+        return self
+
+    @property
     def total_bytes(self) -> int:
+        if self._sealed:
+            return self._total_bytes
         return sum(p.size for p in self.packets)
 
     @property
     def sni(self) -> Optional[str]:
         """First SNI observed on the flow, if any."""
+        if self._sealed:
+            return self._sni
         for packet in self.packets:
             if packet.sni is not None:
                 return packet.sni
@@ -132,27 +266,88 @@ class Flow:
 
     @property
     def first_timestamp(self) -> float:
+        if self._sealed:
+            # seal() guarantees non-emptiness, so the cached value exists.
+            assert self._first_timestamp is not None
+            return self._first_timestamp
         if not self.packets:
-            raise ValueError("flow has no packets")
+            raise ValueError(
+                "flow has no packets; sealed flows are non-empty by "
+                "construction — only a hand-built empty Flow can get here"
+            )
         return min(p.timestamp for p in self.packets)
 
 
-def group_flows(packets: Iterable[Packet]) -> List[Flow]:
-    """Group packets into flows by (device, remote ip, remote port, proto)."""
-    flows: Dict[FlowKey, Flow] = {}
-    for packet in packets:
-        remote_port = (
-            packet.dst_port if packet.direction is Direction.OUTBOUND else packet.src_port
-        )
-        key: FlowKey = (
-            packet.device_id,
-            packet.remote_ip,
-            remote_port,
-            packet.protocol.value,
-        )
-        flow = flows.get(key)
+class FlowTable:
+    """Incremental flow aggregation over a packet stream.
+
+    Packets are grouped as they arrive — the capture path feeds every
+    observed packet straight in — so downstream analyses get pre-grouped,
+    sealed flows without the post-hoc O(n) re-scan the legacy
+    :func:`group_flows` pass performed.
+
+    Invariant: a flow exists in the table only once its first packet has
+    been added, so every flow holds ≥ 1 packet and every sealed flow's
+    ``first_timestamp`` is defined.  Flow order is first-packet arrival
+    order, matching the legacy grouping exactly.
+    """
+
+    __slots__ = ("_flows", "_sealed")
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowKey, Flow] = {}
+        self._sealed = False
+
+    def add(self, packet: Packet) -> Flow:
+        """Route ``packet`` into its flow (creating it on first sight)."""
+        if self._sealed:
+            raise ValueError("cannot add packets to a sealed FlowTable")
+        key = flow_key(packet)
+        flow = self._flows.get(key)
         if flow is None:
             flow = Flow(key=key)
-            flows[key] = flow
-        flow.packets.append(packet)
-    return list(flows.values())
+            self._flows[key] = flow
+        flow._observe(packet)
+        return flow
+
+    def seal(self) -> List[Flow]:
+        """Freeze every flow's aggregates and return them in order."""
+        if not self._sealed:
+            for flow in self._flows.values():
+                flow.seal()
+            self._sealed = True
+        return list(self._flows.values())
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def flows(self) -> List[Flow]:
+        """Current flows in first-packet order (sealed only after seal())."""
+        return list(self._flows.values())
+
+    def get(self, key: FlowKey) -> Optional[Flow]:
+        return self._flows.get(key)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows.values())
+
+    # Plain-slots pickling (no __dict__) works by default on every
+    # supported Python; nothing extra needed here.
+
+
+def group_flows(packets: Iterable[Packet]) -> List[Flow]:
+    """Group packets into flows by (device, remote ip, remote port, proto).
+
+    Compatibility wrapper over :class:`FlowTable` for callers holding a
+    loose packet list.  Capture sessions group incrementally instead —
+    prefer :meth:`~repro.netsim.pcap.CaptureSession.flows`, which returns
+    the already-sealed table without re-scanning.
+    """
+    table = FlowTable()
+    for packet in packets:
+        table.add(packet)
+    return table.seal()

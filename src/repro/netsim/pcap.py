@@ -5,6 +5,14 @@ The paper's methodology brackets each skill's lifecycle with
 cleanly per skill (§3.2).  :class:`CaptureSession` reproduces that: while a
 session is active on the router, every packet the router forwards is
 appended to it.
+
+Capture is the hot path of the whole pipeline, so a session does its
+grouping *as packets arrive*: every observed packet is routed into an
+incremental :class:`~repro.netsim.packet.FlowTable` and its DNS answers
+into a :class:`~repro.netsim.dns.DnsTable`.  When the session stops, the
+flows are sealed once and every downstream analysis reads pre-grouped
+flows and a pre-built DNS table in O(1) — the legacy post-hoc re-scan of
+``packets`` survives only for sessions still actively capturing.
 """
 
 from __future__ import annotations
@@ -12,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-from repro.netsim.dns import DnsTable, build_dns_table
-from repro.netsim.packet import Flow, Packet, group_flows
+from repro.netsim.dns import DnsTable
+from repro.netsim.packet import Flow, FlowTable, Packet, group_flows
 
 __all__ = ["CaptureSession"]
 
@@ -35,6 +43,13 @@ class CaptureSession:
     device_filter: Optional[str] = None
     packets: List[Packet] = field(default_factory=list)
     active: bool = True
+    _table: FlowTable = field(
+        default_factory=FlowTable, repr=False, compare=False
+    )
+    _dns: DnsTable = field(default_factory=DnsTable, repr=False, compare=False)
+    _sealed_flows: Optional[List[Flow]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def observe(self, packet: Packet) -> None:
         """Record a packet if the session is active and the filter matches."""
@@ -43,6 +58,8 @@ class CaptureSession:
         if self.device_filter is not None and packet.device_id != self.device_filter:
             return
         self.packets.append(packet)
+        self._table.add(packet)
+        self._dns.add_packet(packet)
 
     def stop(self) -> "CaptureSession":
         """Freeze the session; further packets are ignored."""
@@ -50,12 +67,25 @@ class CaptureSession:
         return self
 
     def flows(self) -> List[Flow]:
-        """Group the captured packets into flows."""
-        return group_flows(self.packets)
+        """The captured packets grouped into flows.
+
+        On a stopped session this seals the incremental flow table once
+        and returns the cached sealed flows on every subsequent call.  A
+        still-active session re-groups its current snapshot instead (the
+        table keeps growing, so sealing it would be premature).
+        """
+        if self.active:
+            return group_flows(self.packets)
+        if self._sealed_flows is None:
+            self._sealed_flows = self._table.seal()
+        return self._sealed_flows
 
     def dns_table(self) -> DnsTable:
-        """IP→domain mapping recovered from this capture's DNS answers."""
-        return build_dns_table(self.packets)
+        """IP→domain mapping recovered from this capture's DNS answers.
+
+        Built incrementally during :meth:`observe` — reading it is free.
+        """
+        return self._dns
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets)

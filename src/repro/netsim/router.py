@@ -112,10 +112,16 @@ class Router:
         return session
 
     def stop_capture(self, session: CaptureSession) -> CaptureSession:
-        """Stop and detach a capture session."""
+        """Stop and detach a capture session.
+
+        Stopping seals the session's incrementally-built flow table —
+        downstream analyses receive pre-grouped flows with frozen
+        aggregates; ``flows.sealed`` counts them.
+        """
         session.stop()
         if session in self._captures:
             self._captures.remove(session)
+        self.obs.inc("flows.sealed", len(session.flows()))
         return session
 
     def _emit(self, packet: Packet) -> None:

@@ -1,0 +1,101 @@
+"""Optimized-pipeline equivalence across all four campaign modes.
+
+The sealed-flow capture path, the memoized analysis caches, and the
+copy-on-read dataset cache are pure performance work: they must not
+move a single exported byte.  This test pins that down across the four
+modes the perf PR touches — serial and 4-worker parallel, each under a
+healthy network and under mild fault injection — by checking that every
+export file is byte-identical between serial and parallel for both
+fault profiles, and that the analysis layer reports its cache counters.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.core.export import EXPORT_FILES, export_dataset
+from repro.core.traffic import analyze_traffic
+from repro.util.rng import Seed
+
+SEED_ROOT = 42
+
+
+def _config(fault_profile):
+    return ExperimentConfig(
+        skills_per_persona=2,
+        pre_iterations=1,
+        post_iterations=1,
+        crawl_sites=2,
+        prebid_discovery_target=5,
+        audio_hours=0.5,
+        fault_profile=fault_profile,
+    )
+
+
+def _export_digests(dataset, out_dir):
+    export_dataset(dataset, out_dir)
+    return {
+        name: hashlib.sha256((out_dir / name).read_bytes()).hexdigest()
+        for name in EXPORT_FILES
+    }
+
+
+class TestFourModeEquivalence:
+    @pytest.mark.parametrize("fault_profile", ["none", "mild"])
+    def test_serial_and_parallel_exports_identical(self, tmp_path, fault_profile):
+        config = _config(fault_profile)
+        serial = run_campaign(config, Seed(SEED_ROOT))
+        parallel = run_campaign(
+            config, Seed(SEED_ROOT), parallel=True, workers=4, backend="thread"
+        )
+        serial_digests = _export_digests(serial, tmp_path / "serial")
+        parallel_digests = _export_digests(parallel, tmp_path / "parallel")
+        mismatched = [
+            name
+            for name in EXPORT_FILES
+            if serial_digests[name] != parallel_digests[name]
+        ]
+        assert not mismatched, (
+            f"[faults={fault_profile}] parallel exports diverged: {mismatched}"
+        )
+
+    def test_obs_counters_present(self):
+        """The perf layer's counters flow through a traced campaign."""
+        dataset = run_campaign(_config("none"), Seed(SEED_ROOT))
+        assert dataset.obs is not None
+        assert dataset.obs.metrics.value("flows.sealed") > 0
+
+        world = dataset.world
+        vendor_by_skill = {s.skill_id: s.vendor for s in world.catalog}
+        analyze_traffic(
+            dataset, world.org_resolver(), world.filter_list, vendor_by_skill
+        )
+        assert dataset.obs.metrics.value("analysis.domain_cache_hits") > 0
+
+    def test_analysis_identical_for_any_worker_count(self):
+        """analyze_traffic's fan-out is pure parallelism: same result."""
+        dataset = run_campaign(_config("none"), Seed(SEED_ROOT), obs=False)
+        world = dataset.world
+        vendor_by_skill = {s.skill_id: s.vendor for s in world.catalog}
+
+        def run(workers):
+            analysis = analyze_traffic(
+                dataset,
+                world.org_resolver(),
+                world.filter_list,
+                vendor_by_skill,
+                workers=workers,
+            )
+            return (
+                analysis.traffic_matrix,
+                analysis.domain_org,
+                analysis.domain_class,
+                analysis.skills_by_domain,
+                [(t.skill_id, t.persona, t.domains) for t in analysis.per_skill],
+            )
+
+        serial = run(None)
+        assert run(2) == serial
+        assert run(4) == serial

@@ -119,6 +119,53 @@ class TestDatasetCache:
         assert not list(tmp_path.glob("dataset-*.pkl"))
         assert not DatasetCache._memory
 
+    def test_schema_version_is_sealed_flow_era(self):
+        """v4 invalidates pre-sealed-flow pickles (slotted Packet/Flow,
+        incremental FlowTable/DnsTable inside captures)."""
+        assert CACHE_SCHEMA_VERSION == 4
+
+
+class TestCopySemantics:
+    def test_read_defaults_to_deep_copy(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        first = cache.read(123, TINY)
+        second = cache.read(123, TINY)
+        assert first is not second
+        assert first.personas is not second.personas
+
+    def test_read_copy_false_aliases_cached_instance(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        first = cache.read(123, TINY, copy=False)
+        second = cache.read(123, TINY, copy=False)
+        assert first is second
+        assert first.personas is second.personas
+
+    def test_copy_false_alias_sees_copied_readers_unchanged(self, tmp_path):
+        """A copy=True reader's mutations never reach the aliased view."""
+        cache = DatasetCache(tmp_path)
+        aliased = cache.read(123, TINY, copy=False)
+        copied = cache.read(123, TINY)
+        name = next(iter(copied.personas))
+        kept = len(aliased.personas[name].bids)
+        copied.personas[name].bids.clear()
+        assert len(aliased.personas[name].bids) == kept
+
+    def test_get_or_run_is_a_deep_copy_alias(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        aliased = cache.read(123, TINY, copy=False)
+        via_alias = cache.get_or_run(123, TINY)
+        assert via_alias is not aliased
+        assert _bid_rows(via_alias) == _bid_rows(aliased)
+
+    def test_run_campaign_cache_copy_false_aliases(self, tmp_path):
+        first = run_campaign(TINY, 321, cache=tmp_path, cache_copy=False)
+        second = run_campaign(TINY, 321, cache=tmp_path, cache_copy=False)
+        assert first is second
+
+    def test_run_campaign_cache_copy_false_requires_cache(self):
+        with pytest.raises(ValueError, match="cache_copy"):
+            run_campaign(TINY, 321, cache_copy=False)
+
 
 class TestRunCachedExperiment:
     def test_shim_warns_and_copies_are_independent(self, monkeypatch, tmp_path):

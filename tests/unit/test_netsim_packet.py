@@ -1,8 +1,18 @@
 """Tests for packet/flow primitives."""
 
+import pickle
+
 import pytest
 
-from repro.netsim.packet import Direction, Flow, Packet, Protocol, group_flows
+from repro.netsim.packet import (
+    Direction,
+    Flow,
+    FlowTable,
+    Packet,
+    Protocol,
+    flow_key,
+    group_flows,
+)
 
 
 def make_packet(**overrides):
@@ -85,8 +95,95 @@ class TestGroupFlows:
         assert flow.first_timestamp == 2.0
 
     def test_empty_flow_first_timestamp_raises(self):
-        with pytest.raises(ValueError):
+        """Regression: only a hand-built empty Flow can hit this — the
+        FlowTable invariant (a flow exists only with ≥1 packet) keeps
+        every pipeline-produced flow non-empty."""
+        with pytest.raises(ValueError, match="no packets"):
             Flow(key=("d", "ip", 443, "tls")).first_timestamp
 
     def test_empty_input(self):
         assert group_flows([]) == []
+
+
+class TestFlowSealing:
+    def test_seal_freezes_aggregates(self):
+        flow = Flow(key=flow_key(make_packet()))
+        flow._observe(make_packet(timestamp=5.0, sni=None, size=100))
+        flow._observe(make_packet(timestamp=2.0, size=400))
+        assert not flow.sealed
+        flow.seal()
+        assert flow.sealed
+        assert flow.total_bytes == 500
+        assert flow.first_timestamp == 2.0
+        assert flow.sni == "api.amazon.com"
+
+    def test_seal_empty_flow_raises(self):
+        with pytest.raises(ValueError, match="empty flow"):
+            Flow(key=("d", "ip", 443, "tls")).seal()
+
+    def test_sealed_flow_rejects_new_packets(self):
+        flow = Flow(key=flow_key(make_packet()))
+        flow._observe(make_packet())
+        flow.seal()
+        with pytest.raises(ValueError, match="sealed"):
+            flow._observe(make_packet())
+
+    def test_hand_built_flow_seals_with_recomputed_aggregates(self):
+        packet = make_packet(size=321)
+        flow = Flow(key=flow_key(packet), packets=[packet]).seal()
+        assert flow.total_bytes == 321
+        assert flow.first_timestamp == packet.timestamp
+
+
+class TestFlowTable:
+    def test_matches_group_flows(self):
+        stream = [
+            make_packet(),
+            make_packet(dst_ip="54.9.9.9"),
+            make_packet(timestamp=2.0),
+            make_packet(device_id="echo-2"),
+        ]
+        table = FlowTable()
+        for packet in stream:
+            table.add(packet)
+        sealed = table.seal()
+        legacy = group_flows(stream)
+        assert [f.key for f in sealed] == [f.key for f in legacy]
+        assert [f.packets for f in sealed] == [f.packets for f in legacy]
+        assert [f.total_bytes for f in sealed] == [f.total_bytes for f in legacy]
+
+    def test_flows_created_only_on_first_packet(self):
+        """The invariant that makes sealed flows non-empty by construction."""
+        table = FlowTable()
+        assert len(table) == 0
+        table.add(make_packet())
+        assert len(table) == 1
+        for flow in table.seal():
+            assert flow.packets
+
+    def test_seal_is_idempotent_and_freezes_table(self):
+        table = FlowTable()
+        table.add(make_packet())
+        first = table.seal()
+        assert table.seal() == first
+        assert all(flow.sealed for flow in first)
+        with pytest.raises(ValueError, match="sealed"):
+            table.add(make_packet())
+
+    def test_get_and_iteration(self):
+        packet = make_packet()
+        table = FlowTable()
+        table.add(packet)
+        assert table.get(flow_key(packet)) is not None
+        assert table.get(("missing", "ip", 1, "tls")) is None
+        assert [f.key for f in table] == [flow_key(packet)]
+
+    def test_pickle_round_trip_preserves_sealed_aggregates(self):
+        table = FlowTable()
+        table.add(make_packet(size=100))
+        table.add(make_packet(size=200))
+        sealed = table.seal()
+        restored = pickle.loads(pickle.dumps(table))
+        assert [f.key for f in restored.seal()] == [f.key for f in sealed]
+        assert restored.seal()[0].total_bytes == 300
+        assert restored.seal()[0].sealed
