@@ -77,6 +77,55 @@ accounted for in the metrics (`net.faults.*`, `web.faults.*`,
 `skills.sessions_failed`) plus the manifest's `fault_profile` field —
 so partial data is always distinguishable from a healthy run.
 
+## Crash safety & resume
+
+Parallel campaigns checkpoint every completed shard and can be resumed
+after a crash.  The layer has two halves:
+
+* **`repro.core.checkpoint`** — `ShardJournal` persists each shard's
+  `ShardResult` with an atomic write-temp → fsync → rename
+  (`atomic_write_bytes`), wrapped in an envelope stamped with
+  `CHECKPOINT_SCHEMA_VERSION`, the seed root, the config fingerprint,
+  and a digest of the shard plan.  `validate_for_resume` raises
+  `CheckpointError` when a journal belongs to a different campaign; an
+  unreadable or mis-stamped entry raises `CorruptShardError` and is
+  quarantined to `*.corrupt` rather than trusted.  A run-level
+  `journal.json` manifest records status
+  (`running`/`complete`/`partial`/`failed`), per-shard attempt history,
+  and missing personas.
+* **The shard supervisor** (`repro.core.parallel`) — workers publish
+  results through the journal (an ephemeral tempdir when no
+  `checkpoint_dir` is given); the supervisor polls worker liveness,
+  restarts crashed workers with a bounded retry budget
+  (`max_shard_retries`), and reaps workers hung past a **wall-clock**
+  `shard_timeout` (a stuck simulated clock cannot fool the watchdog).
+  `SupervisorPolicy` bundles the knobs; `on_shard_failure` picks what
+  happens when a shard exhausts its budget: `"retry"` (default —
+  raises `ShardFailure` after the budget), `"degrade"` (completes
+  without the lost personas, recorded in `dataset.missing_personas`,
+  the run manifest, and `supervisor.*` counters), or `"raise"` (aborts
+  on first failure).
+
+`run_campaign(..., parallel=True, checkpoint_dir=DIR)` turns on durable
+checkpointing; `resume=True` loads completed shards and computes only
+the rest.  From the CLI: `python -m repro run --parallel
+--checkpoint-dir DIR [--resume] [--on-shard-failure MODE]
+[--shard-timeout SECONDS]`.  Because shard artifacts are
+seed-deterministic, a resumed run's exports are **byte-identical** to
+an uninterrupted run's, under healthy and mild-faulted networks, on
+both backends (`tests/integration/test_resume_determinism.py`; CI's
+`chaos-smoke` job kills a worker for real and diffs).  The manifest
+schema (v3) records `shard_attempts`, `missing_personas`, `resumed`,
+and `checkpointed`.
+
+Recovery is testable on demand: `WorkerFaultPlan` injects worker-level
+faults (`WORKER_FAULT_KINDS`: `crash`, `hang`, `poison`) either at
+seeded rates drawn from substreams keyed by `(shard, attempt)` — the
+same style as the network's `FaultPlan` — or as an exact
+`WorkerFaultPlan.targeted({(shard, attempt): kind})` schedule.
+Supervisor overhead on a healthy run is budgeted under 5% of campaign
+wall-clock (`bench_supervisor_overhead`).
+
 ## Performance: the capture→analysis hot path
 
 Capture and analysis are profile-guided-optimized; the invariant is that
@@ -109,8 +158,11 @@ none of it moves an exported byte
   alias).  `copy=False` aliases the cached instance for read-only
   consumers — `run_campaign(..., cache=True, cache_copy=False)`, the
   CLI's `--cache` flag, and the benchmark session dataset all use it.
-  `CACHE_SCHEMA_VERSION` is 4 (sealed-flow era); older pickles are
-  recomputed.
+  `CACHE_SCHEMA_VERSION` is 5 (`AuditDataset` gained
+  `missing_personas`); older pickles are recomputed, and a corrupt
+  entry is quarantined to `*.corrupt` with a warning and treated as a
+  miss (sharing `repro.core.checkpoint.atomic_write_bytes` on the
+  write side).
 * **Benchmark gate** — `pytest benchmarks/... --bench-json PATH` writes
   measurements recorded via the `bench_record` fixture;
   `bench_pipeline_throughput` asserts the optimized path is ≥1.5× the

@@ -15,7 +15,9 @@ Every campaign-running command shares one flag set (``--seed``,
 ``--small``, ``--parallel``, ``--workers``, ``--backend``, ``--faults``,
 ``--cache``, ``--quiet``, ``--trace-out``, ``--metrics-out``) and goes
 through
-:func:`repro.core.run_campaign`.  Output is emitted through the
+:func:`repro.core.run_campaign`.  ``run`` additionally exposes the
+crash-safety knobs (``--checkpoint-dir``, ``--resume``,
+``--on-shard-failure``, ``--shard-timeout``).  Output is emitted through the
 ``repro.cli`` logger; ``--quiet`` raises the threshold to warnings.
 """
 
@@ -143,6 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
         "run", parents=[campaign], help="run the campaign and export artifacts"
     )
     run.add_argument("--out", default="results", help="output directory")
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed persona shards to DIR (requires --parallel); "
+        "a killed run can be resumed from it with --resume",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint journal in --checkpoint-dir instead "
+        "of recomputing completed shards; exports are byte-identical to an "
+        "uninterrupted run of the same seed/config",
+    )
+    run.add_argument(
+        "--on-shard-failure",
+        choices=("retry", "degrade", "raise"),
+        default="retry",
+        help="supervisor policy for a crashed/hung shard worker: retry "
+        "(requeue, then fail), degrade (drop the shard, export a partial "
+        "dataset with missing_personas recorded), or raise immediately",
+    )
+    run.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock watchdog: reap and requeue a shard worker that "
+        "produces no result within SECONDS (host clock, not sim clock)",
+    )
 
     sub.add_parser("tables", parents=[campaign], help="print headline tables")
 
@@ -201,6 +233,10 @@ def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
         backend=args.backend,
         cache=True if use_cache else None,
         cache_copy=not use_cache,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", False),
+        on_shard_failure=getattr(args, "on_shard_failure", "retry"),
+        shard_timeout=getattr(args, "shard_timeout", None),
     )
     _write_obs_outputs(dataset, args)
     return dataset

@@ -35,6 +35,12 @@ from repro.core.compliance import (
 )
 from repro.core.cache import DatasetCache
 from repro.core.campaign import run_campaign
+from repro.core.checkpoint import (
+    CheckpointError,
+    CorruptShardError,
+    ShardJournal,
+    atomic_write_bytes,
+)
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
@@ -43,7 +49,11 @@ from repro.core.experiment import (
     PolicyFetch,
 )
 from repro.core.parallel import (
+    ShardFailure,
     ShardResult,
+    SupervisorPolicy,
+    SupervisorReport,
+    WorkerFaultPlan,
     parallel_map,
     shard_personas,
 )
@@ -63,7 +73,9 @@ from repro.core.world import World, build_world
 __all__ = [
     "AuditDataset",
     "AudioAdAnalysis",
+    "CheckpointError",
     "ComplianceAnalysis",
+    "CorruptShardError",
     "DatasetCache",
     "DisplayAdAnalysis",
     "ExperimentConfig",
@@ -74,12 +86,18 @@ __all__ = [
     "PolicyAvailability",
     "PolicyFetch",
     "ProfilingAnalysis",
+    "ShardFailure",
+    "ShardJournal",
     "ShardResult",
+    "SupervisorPolicy",
+    "SupervisorReport",
     "SyncAnalysis",
     "SyncEvent",
     "TrafficAnalysis",
+    "WorkerFaultPlan",
     "World",
     "all_personas",
+    "atomic_write_bytes",
     "analyze_audio_ads",
     "analyze_compliance",
     "analyze_display_ads",

@@ -31,13 +31,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
-import tempfile
 from copy import copy as _shallow_copy, deepcopy as _deepcopy
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.core.checkpoint import atomic_write_bytes
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
@@ -61,9 +62,13 @@ __all__ = [
 #: v4: sealed-flow era — ``Packet``/``Flow`` became slotted dataclasses
 #: and captures pickle an incremental ``FlowTable``/``DnsTable``; v3
 #: pickles would unpickle into the wrong shape.
-CACHE_SCHEMA_VERSION = 4
+#: v5: crash-safe era — ``AuditDataset`` gained ``missing_personas``
+#: (supervisor degraded-merge accounting); v4 pickles lack the field.
+CACHE_SCHEMA_VERSION = 5
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+_log = logging.getLogger(__name__)
 
 
 def default_cache_dir() -> Path:
@@ -143,8 +148,9 @@ class DatasetCache:
         for key in [k for k in self._memory if k[0] == str(self.root)]:
             del self._memory[key]
         if self.root.is_dir():
-            for path in self.root.glob("dataset-*.pkl"):
-                path.unlink(missing_ok=True)
+            for pattern in ("dataset-*.pkl", "dataset-*.pkl.corrupt"):
+                for path in self.root.glob(pattern):
+                    path.unlink(missing_ok=True)
 
     def path_for(self, seed_root: int, config: ExperimentConfig) -> Path:
         """Where the entry for ``(seed_root, config)`` lives on disk."""
@@ -165,11 +171,24 @@ class DatasetCache:
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not an envelope dict")
         except FileNotFoundError:
             return None
-        except Exception:
-            # Corrupt or unreadable entry: treat as a miss; the recompute
-            # overwrites it.
+        except Exception as exc:
+            # Truncated or corrupt entry (e.g. a crash mid-write before the
+            # atomic helper existed, or disk damage): quarantine it aside so
+            # the evidence survives, warn, and treat as a miss — the
+            # recompute publishes a fresh entry at the original key.
+            quarantined = self._quarantine(path)
+            _log.warning(
+                "quarantined corrupt cache entry %s -> %s (%s: %s); "
+                "treating as a miss",
+                path.name,
+                quarantined.name if quarantined is not None else "<gone>",
+                type(exc).__name__,
+                exc,
+            )
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             return None
@@ -191,15 +210,18 @@ class DatasetCache:
             "config": dataclasses.asdict(config),
             "dataset": stripped,
         }
-        # Atomic publish: never leave a half-written pickle at the key.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        # Atomic, fsynced publish (shared with the checkpoint journal):
+        # never leave a half-written pickle at the key.
+        atomic_write_bytes(
+            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    @staticmethod
+    def _quarantine(path: Path) -> Optional[Path]:
+        """Move a corrupt entry to ``<name>.corrupt`` (best effort)."""
+        target = path.with_name(path.name + ".corrupt")
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target

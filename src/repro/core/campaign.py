@@ -33,7 +33,12 @@ from repro.core.experiment import (
     ExperimentConfig,
     _run_serial_experiment,
 )
-from repro.core.parallel import _run_parallel_experiment, shard_personas
+from repro.core.parallel import (
+    SupervisorPolicy,
+    WorkerFaultPlan,
+    _run_parallel_experiment,
+    shard_personas,
+)
 from repro.core.personas import all_personas
 from repro.obs import NULL_OBS, ObsCollector, RunManifest
 from repro.util.rng import Seed
@@ -94,6 +99,12 @@ def run_campaign(
     cache=None,
     cache_copy: bool = True,
     obs: Union[None, bool, ObsCollector] = None,
+    checkpoint_dir: Union[None, str, Path] = None,
+    resume: bool = False,
+    on_shard_failure: str = "retry",
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 2,
+    worker_faults: Optional[WorkerFaultPlan] = None,
 ) -> AuditDataset:
     """Run the full measurement campaign and return its dataset.
 
@@ -125,6 +136,36 @@ def run_campaign(
         :class:`~repro.obs.ObsCollector`, returned as ``dataset.obs``;
         ``False`` disables observability; an existing collector traces
         into it (serial/cached only).
+    checkpoint_dir:
+        Directory for the crash-safe shard journal
+        (:class:`~repro.core.checkpoint.ShardJournal`): every completed
+        shard is atomically checkpointed there, so a killed campaign can
+        be resumed.  Parallel only.  When unset, shard results still
+        flow through an ephemeral journal that is discarded on return.
+    resume:
+        Load valid checkpointed shards from ``checkpoint_dir`` instead
+        of recomputing them.  Requires ``checkpoint_dir`` and the same
+        seed, config, and worker count as the interrupted run (the
+        journal key is validated).  Shard artifacts being
+        seed-deterministic, the resumed exports are byte-identical to an
+        uninterrupted run's.
+    on_shard_failure:
+        Supervisor policy when a shard worker crashes, hangs, or
+        publishes a poisoned result: ``"retry"`` (default) requeues up
+        to ``max_shard_retries`` times then raises
+        :class:`~repro.core.parallel.ShardFailure`; ``"raise"``
+        propagates the first failure; ``"degrade"`` drops exhausted
+        shards and returns an explicitly-partial dataset
+        (``dataset.missing_personas``, manifest, ``supervisor.*``
+        counters).
+    shard_timeout:
+        Wall-clock (host) seconds before the watchdog reaps a hung
+        shard worker and requeues it; ``None`` disables the watchdog.
+    max_shard_retries:
+        Requeues per shard after its first failed attempt.
+    worker_faults:
+        Seeded :class:`~repro.core.parallel.WorkerFaultPlan` injecting
+        worker-level crash/hang/poison faults (tests, chaos CI).
     """
     from repro import __version__
     from repro.core.cache import config_fingerprint
@@ -137,6 +178,27 @@ def run_campaign(
 
     if not parallel and workers is not None:
         raise ValueError("workers requires parallel=True")
+    if not parallel:
+        supervisor_knobs = {
+            "checkpoint_dir": (checkpoint_dir, None),
+            "resume": (resume, False),
+            "on_shard_failure": (on_shard_failure, "retry"),
+            "shard_timeout": (shard_timeout, None),
+            "max_shard_retries": (max_shard_retries, 2),
+            "worker_faults": (worker_faults, None),
+        }
+        offending = [
+            name for name, (value, default) in supervisor_knobs.items()
+            if value != default
+        ]
+        if offending:
+            raise ValueError(
+                f"{', '.join(offending)} require(s) parallel=True — the "
+                "checkpoint journal and shard supervisor only exist for "
+                "sharded runs"
+            )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir=...")
     if not cache_copy and cache_store is None:
         raise ValueError("cache_copy=False requires cache=...")
     if parallel and cache_store is not None:
@@ -156,12 +218,21 @@ def run_campaign(
 
     if parallel:
         n_workers = _DEFAULT_WORKERS if workers is None else workers
-        dataset = _run_parallel_experiment(
+        policy = SupervisorPolicy(
+            on_shard_failure=on_shard_failure,
+            shard_timeout=shard_timeout,
+            max_shard_retries=max_shard_retries,
+            worker_faults=worker_faults,
+        )
+        dataset, report = _run_parallel_experiment(
             seed,
             config,
             workers=n_workers,
             backend=backend,
             collect_obs=collector.enabled,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            policy=policy,
         )
         shards = tuple(
             tuple(p.name for p in shard)
@@ -176,6 +247,13 @@ def run_campaign(
             shards=shards,
             package_version=__version__,
             fault_profile=config.fault_profile,
+            shard_attempts=tuple(
+                tuple(report.attempts.get(index, []))
+                for index in range(len(shards))
+            ),
+            missing_personas=report.missing_personas,
+            resumed=resume,
+            checkpointed=checkpoint_dir is not None,
         )
     elif cache_store is not None:
         dataset = cache_store.read(

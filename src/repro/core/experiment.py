@@ -161,6 +161,12 @@ class AuditDataset:
     #: Wall-clock seconds per campaign phase (diagnostics only — never
     #: exported, so serial and parallel runs stay export-identical).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Personas the campaign expected but could not deliver — non-empty
+    #: only for an explicitly-degraded parallel merge
+    #: (``on_shard_failure="degrade"`` after a shard exhausted its retry
+    #: budget).  A complete run always has an empty tuple, so partial
+    #: data is never silently indistinguishable from complete data.
+    missing_personas: Tuple[str, ...] = ()
     #: Observability collector for the run that produced this dataset
     #: (spans, metrics, events, manifest) — None when tracing was off.
     #: Never consulted by exports or analyses.

@@ -16,7 +16,9 @@ __all__ = ["RunManifest", "MANIFEST_SCHEMA_VERSION"]
 
 #: Bump when the manifest layout changes shape.
 #: v2: added ``fault_profile`` (network fault injection).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: added ``shard_attempts`` / ``missing_personas`` / ``resumed`` /
+#: ``checkpointed`` (crash-safe supervisor).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -37,6 +39,20 @@ class RunManifest:
     #: (``"none"`` / ``"mild"`` / ``"harsh"`` / ``"rate:<r>"``) — part of
     #: the deterministic half: same seed + same profile reproduces the run.
     fault_profile: str = "none"
+    #: Supervisor attempt history per shard, in shard order: each inner
+    #: tuple lists that shard's outcomes (``"ok"`` / ``"crash"`` /
+    #: ``"hang"`` / ``"poison"`` / ``"checkpoint"``) in attempt order.
+    #: Empty for serial/cached runs.
+    shard_attempts: Tuple[Tuple[str, ...], ...] = ()
+    #: Personas absent from a degraded (partial) merge, in plan order.
+    #: A complete run always has an empty tuple here.
+    missing_personas: Tuple[str, ...] = ()
+    #: True when the run loaded ≥0 shards from a checkpoint journal via
+    #: ``run_campaign(resume=True, ...)``.
+    resumed: bool = False
+    #: True when shard results were journaled to a caller-supplied
+    #: ``checkpoint_dir`` (as opposed to an ephemeral journal).
+    checkpointed: bool = False
     #: Host seconds per campaign phase — never reproducible.
     phase_real_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -44,6 +60,10 @@ class RunManifest:
         if self.entrypoint not in {"serial", "parallel", "cached"}:
             raise ValueError(f"invalid entrypoint: {self.entrypoint!r}")
         self.shards = tuple(tuple(names) for names in self.shards)
+        self.shard_attempts = tuple(
+            tuple(outcomes) for outcomes in self.shard_attempts
+        )
+        self.missing_personas = tuple(self.missing_personas)
 
     @property
     def persona_count(self) -> int:
@@ -66,6 +86,10 @@ class RunManifest:
             "cache_hit": self.cache_hit,
             "package_version": self.package_version,
             "fault_profile": self.fault_profile,
+            "shard_attempts": [list(outcomes) for outcomes in self.shard_attempts],
+            "missing_personas": list(self.missing_personas),
+            "resumed": self.resumed,
+            "checkpointed": self.checkpointed,
         }
         if include_real:
             payload["real"] = {

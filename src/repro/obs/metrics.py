@@ -125,6 +125,11 @@ class MetricsRegistry:
             self._metrics[name] = metric
         elif not isinstance(metric, Gauge):
             raise TypeError(f"metric {name!r} is a {metric.kind}, not a gauge")
+        elif metric.merge != merge:
+            raise ValueError(
+                f"gauge {name!r} registered with merge={metric.merge!r}, "
+                f"re-requested with merge={merge!r}"
+            )
         return metric
 
     def inc(self, name: str, n: int = 1, merge: str = "sum") -> int:

@@ -107,6 +107,37 @@ class TestDatasetCache:
         assert dataset.personas
         assert cache._load(123, TINY) is not None
 
+    def test_corrupt_entry_is_quarantined_with_warning(self, tmp_path, caplog):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        path = cache.path_for(123, TINY)
+        path.write_bytes(b"not a pickle")
+        with caplog.at_level("WARNING", logger="repro.core.cache"):
+            assert cache._load(123, TINY) is None
+        assert any("quarantined" in rec.message for rec in caplog.records)
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.is_file()
+        assert quarantined.read_bytes() == b"not a pickle"
+        assert not path.exists()  # evidence moved aside, key is free
+
+    def test_truncated_pickle_is_quarantined(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        path = cache.path_for(123, TINY)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache._load(123, TINY) is None
+        assert path.with_name(path.name + ".corrupt").is_file()
+        DatasetCache._memory.clear()
+        assert cache.get_or_run(123, TINY).personas  # recompute republishes
+
+    def test_clear_drops_quarantined_entries(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_run(123, TINY)
+        cache.path_for(123, TINY).write_bytes(b"junk")
+        cache._load(123, TINY)
+        cache.clear()
+        assert not list(tmp_path.glob("dataset-*"))
+
     def test_different_configs_use_different_entries(self, tmp_path):
         cache = DatasetCache(tmp_path)
         other = dataclasses.replace(TINY, post_iterations=2)
@@ -119,10 +150,10 @@ class TestDatasetCache:
         assert not list(tmp_path.glob("dataset-*.pkl"))
         assert not DatasetCache._memory
 
-    def test_schema_version_is_sealed_flow_era(self):
-        """v4 invalidates pre-sealed-flow pickles (slotted Packet/Flow,
-        incremental FlowTable/DnsTable inside captures)."""
-        assert CACHE_SCHEMA_VERSION == 4
+    def test_schema_version_is_crash_safe_era(self):
+        """v5 invalidates pre-crash-safe pickles (AuditDataset gained
+        ``missing_personas``; v4 entries lack the field)."""
+        assert CACHE_SCHEMA_VERSION == 5
 
 
 class TestCopySemantics:

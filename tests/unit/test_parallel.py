@@ -94,8 +94,38 @@ class TestMergeShardResults:
         assert merged.world is not None
 
     def test_shard_timings_are_namespaced(self):
-        merged = merge_shard_results(Seed(1), [_result(0, ["a"])])
+        merged = merge_shard_results(
+            Seed(1), [_result(0, ["a"])], expected_personas=["a"]
+        )
         assert merged.timings["shard0.total"] == 1.0
+
+
+class TestMergeCompleteness:
+    def test_missing_personas_rejected_by_default(self):
+        with pytest.raises(ValueError, match="missing personas"):
+            merge_shard_results(
+                Seed(1), [_result(0, ["a"])], expected_personas=["a", "b"]
+            )
+
+    def test_default_expectation_is_the_full_roster(self):
+        """A bare merge of a partial persona set must never pass silently."""
+        with pytest.raises(ValueError, match="missing personas"):
+            merge_shard_results(Seed(1), [_result(0, ["a"])])
+
+    def test_allow_partial_records_missing_personas(self):
+        merged = merge_shard_results(
+            Seed(1),
+            [_result(0, ["a"])],
+            expected_personas=["a", "b", "c"],
+            allow_partial=True,
+        )
+        assert merged.missing_personas == ("b", "c")
+
+    def test_complete_merge_has_empty_missing_personas(self):
+        merged = merge_shard_results(
+            Seed(1), [_result(0, ["a"])], expected_personas=["a"]
+        )
+        assert merged.missing_personas == ()
 
 
 class TestRunParallelValidation:
