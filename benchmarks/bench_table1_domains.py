@@ -4,7 +4,7 @@ skills, with per-domain skill counts."""
 from collections import defaultdict
 
 from repro.core.report import render_table
-from repro.core.traffic import analyze_traffic
+from repro.core.traffic import analyze_traffic, analyze_traffic_stream
 from repro.netsim.endpoints import registrable_domain
 
 
@@ -53,4 +53,29 @@ def bench_table1_domains(benchmark, dataset, world, vendor_by_skill):
     assert len(amazon) == 446
     assert len(vendor) == 2
     assert len(third) == 31
+    assert len(analysis.failed_skills) == 4
+
+
+def bench_table1_domains_stream(
+    benchmark, segment_store, world, vendor_by_skill
+):
+    """Table 1 recomputed off the segment store's merged flow stream."""
+    failures = []
+    for record in segment_store.iter_stream("personas"):
+        failures.extend(record["install_failures"])
+    resolver = world.org_resolver()
+
+    def run():
+        return analyze_traffic_stream(
+            segment_store.iter_stream("flows"),
+            resolver,
+            world.filter_list,
+            vendor_by_skill,
+            install_failures=failures,
+        )
+
+    analysis = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(analysis.skills_contacting("amazon")) == 446
+    assert len(analysis.skills_contacting("skill vendor")) == 2
+    assert len(analysis.skills_contacting("third party")) == 31
     assert len(analysis.failed_skills) == 4

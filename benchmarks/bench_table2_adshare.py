@@ -2,7 +2,7 @@
 organization class."""
 
 from repro.core.report import render_table
-from repro.core.traffic import analyze_traffic
+from repro.core.traffic import analyze_traffic, analyze_traffic_stream
 
 
 def bench_table2_adshare(benchmark, dataset, world, vendor_by_skill):
@@ -47,3 +47,28 @@ def bench_table2_adshare(benchmark, dataset, world, vendor_by_skill):
     assert amazon_ad > third_ad
     total_ad = sum(v for (cls, ad), v in shares.items() if ad)
     assert 0.05 < total_ad < 0.15  # paper: 9.4%
+
+
+def bench_table2_adshare_stream(
+    benchmark, dataset, segment_store, world, vendor_by_skill
+):
+    """Table 2's traffic shares must be identical off the flow stream."""
+    resolver = world.org_resolver()
+    reference = analyze_traffic(
+        dataset, resolver, world.filter_list, vendor_by_skill
+    ).ad_tracking_traffic_share()
+    failures = []
+    for record in segment_store.iter_stream("personas"):
+        failures.extend(record["install_failures"])
+
+    def run():
+        return analyze_traffic_stream(
+            segment_store.iter_stream("flows"),
+            resolver,
+            world.filter_list,
+            vendor_by_skill,
+            install_failures=failures,
+        ).ad_tracking_traffic_share()
+
+    shares = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert shares == reference

@@ -3,7 +3,7 @@ personas on common ad slots, with interaction."""
 
 from paper_targets import MAX_BID_FACTOR, TABLE5
 
-from repro.core.bids import bid_summary_table
+from repro.core.bids import bid_summary_table, bid_summary_table_stream
 from repro.core.report import render_table
 from repro.data import categories as cat
 
@@ -46,3 +46,13 @@ def bench_table5_bids(benchmark, dataset):
     )
     assert at_least_2x >= 7
     assert summaries[cat.HEALTH].maximum >= MAX_BID_FACTOR * vanilla.mean
+
+
+def bench_table5_bids_stream(benchmark, dataset, segment_store):
+    """Table 5 rows must be bit-identical off the segment bid stream.
+
+    The stream fold gathers each persona's common-slot CPMs in the same
+    order the in-memory path does, so the summaries match exactly — not
+    just approximately."""
+    rows = benchmark(bid_summary_table_stream, segment_store)
+    assert rows == bid_summary_table(dataset)

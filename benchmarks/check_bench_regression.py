@@ -10,8 +10,15 @@ The committed baseline (``benchmarks/BENCH_pipeline.json``) records the
 same machine — which is what makes the comparison portable: absolute
 seconds differ across runners, the ratio does not.  A benchmark fails
 the gate when its current speedup drops more than ``--tolerance``
-(default 15%) below the baseline's.  Fields other than ``speedup`` are
-informational and never gated.
+(default 15%) below the baseline's.
+
+A baseline entry may instead (or additionally) declare ``max_ratio``:
+an absolute ceiling on the current report's ``ratio`` field, used by
+the flat-memory smoke (``benchmarks/BENCH_memory.json``) to cap the
+large-roster/small-roster peak-memory ratio.  Ceilings already carry
+their headroom, so ``--tolerance`` does not apply to them.  Fields
+other than ``speedup``/``max_ratio`` are informational and never
+gated.
 
 Refresh the baseline by re-running the benchmark with
 ``--bench-json benchmarks/BENCH_pipeline.json`` and committing the
@@ -33,22 +40,34 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list:
     """Return a list of human-readable failures (empty when the gate passes)."""
     failures = []
     for name, expected in sorted(baseline.items()):
-        if "speedup" not in expected:
+        gated = [k for k in ("speedup", "max_ratio") if k in expected]
+        if not gated:
             continue
         measured = current.get(name)
         if measured is None:
             failures.append(f"{name}: missing from the current report")
             continue
-        if "speedup" not in measured:
-            failures.append(f"{name}: current report has no 'speedup' field")
-            continue
-        floor = expected["speedup"] * (1.0 - tolerance)
-        if measured["speedup"] < floor:
-            failures.append(
-                f"{name}: speedup {measured['speedup']:.2f}x is below "
-                f"{floor:.2f}x ({100 * tolerance:.0f}% under the baseline's "
-                f"{expected['speedup']:.2f}x)"
-            )
+        if "speedup" in expected:
+            if "speedup" not in measured:
+                failures.append(
+                    f"{name}: current report has no 'speedup' field"
+                )
+            else:
+                floor = expected["speedup"] * (1.0 - tolerance)
+                if measured["speedup"] < floor:
+                    failures.append(
+                        f"{name}: speedup {measured['speedup']:.2f}x is below "
+                        f"{floor:.2f}x ({100 * tolerance:.0f}% under the "
+                        f"baseline's {expected['speedup']:.2f}x)"
+                    )
+        if "max_ratio" in expected:
+            if "ratio" not in measured:
+                failures.append(f"{name}: current report has no 'ratio' field")
+            elif measured["ratio"] > expected["max_ratio"]:
+                failures.append(
+                    f"{name}: ratio {measured['ratio']:.2f}x exceeds the "
+                    f"{expected['max_ratio']:.2f}x ceiling"
+                )
     return failures
 
 
@@ -77,12 +96,17 @@ def main(argv=None) -> int:
         for line in failures:
             print(f"REGRESSION {line}", file=sys.stderr)
         return 1
-    gated = [n for n, v in baseline.items() if "speedup" in v]
-    for name in sorted(gated):
-        print(
-            f"ok {name}: speedup {current[name]['speedup']:.2f}x "
-            f"(baseline {baseline[name]['speedup']:.2f}x)"
-        )
+    for name, expected in sorted(baseline.items()):
+        if "speedup" in expected:
+            print(
+                f"ok {name}: speedup {current[name]['speedup']:.2f}x "
+                f"(baseline {expected['speedup']:.2f}x)"
+            )
+        if "max_ratio" in expected:
+            print(
+                f"ok {name}: ratio {current[name]['ratio']:.2f}x "
+                f"(ceiling {expected['max_ratio']:.2f}x)"
+            )
     return 0
 
 

@@ -92,6 +92,28 @@ def dataset(request):
 
 
 @pytest.fixture(scope="session")
+def segment_store(dataset, tmp_path_factory):
+    """The session dataset materialized as an on-disk segment store.
+
+    Stream-variant benchmarks run the same analyses off the k-way-merged
+    segment streams instead of the in-memory artifact bundle; writing
+    the store once per session keeps the comparison apples-to-apples.
+    """
+    from repro.core.cache import config_fingerprint
+    from repro.core.experiment import ExperimentConfig
+    from repro.core.segments import SegmentStore, write_dataset_segments
+
+    store = SegmentStore(
+        tmp_path_factory.mktemp("segments"),
+        42,
+        config_fingerprint(ExperimentConfig()),
+        tuple(dataset.personas),
+    )
+    write_dataset_segments(store, dataset)
+    return store
+
+
+@pytest.fixture(scope="session")
 def world(dataset):
     return dataset.world
 

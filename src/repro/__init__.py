@@ -34,7 +34,7 @@ from repro.core.campaign import run_campaign
 from repro.core.experiment import ExperimentConfig
 from repro.util.rng import Seed
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ExperimentConfig",

@@ -23,6 +23,7 @@ from repro.data.calibration import (
     HouseCampaign,
     VendorCampaign,
 )
+from repro.data.categories import base_category
 from repro.util.ids import stable_hash
 from repro.util.rng import Seed
 
@@ -95,7 +96,10 @@ class AdServer:
         scheduled counts are exact.
         """
         if interacted and iteration >= 0:
-            pending = self._house_schedule.get((persona, iteration), [])
+            # House campaigns target the persona profile, so replicas
+            # ("health-and-fitness-r2") see their base category's slots.
+            key = (base_category(persona), iteration)
+            pending = self._house_schedule.get(key, [])
             if slot_index < len(pending):
                 campaign = pending[slot_index]
                 return AdCreative(

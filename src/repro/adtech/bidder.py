@@ -77,7 +77,10 @@ class Bidder:
         return round(cpm * holiday_factor(context.when), 4)
 
     def _params_for(self, context, rng):
-        persona = context.persona
+        # Replicated personas ("fashion-and-style-r2") share their base
+        # category's calibration; the bid rng stays keyed by the full
+        # name, so replicas draw independently from the same model.
+        persona = cat.base_category(context.persona)
         if persona == cat.VANILLA or not context.interacted:
             return bid_params(cat.VANILLA)
         if persona in cat.WEB_CATEGORIES:

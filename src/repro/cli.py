@@ -146,6 +146,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", default="results", help="output directory")
     run.add_argument(
+        "--store",
+        choices=("memory", "segments"),
+        default="memory",
+        help="campaign backend: memory (default) holds the full dataset "
+        "in RAM; segments streams persona batches through the on-disk "
+        "segment store, keeping peak memory flat in the roster size — "
+        "exports are byte-identical either way",
+    )
+    run.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="segment store root for --store segments "
+        "(default: <out>/_segments); covered personas found there are "
+        "reused instead of recomputed",
+    )
+    run.add_argument(
+        "--roster-scale",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate each interest persona N times (controls are "
+        "never replicated): roster grows from 13 to 9*N+4 personas; "
+        "large scales should use --store segments",
+    )
+    run.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         default=None,
@@ -218,12 +244,21 @@ def _config(small: bool) -> ExperimentConfig:
     )
 
 
-def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
-    """One code path from parsed flags to a campaign dataset."""
+def _resolve_config(args, config: Optional[ExperimentConfig] = None):
+    """Parsed flags -> the effective campaign config."""
     config = config if config is not None else _config(args.small)
     faults = getattr(args, "faults", "none")
     if faults != config.fault_profile:
         config = dataclasses.replace(config, fault_profile=faults)
+    roster_scale = getattr(args, "roster_scale", 1)
+    if roster_scale != config.roster_scale:
+        config = dataclasses.replace(config, roster_scale=roster_scale)
+    return config
+
+
+def _run_campaign_from_args(args, config: Optional[ExperimentConfig] = None):
+    """One code path from parsed flags to a campaign dataset."""
+    config = _resolve_config(args, config)
     use_cache = getattr(args, "cache", False)
     dataset = run_campaign(
         config,
@@ -263,12 +298,64 @@ def _write_obs_outputs(dataset, args) -> None:
 
 
 def _cmd_run(args) -> int:
+    if args.store == "segments":
+        return _cmd_run_segments(args)
+    if args.store_dir is not None:
+        _LOG.warning("--store-dir is ignored without --store segments")
     dataset = _run_campaign_from_args(args)
     counts = export_dataset(dataset, args.out)
     _LOG.info("%s", render_kv(counts, title=f"exported to {args.out}/"))
     if dataset.timings:
         total = dataset.timings.get("total", 0.0)
         _LOG.info("campaign wall-clock: %.1fs", total)
+    return 0
+
+
+def _cmd_run_segments(args) -> int:
+    """``run --store segments``: stream the campaign through the store."""
+    from pathlib import Path
+
+    from repro.core.campaign import run_segment_campaign
+    from repro.core.export import export_segment_store
+
+    incompatible = [
+        flag
+        for flag, active in (
+            ("--cache", args.cache),
+            ("--resume", args.resume),
+            ("--checkpoint-dir", args.checkpoint_dir is not None),
+            ("--trace-out", args.trace_out is not None),
+            ("--metrics-out", args.metrics_out is not None),
+        )
+        if active
+    ]
+    if incompatible:
+        _LOG.warning(
+            "%s do(es) not apply to --store segments: the store's "
+            "content-addressed batches already provide reuse and resume, "
+            "and segment workers do not trace",
+            ", ".join(incompatible),
+        )
+        return 2
+    config = _resolve_config(args)
+    store_dir = (
+        Path(args.store_dir)
+        if args.store_dir is not None
+        else Path(args.out) / "_segments"
+    )
+    store = run_segment_campaign(
+        config,
+        args.seed,
+        store_dir=store_dir,
+        parallel=args.parallel,
+        workers=args.workers if args.parallel else None,
+        backend=args.backend,
+        on_shard_failure=getattr(args, "on_shard_failure", "retry"),
+        shard_timeout=getattr(args, "shard_timeout", None),
+    )
+    counts = export_segment_store(store, args.out)
+    _LOG.info("%s", render_kv(counts, title=f"exported to {args.out}/"))
+    _LOG.info("segment store: %s", store.campaign_dir)
     return 0
 
 

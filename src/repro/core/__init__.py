@@ -34,7 +34,7 @@ from repro.core.compliance import (
     run_validation_study,
 )
 from repro.core.cache import DatasetCache
-from repro.core.campaign import run_campaign
+from repro.core.campaign import run_campaign, run_segment_campaign
 from repro.core.checkpoint import (
     CheckpointError,
     CorruptShardError,
@@ -57,8 +57,21 @@ from repro.core.parallel import (
     parallel_map,
     shard_personas,
 )
-from repro.core.personas import Persona, all_personas, control_personas, interest_personas
+from repro.core.personas import (
+    Persona,
+    all_personas,
+    control_personas,
+    interest_personas,
+    scaled_roster,
+)
 from repro.core.profiling import ProfilingAnalysis, analyze_profiling
+from repro.core.segments import (
+    CorruptSegmentError,
+    SegmentError,
+    SegmentStore,
+    persona_stream_records,
+    write_dataset_segments,
+)
 from repro.core.stats import (
     MannWhitneyResult,
     effect_size_label,
@@ -75,6 +88,7 @@ __all__ = [
     "AudioAdAnalysis",
     "CheckpointError",
     "ComplianceAnalysis",
+    "CorruptSegmentError",
     "CorruptShardError",
     "DatasetCache",
     "DisplayAdAnalysis",
@@ -86,6 +100,8 @@ __all__ = [
     "PolicyAvailability",
     "PolicyFetch",
     "ProfilingAnalysis",
+    "SegmentError",
+    "SegmentStore",
     "ShardFailure",
     "ShardJournal",
     "ShardResult",
@@ -119,13 +135,17 @@ __all__ = [
     "mann_whitney_u",
     "parallel_map",
     "partner_split",
+    "persona_stream_records",
     "policy_availability",
     "rank_biserial",
     "representative_bids",
     "run_campaign",
+    "run_segment_campaign",
     "run_validation_study",
+    "scaled_roster",
     "shard_personas",
     "significance_vs_vanilla",
     "summarize",
     "transcribe_session",
+    "write_dataset_segments",
 ]

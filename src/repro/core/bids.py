@@ -23,10 +23,14 @@ from repro.web.openwpm import BidRecord
 
 __all__ = [
     "common_slots",
+    "common_slots_from_sets",
     "bids_on_slots",
     "representative_bids",
+    "post_cpms_from_rows",
+    "representative_from_rows",
     "BidTableRow",
     "bid_summary_table",
+    "bid_summary_table_stream",
     "holiday_window_means",
     "significance_vs_vanilla",
     "partner_split",
@@ -38,13 +42,24 @@ __all__ = [
 
 def common_slots(dataset: AuditDataset) -> Set[str]:
     """Slots that loaded for every crawling persona."""
-    slot_sets = [a.loaded_slots for a in dataset.personas.values() if a.loaded_slots]
-    if not slot_sets:
-        return set()
-    common = set(slot_sets[0])
-    for slots in slot_sets[1:]:
-        common &= slots
-    return common
+    return common_slots_from_sets(
+        a.loaded_slots for a in dataset.personas.values()
+    )
+
+
+def common_slots_from_sets(slot_sets) -> Set[str]:
+    """Single-pass intersection of the non-empty per-persona slot sets.
+
+    ``slot_sets`` is any iterable of slot-id collections in roster order
+    (in-memory ``loaded_slots`` sets or segment-stream lists); empty
+    collections are skipped, matching :func:`common_slots`.
+    """
+    common: Optional[Set[str]] = None
+    for slots in slot_sets:
+        if not slots:
+            continue
+        common = set(slots) if common is None else common & set(slots)
+    return common if common is not None else set()
 
 
 def bids_on_slots(
@@ -87,6 +102,35 @@ def representative_bids(
     return [chosen[s] for s in sorted(chosen)]
 
 
+def post_cpms_from_rows(rows, slots: Set[str]) -> List[float]:
+    """Post-interaction CPMs on ``slots`` from plain bid rows.
+
+    ``rows`` are mappings with ``slot``, ``iteration``, and ``cpm``
+    fields in collection order (one persona's slice of a segment-store
+    bid stream); the result equals
+    ``[b.cpm for b in bids_on_slots(artifacts, slots, "post")]``.
+    """
+    return [
+        row["cpm"]
+        for row in rows
+        if row["slot"] in slots and row["iteration"] >= 0
+    ]
+
+
+def representative_from_rows(rows, slots: Set[str]) -> List[float]:
+    """:func:`representative_bids` computed from plain bid rows."""
+    post = [r for r in rows if r["iteration"] >= 0 and r["slot"] in slots]
+    if not post:
+        return []
+    target = max(r["iteration"] for r in post)
+    chosen: Dict[str, float] = {}
+    for row in post:
+        if row["iteration"] != target:
+            continue
+        chosen.setdefault(row["slot"], row["cpm"])
+    return [chosen[s] for s in sorted(chosen)]
+
+
 @dataclass(frozen=True)
 class BidTableRow:
     """One row of Table 5 / Table 10."""
@@ -106,6 +150,43 @@ def bid_summary_table(dataset: AuditDataset) -> List[BidTableRow]:
         if not cpms:
             continue
         rows.append(BidTableRow(persona=artifacts.persona.name, summary=summarize(cpms)))
+    return rows
+
+
+def bid_summary_table_stream(store) -> List[BidTableRow]:
+    """:func:`bid_summary_table` as folds over a segment store.
+
+    Two bounded passes: the ``personas`` stream yields each position's
+    name/kind and the common-slot intersection; the ``bids`` stream —
+    contiguous per persona after the k-way merge — is reduced one run at
+    a time, so memory never holds more than one persona's CPM list.
+    """
+    kinds: Dict[int, Tuple[str, str]] = {}
+    slot_sets = []
+    for record in store.iter_stream("personas"):
+        kinds[record["pos"]] = (record["name"], record["kind"])
+        slot_sets.append(record["loaded_slots"])
+    slots = common_slots_from_sets(slot_sets)
+
+    rows: List[BidTableRow] = []
+
+    def finish(pos: int, cpms: List[float]) -> None:
+        name, kind = kinds[pos]
+        if kind == "web" or not cpms:
+            return
+        rows.append(BidTableRow(persona=name, summary=summarize(cpms)))
+
+    current: Optional[int] = None
+    cpms: List[float] = []
+    for row in store.iter_stream("bids"):
+        if row["pos"] != current:
+            if current is not None:
+                finish(current, cpms)
+            current, cpms = row["pos"], []
+        if row["slot"] in slots and row["iteration"] >= 0:
+            cpms.append(row["cpm"])
+    if current is not None:
+        finish(current, cpms)
     return rows
 
 

@@ -64,7 +64,14 @@ __all__ = [
 #: pickles would unpickle into the wrong shape.
 #: v5: crash-safe era — ``AuditDataset`` gained ``missing_personas``
 #: (supervisor degraded-merge accounting); v4 pickles lack the field.
-CACHE_SCHEMA_VERSION = 5
+#: v6: segment-store era — ``PersonaArtifacts`` gained per-persona
+#: ``policy_fetches`` and ``ExperimentConfig`` gained ``roster_scale``
+#: (fingerprints shifted); v5 pickles lack the field.  New campaigns
+#: should prefer the content-addressed segment store
+#: (:mod:`repro.core.segments`), which subsumes this cache with
+#: persona-granularity reuse; ``DatasetCache`` remains as the
+#: compatibility path for whole-dataset consumers.
+CACHE_SCHEMA_VERSION = 6
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

@@ -39,11 +39,11 @@ from repro.core.parallel import (
     _run_parallel_experiment,
     shard_personas,
 )
-from repro.core.personas import all_personas
+from repro.core.personas import scaled_roster
 from repro.obs import NULL_OBS, ObsCollector, RunManifest
 from repro.util.rng import Seed
 
-__all__ = ["run_campaign"]
+__all__ = ["run_campaign", "run_segment_campaign"]
 
 #: Default worker count when ``parallel=True`` and ``workers`` is unset.
 _DEFAULT_WORKERS = 2
@@ -214,7 +214,7 @@ def run_campaign(
         )
 
     fingerprint = config_fingerprint(config)
-    roster = tuple(p.name for p in all_personas())
+    roster = tuple(p.name for p in scaled_roster(config.roster_scale))
 
     if parallel:
         n_workers = _DEFAULT_WORKERS if workers is None else workers
@@ -236,7 +236,7 @@ def run_campaign(
         )
         shards = tuple(
             tuple(p.name for p in shard)
-            for shard in shard_personas(all_personas(), n_workers)
+            for shard in shard_personas(scaled_roster(config.roster_scale), n_workers)
         )
         manifest = RunManifest(
             seed_root=seed.root,
@@ -290,3 +290,129 @@ def run_campaign(
         }
         dataset.obs.manifest = manifest
     return dataset
+
+
+def run_segment_campaign(
+    config: Optional[ExperimentConfig] = None,
+    seed: Union[int, Seed] = 42,
+    *,
+    store_dir: Union[str, Path],
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    backend: str = "process",
+    batch_personas: int = 1,
+    on_shard_failure: str = "retry",
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 2,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+):
+    """Run the campaign into a segment store instead of memory.
+
+    The flat-memory entrypoint: personas are executed in
+    ``batch_personas``-sized batches, each batch's artifacts are
+    flattened to segment records and published to the
+    :class:`~repro.core.segments.SegmentStore` under ``store_dir``, and
+    the batch is dropped before the next one starts — peak memory is
+    bounded by one batch, not the roster.  Export the result with
+    :func:`repro.core.export.export_segment_store`; for the same seed
+    and config the files are byte-identical to the in-memory path's.
+
+    Coverage is content-addressed per batch, which subsumes the
+    dataset cache and the shard checkpoint journal at once: re-running
+    the same ``(seed, config)`` skips covered personas (reuse), and a
+    killed campaign — serial or parallel — resumes from its completed
+    batches without any extra flags.
+
+    With ``parallel=True`` the roster is sharded under the same
+    supervisor as :func:`run_campaign` (``on_shard_failure`` /
+    ``shard_timeout`` / ``max_shard_retries`` / ``worker_faults``
+    behave identically); workers write segments directly to the shared
+    store and return artifact-free shard results, so nothing
+    persona-sized ever crosses the process boundary.
+
+    Returns the :class:`~repro.core.segments.SegmentStore`; its
+    manifest status is ``"complete"``, or ``"partial"`` when a degraded
+    parallel run dropped personas.
+    """
+    import functools
+    import gc
+    import shutil
+    import tempfile
+
+    from repro import __version__
+    from repro.core.cache import config_fingerprint
+    from repro.core.checkpoint import ShardJournal
+    from repro.core.parallel import _ShardSupervisor
+    from repro.core.segments import (
+        SegmentStore,
+        run_segment_shard,
+        write_segment_batch,
+    )
+
+    if config is None:
+        config = ExperimentConfig()
+    seed = _resolve_seed(seed)
+    if batch_personas < 1:
+        raise ValueError(f"batch_personas must be >= 1, got {batch_personas}")
+    if not parallel and workers is not None:
+        raise ValueError("workers requires parallel=True")
+
+    fingerprint = config_fingerprint(config)
+    roster = scaled_roster(config.roster_scale)
+    names = tuple(p.name for p in roster)
+    store = SegmentStore(store_dir, seed.root, fingerprint, names)
+    store.ensure_manifest()
+
+    if not parallel:
+        covered = store.covered_positions()
+        pending = [pos for pos in range(len(names)) if pos not in covered]
+        for start in range(0, len(pending), batch_personas):
+            write_segment_batch(
+                store, seed, config, pending[start : start + batch_personas]
+            )
+            # The dead world/runner graph is cyclic; collect it now so
+            # peak memory stays one-batch-sized instead of riding the
+            # generational GC's schedule across a long roster.
+            gc.collect()
+        store.write_manifest("complete")
+        return store
+
+    n_workers = _DEFAULT_WORKERS if workers is None else workers
+    if n_workers < 1:
+        raise ValueError(f"workers must be >= 1, got {n_workers}")
+    policy = SupervisorPolicy(
+        on_shard_failure=on_shard_failure,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+        worker_faults=worker_faults,
+    )
+    plan = [
+        [p.name for p in shard] for shard in shard_personas(roster, n_workers)
+    ]
+    # The journal here is supervisor bookkeeping only (attempt history,
+    # crash/hang/poison recovery) — durability lives in the store's
+    # content-addressed batches, so the journal is ephemeral.
+    journal_root = tempfile.mkdtemp(prefix="repro-segment-journal-")
+    try:
+        journal = ShardJournal(journal_root, seed.root, fingerprint, plan)
+        journal.reset()
+        journal.write_manifest(status="running", package_version=__version__)
+        supervisor = _ShardSupervisor(
+            journal,
+            seed,
+            config,
+            backend,
+            False,  # collect_obs: segment shards never trace
+            policy,
+            shard_fn=functools.partial(
+                run_segment_shard,
+                store_root=str(store.root),
+                batch_personas=batch_personas,
+            ),
+        )
+        _, report = supervisor.run({})
+    finally:
+        shutil.rmtree(journal_root, ignore_errors=True)
+
+    store.write_manifest("partial" if report.missing_personas else "complete")
+    return store

@@ -34,6 +34,7 @@ from repro.util.rng import Seed
 __all__ = [
     "PolicyAvailability",
     "policy_availability",
+    "fold_policy_availability",
     "ComplianceAnalysis",
     "analyze_compliance",
     "run_validation_study",
@@ -56,17 +57,47 @@ class PolicyAvailability:
 
 def policy_availability(dataset: AuditDataset) -> PolicyAvailability:
     """Compute the §7.1 availability numbers from the policy crawl."""
-    total = len(dataset.policy_fetches)
-    with_link = sum(1 for f in dataset.policy_fetches if f.has_link)
-    downloaded = [f for f in dataset.policy_fetches if f.downloaded]
-    mention = sum(1 for f in downloaded if f.document.mentions_amazon)
-    links_amazon = sum(1 for f in downloaded if f.document.links_amazon_policy)
+    return fold_policy_availability(
+        {
+            "has_link": fetch.has_link,
+            "downloaded": fetch.downloaded,
+            "mentions_amazon": (
+                fetch.downloaded and fetch.document.mentions_amazon
+            ),
+            "links_amazon_policy": (
+                fetch.downloaded and fetch.document.links_amazon_policy
+            ),
+        }
+        for fetch in dataset.policy_fetches
+    )
+
+
+def fold_policy_availability(records) -> PolicyAvailability:
+    """Single-pass fold of policy-crawl records into §7.1 statistics.
+
+    ``records`` is any iterable of mappings with boolean ``has_link``,
+    ``downloaded``, ``mentions_amazon``, and ``links_amazon_policy``
+    fields — derived from :class:`~repro.core.experiment.PolicyFetch`
+    objects in memory or read back from a segment stream.  One counter
+    pass, no intermediate lists: memory is O(1) in the crawl size.
+    """
+    total = with_link = downloadable = mention = links_amazon = 0
+    for record in records:
+        total += 1
+        if record["has_link"]:
+            with_link += 1
+        if record["downloaded"]:
+            downloadable += 1
+            if record["mentions_amazon"]:
+                mention += 1
+            if record["links_amazon_policy"]:
+                links_amazon += 1
     return PolicyAvailability(
         total_skills=total,
         with_link=with_link,
-        downloadable=len(downloaded),
+        downloadable=downloadable,
         mention_amazon=mention,
-        generic=len(downloaded) - mention,
+        generic=downloadable - mention,
         link_amazon_policy=links_amazon,
     )
 

@@ -28,7 +28,7 @@ from repro.adtech.audio import StreamSession
 from repro.alexa.account import AmazonAccount
 from repro.alexa.device import AVSEcho, EchoDevice, PlaintextRecord
 from repro.alexa.dsar import DataExport
-from repro.core.personas import Persona, all_personas
+from repro.core.personas import Persona, scaled_roster
 from repro.core.world import World, build_world
 from repro.data import categories as cat
 from repro.data.skill_catalog import STREAMING_SKILLS
@@ -73,6 +73,12 @@ class ExperimentConfig:
     #: Network fault profile: ``"none"``, ``"mild"``, ``"harsh"``, or a
     #: float rate (e.g. ``"0.05"``).  See :mod:`repro.netsim.faults`.
     fault_profile: str = "none"
+    #: Interest-persona replication factor: the default roster becomes
+    #: :func:`repro.core.personas.scaled_roster` of this scale
+    #: (``9 * roster_scale + 4`` personas).  ``1`` is the paper's
+    #: 13-persona campaign; larger scales drive the flat-memory segment
+    #: store (see :mod:`repro.core.segments`).
+    roster_scale: int = 1
 
     def __post_init__(self) -> None:
         if self.skills_per_persona < 1 or self.skills_per_persona > 50:
@@ -94,6 +100,14 @@ class ExperimentConfig:
             )
         if self.audio_hours <= 0:
             raise ValueError(f"audio_hours must be positive, got {self.audio_hours}")
+        if not isinstance(self.roster_scale, int) or isinstance(
+            self.roster_scale, bool
+        ):
+            raise ValueError(
+                f"roster_scale must be an int, got {type(self.roster_scale).__name__}"
+            )
+        if self.roster_scale < 1:
+            raise ValueError(f"roster_scale must be >= 1, got {self.roster_scale}")
         # Normalise to a tuple so configs hash/fingerprint consistently,
         # then validate each member: a typo'd category used to silently
         # yield zero audio sessions.
@@ -128,6 +142,11 @@ class PersonaArtifacts:
     loaded_slots: Set[str] = field(default_factory=set)
     audio_sessions: List[StreamSession] = field(default_factory=list)
     dsar_exports: List[DataExport] = field(default_factory=list)
+    #: This persona's slice of the policy crawl (interest personas only).
+    #: ``AuditDataset.policy_fetches`` is the roster-ordered concatenation
+    #: of these; the per-persona attribution is what lets segment-store
+    #: workers emit policy records at any batch granularity.
+    policy_fetches: List["PolicyFetch"] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -205,7 +224,11 @@ class ExperimentRunner:
     ) -> None:
         self.world = world
         self.config = config
-        self._personas = list(personas) if personas is not None else all_personas()
+        self._personas = (
+            list(personas)
+            if personas is not None
+            else scaled_roster(config.roster_scale)
+        )
         if not self._personas:
             raise ValueError("persona subset must not be empty")
         names = [p.name for p in self._personas]
@@ -587,6 +610,7 @@ class ExperimentRunner:
         for persona in personas:
             if persona.kind != "interest":
                 continue
+            persona_fetches = self._artifacts[persona.name].policy_fetches
             with self.obs.span("persona:policies", det=True, persona=persona.name):
                 for spec in self._skills_for(persona):
                     url = self.world.marketplace.privacy_policy_url(spec.skill_id)
@@ -600,11 +624,11 @@ class ExperimentRunner:
                         self.obs.inc("policies.missing_link")
                     elif document is None:
                         self.obs.inc("policies.broken_link")
-                    fetches.append(
-                        PolicyFetch(
-                            skill_id=spec.skill_id, url=url, document=document
-                        )
+                    fetch = PolicyFetch(
+                        skill_id=spec.skill_id, url=url, document=document
                     )
+                    fetches.append(fetch)
+                    persona_fetches.append(fetch)
         return fetches
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,21 @@ produces that release: the raw collected artifacts (bids, ads, flows,
 sync events, DSAR interests, policy stats) as CSV files, and the analysis
 results as a JSON summary — everything needed to re-analyze the campaign
 without re-running it.
+
+Two sources feed the same export layout:
+
+* :func:`export_dataset` walks an in-memory
+  :class:`~repro.core.experiment.AuditDataset`;
+* :func:`export_segment_store` streams a
+  :class:`~repro.core.segments.SegmentStore` — CSVs are written row by
+  row off the k-way-merged streams and the summary is computed by
+  single-pass folds, so memory stays flat in the roster size.
+
+For the same seed and config the two paths produce byte-identical
+files: segment records carry exactly the CSV cell values (JSON round
+trips them exactly), and the summary folds perform the same float
+arithmetic on the same values in the same order.  All text output is
+pinned to UTF-8 regardless of locale.
 """
 
 from __future__ import annotations
@@ -12,15 +27,34 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
-from repro.core.bids import bid_summary_table, common_slots, significance_vs_vanilla
-from repro.core.compliance import policy_availability
+from repro.core.bids import (
+    bid_summary_table,
+    common_slots,
+    common_slots_from_sets,
+    post_cpms_from_rows,
+    representative_from_rows,
+    significance_vs_vanilla,
+)
+from repro.core.compliance import fold_policy_availability, policy_availability
 from repro.core.experiment import AuditDataset
 from repro.core.profiling import analyze_profiling
-from repro.core.syncing import detect_cookie_syncing
+from repro.core.stats import mann_whitney_u, summarize
+from repro.core.syncing import (
+    SyncAnalysis,
+    SyncEvent,
+    detect_cookie_syncing,
+    fold_sync_events,
+)
 
-__all__ = ["export_dataset", "export_summary", "EXPORT_FILES"]
+__all__ = [
+    "export_dataset",
+    "export_summary",
+    "export_segment_store",
+    "summarize_segment_store",
+    "EXPORT_FILES",
+]
 
 EXPORT_FILES = (
     "bids.csv",
@@ -32,9 +66,18 @@ EXPORT_FILES = (
     "summary.json",
 )
 
+_BIDS_HEADER = ["persona", "iteration", "site", "slot", "bidder", "cpm", "interacted"]
+_ADS_HEADER = ["persona", "iteration", "site", "slot", "advertiser", "product", "source"]
+_FLOWS_HEADER = ["persona", "skill_id", "domain", "remote_ip", "port", "packets", "bytes"]
+_SYNC_HEADER = ["persona", "source", "destination", "uid"]
+_DSAR_HEADER = ["persona", "request", "file_missing", "interests"]
+_AUDIO_HEADER = ["persona", "skill", "start_seconds", "brand"]
+
 
 def _write_csv(path: Path, header: List[str], rows) -> int:
-    with path.open("w", newline="") as handle:
+    # encoding is pinned: exports must be identical bytes on any host,
+    # and a latin-1 default would crash on non-ASCII creative text.
+    with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
         count = 0
@@ -42,6 +85,12 @@ def _write_csv(path: Path, header: List[str], rows) -> int:
             writer.writerow(row)
             count += 1
     return count
+
+
+def _write_summary(out: Path, summary: dict) -> None:
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True), encoding="utf-8"
+    )
 
 
 def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str, int]:
@@ -52,7 +101,7 @@ def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str
 
     counts["bids.csv"] = _write_csv(
         out / "bids.csv",
-        ["persona", "iteration", "site", "slot", "bidder", "cpm", "interacted"],
+        _BIDS_HEADER,
         (
             (b.persona, b.iteration, b.site, b.slot_id, b.bidder, b.cpm, b.interacted)
             for a in dataset.personas.values()
@@ -62,7 +111,7 @@ def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str
 
     counts["ads.csv"] = _write_csv(
         out / "ads.csv",
-        ["persona", "iteration", "site", "slot", "advertiser", "product", "source"],
+        _ADS_HEADER,
         (
             (
                 ad.persona,
@@ -97,22 +146,22 @@ def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str
                     )
 
     counts["skill_flows.csv"] = _write_csv(
-        out / "skill_flows.csv",
-        ["persona", "skill_id", "domain", "remote_ip", "port", "packets", "bytes"],
-        flow_rows(),
+        out / "skill_flows.csv", _FLOWS_HEADER, flow_rows()
     )
 
+    # Computed once here and threaded into export_summary — the summary
+    # used to rerun the whole sync scan on its own.
     sync = detect_cookie_syncing(dataset)
     counts["sync_events.csv"] = _write_csv(
         out / "sync_events.csv",
-        ["persona", "source", "destination", "uid"],
+        _SYNC_HEADER,
         ((e.persona, e.source, e.destination_host, e.uid) for e in sync.events),
     )
 
     profiling = analyze_profiling(dataset)
     counts["dsar_interests.csv"] = _write_csv(
         out / "dsar_interests.csv",
-        ["persona", "request", "file_missing", "interests"],
+        _DSAR_HEADER,
         (
             (
                 obs.persona,
@@ -126,7 +175,7 @@ def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str
 
     counts["audio_ads.csv"] = _write_csv(
         out / "audio_ads.csv",
-        ["persona", "skill", "start_seconds", "brand"],
+        _AUDIO_HEADER,
         (
             (s.persona, s.skill_name, seg.start, seg.label)
             for a in dataset.personas.values()
@@ -135,37 +184,251 @@ def export_dataset(dataset: AuditDataset, out_dir: Union[str, Path]) -> Dict[str
         ),
     )
 
-    summary = export_summary(dataset)
-    (out / "summary.json").write_text(json.dumps(summary, indent=2, sort_keys=True))
+    summary = export_summary(dataset, sync=sync)
+    _write_summary(out, summary)
     counts["summary.json"] = 1
     return counts
 
 
-def export_summary(dataset: AuditDataset) -> dict:
-    """Headline analysis results as a JSON-serializable mapping."""
-    sync = detect_cookie_syncing(dataset)
+def export_summary(
+    dataset: AuditDataset, *, sync: Optional[SyncAnalysis] = None
+) -> dict:
+    """Headline analysis results as a JSON-serializable mapping.
+
+    ``sync`` accepts a precomputed cookie-sync analysis so callers that
+    already ran the scan (the CSV export) don't pay for it twice.
+    """
+    if sync is None:
+        sync = detect_cookie_syncing(dataset)
     availability = policy_availability(dataset)
     slots = common_slots(dataset)
     significance = {
-        persona: {
-            "p_value": result.p_value,
-            "effect_size": result.effect_size,
-            "significant": result.significant,
-        }
+        persona: _significance_cell(result)
         for persona, result in significance_vs_vanilla(dataset).items()
     }
+    bid_summaries = {
+        row.persona: _bid_summary_cell(row.summary)
+        for row in bid_summary_table(dataset)
+    }
+    return _assemble_summary(
+        personas=sorted(dataset.personas),
+        n_slots=len(slots),
+        bid_summaries=bid_summaries,
+        significance=significance,
+        sync=sync,
+        availability=availability,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Segment-store path
+# ---------------------------------------------------------------------- #
+
+
+def export_segment_store(store, out_dir: Union[str, Path]) -> Dict[str, int]:
+    """Stream a :class:`~repro.core.segments.SegmentStore` to ``out_dir``.
+
+    Produces exactly :data:`EXPORT_FILES`, byte-identical to
+    :func:`export_dataset` on the equivalent in-memory dataset.  CSVs
+    are written row by row off the merged streams; the summary is
+    computed by :func:`summarize_segment_store`'s folds.  Memory is
+    bounded by the analysis aggregates, not the roster size.
+    """
+    from repro.core.segments import SegmentError
+
+    covered = store.covered_positions()
+    missing = set(range(len(store.roster))) - covered
+    if missing:
+        raise SegmentError(
+            f"store covers {len(covered)}/{len(store.roster)} personas; "
+            f"missing positions {sorted(missing)[:10]}"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    counts: Dict[str, int] = {}
+
+    counts["bids.csv"] = _write_csv(
+        out / "bids.csv",
+        _BIDS_HEADER,
+        (
+            (r["persona"], r["iteration"], r["site"], r["slot"], r["bidder"],
+             r["cpm"], r["interacted"])
+            for r in store.iter_stream("bids")
+        ),
+    )
+    counts["ads.csv"] = _write_csv(
+        out / "ads.csv",
+        _ADS_HEADER,
+        (
+            (r["persona"], r["iteration"], r["site"], r["slot"],
+             r["advertiser"], r["product"], r["source"])
+            for r in store.iter_stream("ads")
+        ),
+    )
+    counts["skill_flows.csv"] = _write_csv(
+        out / "skill_flows.csv",
+        _FLOWS_HEADER,
+        (
+            (r["persona"], r["skill"], r["domain"], r["ip"], r["port"],
+             r["packets"], r["bytes"])
+            for r in store.iter_stream("flows")
+        ),
+    )
+    counts["sync_events.csv"] = _write_csv(
+        out / "sync_events.csv",
+        _SYNC_HEADER,
+        (
+            (r["persona"], r["source"], r["destination"], r["uid"])
+            for r in store.iter_stream("sync")
+        ),
+    )
+    counts["dsar_interests.csv"] = _write_csv(
+        out / "dsar_interests.csv",
+        _DSAR_HEADER,
+        (
+            (
+                r["persona"],
+                r["request"],
+                r["interests"] is None,
+                "; ".join(r["interests"] or ()),
+            )
+            for r in store.iter_stream("dsar")
+        ),
+    )
+    counts["audio_ads.csv"] = _write_csv(
+        out / "audio_ads.csv",
+        _AUDIO_HEADER,
+        (
+            (r["persona"], r["skill"], r["start"], r["brand"])
+            for r in store.iter_stream("audio")
+        ),
+    )
+
+    _write_summary(out, summarize_segment_store(store))
+    counts["summary.json"] = 1
+    return counts
+
+
+def summarize_segment_store(store) -> dict:
+    """:func:`export_summary` recomputed as folds over segment streams.
+
+    Several sequential passes (personas, a point read of the vanilla
+    control's bids, bids grouped by roster position, sync, policy),
+    each O(aggregates) in memory — identical output to the in-memory
+    summary because every fold performs the same arithmetic on the same
+    values in the same order.
+    """
+    # Pass 1: roster metadata + common-slot intersection.
+    kinds: Dict[int, tuple] = {}
+    slot_sets: List[List[str]] = []
+    for record in store.iter_stream("personas"):
+        kinds[record["pos"]] = (record["name"], record["kind"])
+        slot_sets.append(record["loaded_slots"])
+    slots = common_slots_from_sets(slot_sets)
+
+    # Point read: the vanilla control's representative sample, needed
+    # before interest personas stream past (vanilla sits after them in
+    # roster order).
+    vanilla_pos = next(
+        (pos for pos, (_, kind) in kinds.items() if kind == "vanilla"), None
+    )
+    vanilla_sample: List[float] = []
+    if vanilla_pos is not None:
+        vanilla_sample = representative_from_rows(
+            store.stream_records_for("bids", vanilla_pos), slots
+        )
+
+    # Pass 2: bids, grouped by persona (contiguous in the merged stream).
+    bid_summaries: Dict[str, dict] = {}
+    significance: Dict[str, dict] = {}
+
+    def finish_group(pos: int, rows: List[dict]) -> None:
+        name, kind = kinds[pos]
+        if kind == "web":
+            return
+        cpms = post_cpms_from_rows(rows, slots)
+        if cpms:
+            bid_summaries[name] = _bid_summary_cell(summarize(cpms))
+        if kind == "interest":
+            sample = representative_from_rows(rows, slots)
+            if sample and vanilla_sample:
+                significance[name] = _significance_cell(
+                    mann_whitney_u(sample, vanilla_sample, alternative="greater")
+                )
+
+    current_pos: Optional[int] = None
+    group: List[dict] = []
+    for record in store.iter_stream("bids"):
+        if record["pos"] != current_pos:
+            if current_pos is not None:
+                finish_group(current_pos, group)
+            current_pos = record["pos"]
+            group = []
+        group.append(record)
+    if current_pos is not None:
+        finish_group(current_pos, group)
+
+    # Pass 3 + 4: sync and policy folds (no event retention).
+    sync = fold_sync_events(
+        (
+            SyncEvent(
+                persona=r["persona"],
+                source=r["source"],
+                destination_host=r["destination"],
+                uid=r["uid"],
+                url=r["url"],
+            )
+            for r in store.iter_stream("sync")
+        ),
+        keep_events=False,
+    )
+    availability = fold_policy_availability(store.iter_stream("policy"))
+
+    return _assemble_summary(
+        personas=sorted(store.roster),
+        n_slots=len(slots),
+        bid_summaries=bid_summaries,
+        significance=significance,
+        sync=sync,
+        availability=availability,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shared summary assembly
+# ---------------------------------------------------------------------- #
+
+
+def _bid_summary_cell(summary) -> dict:
     return {
-        "personas": sorted(dataset.personas),
-        "common_ad_slots": len(slots),
-        "bid_summaries": {
-            row.persona: {
-                "median": row.summary.median,
-                "mean": row.summary.mean,
-                "max": row.summary.maximum,
-                "n": row.summary.n,
-            }
-            for row in bid_summary_table(dataset)
-        },
+        "median": summary.median,
+        "mean": summary.mean,
+        "max": summary.maximum,
+        "n": summary.n,
+    }
+
+
+def _significance_cell(result) -> dict:
+    return {
+        "p_value": result.p_value,
+        "effect_size": result.effect_size,
+        "significant": result.significant,
+    }
+
+
+def _assemble_summary(
+    *,
+    personas: List[str],
+    n_slots: int,
+    bid_summaries: Dict[str, dict],
+    significance: Dict[str, dict],
+    sync: SyncAnalysis,
+    availability,
+) -> dict:
+    return {
+        "personas": personas,
+        "common_ad_slots": n_slots,
+        "bid_summaries": bid_summaries,
         "significance_vs_vanilla": significance,
         "cookie_sync": {
             "partners": sync.partner_count,

@@ -87,7 +87,7 @@ from repro.core.experiment import (
     PersonaArtifacts,
     PolicyFetch,
 )
-from repro.core.personas import Persona, all_personas
+from repro.core.personas import Persona, all_personas, scaled_roster
 from repro.core.world import build_world
 from repro.data.websites import WebsiteSpec
 from repro.obs import ObsCollector, merge_collectors
@@ -211,7 +211,7 @@ def _run_shard(
     process boundary.  With ``collect_obs`` the worker traces into a
     fresh :class:`~repro.obs.ObsCollector` that rides back on the result.
     """
-    roster = {p.name: p for p in all_personas()}
+    roster = {p.name: p for p in scaled_roster(config.roster_scale)}
     unknown = [n for n in persona_names if n not in roster]
     if unknown:
         raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")
@@ -297,9 +297,9 @@ def merge_shard_results(
         )
 
     personas: Dict[str, PersonaArtifacts] = {}
-    for persona in all_personas():
-        if persona.name in by_name:
-            personas[persona.name] = by_name.pop(persona.name)
+    for name in expected:
+        if name in by_name:
+            personas[name] = by_name.pop(name)
     personas.update(by_name)  # custom personas outside the roster, if any
 
     policy_fetches: List[PolicyFetch] = []
@@ -313,7 +313,7 @@ def merge_shard_results(
     if all(result.obs is not None for result in ordered):
         obs = merge_collectors(
             [result.obs for result in ordered],
-            roster=[p.name for p in all_personas()],
+            roster=expected,
         )
 
     return AuditDataset(
@@ -909,7 +909,7 @@ def _run_parallel_experiment(
     from repro.core.cache import config_fingerprint
 
     started = time.perf_counter()
-    shards = shard_personas(all_personas(), workers)
+    shards = shard_personas(scaled_roster(config.roster_scale), workers)
     plan = [[p.name for p in shard] for shard in shards]
 
     ephemeral_root: Optional[str] = None

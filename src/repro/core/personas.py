@@ -12,7 +12,13 @@ from typing import List
 
 from repro.data import categories as cat
 
-__all__ = ["Persona", "interest_personas", "control_personas", "all_personas"]
+__all__ = [
+    "Persona",
+    "interest_personas",
+    "control_personas",
+    "all_personas",
+    "scaled_roster",
+]
 
 
 @dataclass(frozen=True)
@@ -68,3 +74,33 @@ def control_personas() -> List[Persona]:
 
 def all_personas() -> List[Persona]:
     return interest_personas() + control_personas()
+
+
+def scaled_roster(scale: int = 1) -> List[Persona]:
+    """The roster scaled to ``scale`` interest personas per category.
+
+    ``scale=1`` is exactly :func:`all_personas` — the paper's 13-persona
+    campaign.  Larger scales replicate each interest persona
+    ``scale - 1`` times (``fashion-r2``, ``fashion-r3``, ...) so
+    memory-scaling runs exercise a roster of ``9 * scale + 4`` personas.
+    Replicas keep the base persona's category, so they install the same
+    skill set; every per-persona random substream is keyed by the replica
+    name, so artifacts stay deterministic and order-independent.  The
+    controls (vanilla + web) are never replicated: ``vanilla`` must stay
+    unique for the control comparisons.
+    """
+    if scale < 1:
+        raise ValueError(f"roster scale must be >= 1, got {scale}")
+    personas: List[Persona] = []
+    for base in interest_personas():
+        personas.append(base)
+        personas.extend(
+            Persona(
+                name=f"{base.name}-r{replica}",
+                kind="interest",
+                category=base.category,
+            )
+            for replica in range(2, scale + 1)
+        )
+    personas.extend(control_personas())
+    return personas

@@ -10,9 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.experiment import AuditDataset
+from repro.core.experiment import AuditDataset, PersonaArtifacts
 
-__all__ = ["InterestObservation", "ProfilingAnalysis", "analyze_profiling"]
+__all__ = [
+    "InterestObservation",
+    "ProfilingAnalysis",
+    "analyze_profiling",
+    "persona_observations",
+    "fold_profiling",
+]
 
 #: Request labels in collection order.
 REQUEST_LABELS = ("installation", "interaction-1", "interaction-2")
@@ -58,34 +64,62 @@ class ProfilingAnalysis:
 
 def analyze_profiling(dataset: AuditDataset) -> ProfilingAnalysis:
     """Line up each persona's DSAR exports with the request schedule."""
-    observations: List[InterestObservation] = []
-    missing: List[str] = []
-    for artifacts in dataset.personas.values():
-        if not artifacts.dsar_exports:
-            continue
-        persona = artifacts.persona.name
-        for label, export in zip(REQUEST_LABELS, artifacts.dsar_exports):
-            interests = (
+    return fold_profiling(
+        persona_observations(a) for a in dataset.personas.values()
+    )
+
+
+def persona_observations(
+    artifacts: PersonaArtifacts,
+) -> Tuple[List[InterestObservation], bool]:
+    """One persona's DSAR observations plus its missing-file verdict.
+
+    The per-persona unit of §6.1: derived from this persona's exports
+    alone, so segment-store workers can emit DSAR records at any batch
+    granularity.  Returns ``([], False)`` for personas with no exports
+    (web controls).  The boolean is True when the interests file was
+    still missing at interaction-2 — including after a re-request.
+    """
+    if not artifacts.dsar_exports:
+        return [], False
+    persona = artifacts.persona.name
+    observations = [
+        InterestObservation(
+            persona=persona,
+            request_label=label,
+            interests=(
                 export.advertising_interests.interests
                 if export.advertising_interests is not None
                 else None
-            )
-            observations.append(
-                InterestObservation(
-                    persona=persona, request_label=label, interests=interests
-                )
-            )
-        # A fourth export exists only when the auditor re-requested after
-        # a missing file; still missing => the quirk is persistent.
-        if len(artifacts.dsar_exports) > len(REQUEST_LABELS):
-            rerequest = artifacts.dsar_exports[len(REQUEST_LABELS)]
-            if rerequest.advertising_interests is None:
-                missing.append(persona)
-        elif (
+            ),
+        )
+        for label, export in zip(REQUEST_LABELS, artifacts.dsar_exports)
+    ]
+    # A fourth export exists only when the auditor re-requested after
+    # a missing file; still missing => the quirk is persistent.
+    if len(artifacts.dsar_exports) > len(REQUEST_LABELS):
+        rerequest = artifacts.dsar_exports[len(REQUEST_LABELS)]
+        missing = rerequest.advertising_interests is None
+    else:
+        missing = (
             len(artifacts.dsar_exports) >= 3
             and artifacts.dsar_exports[2].advertising_interests is None
-        ):
-            missing.append(persona)
+        )
+    return observations, missing
+
+
+def fold_profiling(per_persona) -> ProfilingAnalysis:
+    """Single-pass fold of per-persona ``(observations, missing)`` pairs.
+
+    ``per_persona`` is any iterable in roster order — the in-memory scan
+    or reconstructed segment-store records.
+    """
+    observations: List[InterestObservation] = []
+    missing: List[str] = []
+    for persona_obs, persona_missing in per_persona:
+        observations.extend(persona_obs)
+        if persona_missing and persona_obs:
+            missing.append(persona_obs[0].persona)
     return ProfilingAnalysis(
         observations=observations, personas_missing_file=sorted(set(missing))
     )

@@ -1,0 +1,780 @@
+"""Append-only, content-addressed segment store for campaign artifacts.
+
+The in-memory :class:`~repro.core.experiment.AuditDataset` keeps every
+capture, bid, and request log of every persona resident at once, which
+caps the roster at RAM.  This module is the streaming alternative: a
+campaign writes each persona batch's artifacts as **segments** — JSONL
+files, one per event stream — under a campaign directory keyed by seed
+root and config fingerprint, then discards the batch.  Analyses and
+exports consume the segments as roster-ordered event streams through a
+bounded-memory k-way merge, so a 100k–1M persona roster completes with
+flat memory.
+
+Layout::
+
+    <root>/campaign-seed<seed_root>-<fingerprint>/
+        MANIFEST.json                      # campaign key + roster + status
+        batches/batch-<firstpos>.json      # coverage marker per batch
+        segments/<stream>-<firstpos>-<digest12>.jsonl
+
+Durability and reuse rules (shared with :mod:`repro.core.checkpoint`):
+
+* every file is published through :func:`atomic_write_bytes`, so a
+  crash mid-write never leaves a half-written segment at a live name;
+* every segment and marker is stamped with the segment schema version,
+  the seed root, and the config fingerprint — foreign or stale entries
+  never load;
+* segment files are **content-addressed**: the file name embeds the
+  sha256 of the file bytes, and the batch marker records the full
+  digest per segment.  A batch counts as *covered* only when its marker
+  validates and every referenced segment's digest matches, which is
+  what subsumes the pickle-level :class:`~repro.core.cache.DatasetCache`
+  with persona-granularity reuse: re-running the same (seed, config)
+  campaign skips covered personas, and a campaign killed mid-run
+  resumes from its completed batches.
+
+Streams
+-------
+
+Eight streams cover everything the export and analysis layers consume:
+``personas`` (roster metadata, loaded slots, install failures, DSAR
+missing-file verdicts), ``bids``, ``ads``, ``flows`` (per-skill capture
+flows with their DNS-or-SNI domain), ``sync`` (cookie-sync events),
+``dsar`` (per-request advertising interests), ``audio`` (audio-ad
+segments), and ``policy`` (per-skill policy crawl outcomes).  Records
+carry the roster position (``pos``) of their persona; within a persona
+they keep collection order, so the merged stream reproduces exactly the
+iteration order of the in-memory dataset — which is what keeps
+segment-store exports byte-identical to the in-memory path.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.checkpoint import atomic_write_bytes
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentRunner,
+    PersonaArtifacts,
+)
+from repro.core.personas import scaled_roster
+from repro.core.profiling import persona_observations
+from repro.core.syncing import persona_sync_events
+from repro.core.world import build_world
+from repro.util.rng import Seed
+
+__all__ = [
+    "SEGMENT_SCHEMA_VERSION",
+    "STREAMS",
+    "SegmentError",
+    "CorruptSegmentError",
+    "PositionsCoveredError",
+    "SegmentStore",
+    "persona_stream_records",
+    "write_dataset_segments",
+    "write_segment_batch",
+    "run_segment_shard",
+]
+
+#: Bump whenever the segment record layout changes shape; stale entries
+#: fail validation and are recomputed rather than reused.
+SEGMENT_SCHEMA_VERSION = 1
+
+#: Event streams, in export order.
+STREAMS = (
+    "personas",
+    "bids",
+    "ads",
+    "flows",
+    "sync",
+    "dsar",
+    "audio",
+    "policy",
+)
+
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+class SegmentError(RuntimeError):
+    """The segment store cannot serve this campaign."""
+
+
+class CorruptSegmentError(SegmentError):
+    """A segment or marker exists but fails validation."""
+
+
+class PositionsCoveredError(SegmentError, ValueError):
+    """A batch write targets roster positions that are already covered.
+
+    Subclasses ``ValueError`` (it is an invalid-argument condition) but
+    is separately catchable: a supervisor retry racing a reaped-but-
+    still-running attempt loses this race benignly — segment content is
+    seed-deterministic, so whichever writer won published identical
+    bytes."""
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class _BatchEntry:
+    """One validated coverage marker and its segment files."""
+
+    marker_path: Path
+    positions: Tuple[int, ...]
+    #: stream -> (segment path, record count); streams with no records
+    #: in this batch are absent.
+    segments: Dict[str, Tuple[Path, int]]
+
+    @property
+    def first(self) -> int:
+        return self.positions[0]
+
+
+class SegmentStore:
+    """Columnar event-stream store for one campaign ``(seed, config)``.
+
+    The store is keyed exactly like the shard journal and the dataset
+    cache: seed root plus config fingerprint (the campaign directory
+    name embeds both), with the roster recorded in the manifest.  All
+    mutation goes through :meth:`write_batch`; reads are streaming.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        seed_root: int,
+        config_fingerprint: str,
+        roster: Sequence[str],
+    ) -> None:
+        self.root = Path(root)
+        self.seed_root = seed_root
+        self.config_fingerprint = config_fingerprint
+        self.roster: Tuple[str, ...] = tuple(roster)
+        if not self.roster:
+            raise ValueError("segment store roster must not be empty")
+        if len(set(self.roster)) != len(self.roster):
+            raise ValueError("segment store roster has duplicate personas")
+        self.campaign_dir = (
+            self.root / f"campaign-seed{seed_root}-{config_fingerprint}"
+        )
+        self.segments_dir = self.campaign_dir / "segments"
+        self.batches_dir = self.campaign_dir / "batches"
+        self._scan_cache: Optional[List[_BatchEntry]] = None
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.campaign_dir / _MANIFEST_NAME
+
+    def write_manifest(self, status: str) -> None:
+        if status not in ("running", "partial", "complete"):
+            raise ValueError(f"invalid store status: {status!r}")
+        payload = {
+            "schema": SEGMENT_SCHEMA_VERSION,
+            "seed_root": self.seed_root,
+            "config_fingerprint": self.config_fingerprint,
+            "roster": list(self.roster),
+            "streams": list(STREAMS),
+            "status": status,
+            "package_version": _package_version(),
+        }
+        atomic_write_bytes(
+            self.manifest_path,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CorruptSegmentError(
+                f"store manifest {self.manifest_path} is unreadable: {exc}"
+            ) from exc
+
+    def manifest_matches(self) -> bool:
+        """True when a manifest exists and matches this campaign's key."""
+        try:
+            manifest = self.read_manifest()
+        except CorruptSegmentError:
+            return False
+        if manifest is None:
+            return False
+        return (
+            manifest.get("schema") == SEGMENT_SCHEMA_VERSION
+            and manifest.get("seed_root") == self.seed_root
+            and manifest.get("config_fingerprint") == self.config_fingerprint
+            and manifest.get("roster") == list(self.roster)
+        )
+
+    def ensure_manifest(self) -> None:
+        """Adopt a matching manifest (resume/reuse) or publish a fresh one."""
+        if not self.manifest_matches():
+            self.write_manifest("running")
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def write_batch(
+        self,
+        positions: Sequence[int],
+        records_by_stream: Dict[str, List[dict]],
+    ) -> Path:
+        """Atomically publish one persona batch's records.
+
+        ``positions`` are the roster positions the batch covers (need
+        not be contiguous); every record must carry a ``pos`` from that
+        set.  Per stream, records are stored sorted by ``pos`` (stable,
+        preserving within-persona order).  Segment files land first,
+        the coverage marker last — a crash between the two leaves only
+        unreferenced (and therefore invisible) segment files behind.
+        """
+        ordered = sorted(set(int(p) for p in positions))
+        if not ordered:
+            raise ValueError("batch must cover at least one roster position")
+        if ordered != sorted(set(positions)) or len(set(positions)) != len(
+            list(positions)
+        ):
+            raise ValueError(f"duplicate positions in batch: {positions}")
+        for pos in ordered:
+            if not 0 <= pos < len(self.roster):
+                raise ValueError(
+                    f"position {pos} outside roster of {len(self.roster)}"
+                )
+        already = self.covered_positions() & set(ordered)
+        if already:
+            raise PositionsCoveredError(
+                f"positions already covered by this store: {sorted(already)}"
+            )
+        unknown = set(records_by_stream) - set(STREAMS)
+        if unknown:
+            raise ValueError(f"unknown streams: {sorted(unknown)}")
+
+        segments: Dict[str, Dict[str, object]] = {}
+        for stream in STREAMS:
+            records = records_by_stream.get(stream, [])
+            stray = [
+                r["pos"] for r in records if r.get("pos") not in set(ordered)
+            ]
+            if stray:
+                raise ValueError(
+                    f"stream {stream!r} records outside batch positions: "
+                    f"{sorted(set(stray))}"
+                )
+            if not records:
+                continue
+            records = sorted(records, key=lambda r: r["pos"])  # stable
+            header = {
+                "schema": SEGMENT_SCHEMA_VERSION,
+                "seed_root": self.seed_root,
+                "config_fingerprint": self.config_fingerprint,
+                "stream": stream,
+                "positions": ordered,
+                "count": len(records),
+            }
+            lines = [_dumps(header)]
+            lines.extend(_dumps(record) for record in records)
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            digest = _digest(payload)
+            name = f"{stream}-{ordered[0]:08d}-{digest[:12]}.jsonl"
+            atomic_write_bytes(self.segments_dir / name, payload)
+            segments[stream] = {
+                "file": name,
+                "digest": digest,
+                "count": len(records),
+            }
+
+        marker = {
+            "schema": SEGMENT_SCHEMA_VERSION,
+            "seed_root": self.seed_root,
+            "config_fingerprint": self.config_fingerprint,
+            "positions": ordered,
+            "segments": segments,
+        }
+        marker_path = self.batches_dir / f"batch-{ordered[0]:08d}.json"
+        atomic_write_bytes(
+            marker_path,
+            (json.dumps(marker, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+        self._scan_cache = None
+        return marker_path
+
+    # ------------------------------------------------------------------ #
+    # Coverage / validation
+    # ------------------------------------------------------------------ #
+
+    def covered_positions(self) -> Set[int]:
+        """Roster positions with validated, content-addressed coverage."""
+        return {
+            pos for entry in self._scan() for pos in entry.positions
+        }
+
+    def _scan(self) -> List[_BatchEntry]:
+        """Validate every coverage marker; quarantine the broken ones.
+
+        A marker survives only when its envelope matches this store's
+        key, its positions are inside the roster and disjoint from
+        previously accepted batches, and every referenced segment file
+        exists with a matching content digest.  Anything else is moved
+        to ``*.corrupt`` and treated as uncovered — the campaign simply
+        recomputes those personas.
+        """
+        if self._scan_cache is not None:
+            return self._scan_cache
+        entries: List[_BatchEntry] = []
+        seen: Set[int] = set()
+        if self.batches_dir.is_dir():
+            for marker_path in sorted(self.batches_dir.glob("batch-*.json")):
+                entry = self._validate_marker(marker_path, seen)
+                if entry is None:
+                    _quarantine(marker_path)
+                    continue
+                seen.update(entry.positions)
+                entries.append(entry)
+        self._scan_cache = entries
+        return entries
+
+    def _validate_marker(
+        self, marker_path: Path, covered: Set[int]
+    ) -> Optional[_BatchEntry]:
+        try:
+            marker = json.loads(marker_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(marker, dict):
+            return None
+        if (
+            marker.get("schema") != SEGMENT_SCHEMA_VERSION
+            or marker.get("seed_root") != self.seed_root
+            or marker.get("config_fingerprint") != self.config_fingerprint
+        ):
+            return None
+        positions = marker.get("positions")
+        if (
+            not isinstance(positions, list)
+            or not positions
+            or any(
+                not isinstance(p, int) or not 0 <= p < len(self.roster)
+                for p in positions
+            )
+            or sorted(set(positions)) != positions
+            or covered & set(positions)
+        ):
+            return None
+        segments: Dict[str, Tuple[Path, int]] = {}
+        refs = marker.get("segments")
+        if not isinstance(refs, dict):
+            return None
+        for stream, ref in refs.items():
+            if stream not in STREAMS or not isinstance(ref, dict):
+                return None
+            path = self.segments_dir / str(ref.get("file"))
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                return None
+            if _digest(payload) != ref.get("digest"):
+                return None
+            segments[stream] = (path, int(ref.get("count", 0)))
+        return _BatchEntry(
+            marker_path=marker_path,
+            positions=tuple(positions),
+            segments=segments,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def iter_stream(self, stream: str) -> Iterator[dict]:
+        """All of one stream's records, merged into roster order.
+
+        A bounded-memory k-way merge: segment files are activated
+        lazily, in ascending first-position order, only once the merge
+        frontier reaches them — so the number of concurrently open
+        files is the overlap degree of the batch plan (1 for the
+        contiguous batches a campaign writes), never the total segment
+        count.  Within a persona, records keep their file order.
+        """
+        if stream not in STREAMS:
+            raise ValueError(f"unknown stream: {stream!r}")
+        entries = sorted(
+            (e for e in self._scan() if stream in e.segments),
+            key=lambda e: e.first,
+        )
+        return self._merge_entries(stream, entries)
+
+    def _merge_entries(
+        self, stream: str, entries: List[_BatchEntry]
+    ) -> Iterator[dict]:
+        heap: List[Tuple[int, int, int, dict, Iterator[dict]]] = []
+        next_entry = 0
+        serial = 0  # per-activation tiebreak; positions never tie across files
+        while heap or next_entry < len(entries):
+            while next_entry < len(entries) and (
+                not heap or entries[next_entry].first <= heap[0][0]
+            ):
+                records = self._segment_records(
+                    entries[next_entry], stream
+                )
+                first = next(records, None)
+                if first is not None:
+                    heappush(
+                        heap, (first["pos"], serial, 0, first, records)
+                    )
+                    serial += 1
+                next_entry += 1
+            if not heap:
+                break
+            pos, tiebreak, seq, record, records = heappop(heap)
+            yield record
+            following = next(records, None)
+            if following is not None:
+                heappush(
+                    heap,
+                    (following["pos"], tiebreak, seq + 1, following, records),
+                )
+
+    def stream_records_for(self, stream: str, pos: int) -> List[dict]:
+        """Point read: one persona's records of one stream.
+
+        Scans only the segment containing ``pos`` — the summary fold
+        uses this to pull the vanilla control's bids before streaming
+        the full roster.
+        """
+        if stream not in STREAMS:
+            raise ValueError(f"unknown stream: {stream!r}")
+        for entry in self._scan():
+            if pos in entry.positions and stream in entry.segments:
+                return [
+                    record
+                    for record in self._segment_records(entry, stream)
+                    if record["pos"] == pos
+                ]
+        return []
+
+    def _segment_records(
+        self, entry: _BatchEntry, stream: str
+    ) -> Iterator[dict]:
+        path, count = entry.segments[stream]
+        with path.open("r", encoding="utf-8") as handle:
+            header = json.loads(next(handle))
+            if (
+                header.get("schema") != SEGMENT_SCHEMA_VERSION
+                or header.get("stream") != stream
+                or header.get("seed_root") != self.seed_root
+                or header.get("config_fingerprint")
+                != self.config_fingerprint
+            ):
+                raise CorruptSegmentError(
+                    f"segment {path.name} header fails validation"
+                )
+            yielded = 0
+            for line in handle:
+                if not line.strip():
+                    continue
+                yield json.loads(line)
+                yielded += 1
+            if yielded != count:
+                raise CorruptSegmentError(
+                    f"segment {path.name} holds {yielded} records, "
+                    f"marker says {count}"
+                )
+
+
+def _quarantine(path: Path) -> None:
+    try:
+        os.replace(path, path.with_name(path.name + ".corrupt"))
+    except OSError:
+        pass
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+# ---------------------------------------------------------------------- #
+# Record extraction
+# ---------------------------------------------------------------------- #
+
+
+def persona_stream_records(
+    artifacts: PersonaArtifacts, pos: int
+) -> Dict[str, List[dict]]:
+    """One persona's artifacts as segment records, keyed by stream.
+
+    Record field values are chosen so that a JSON round trip is exact
+    (str/int/float/bool only) and so that export CSV rows built from
+    them are byte-identical to rows built from the live objects — this
+    function is the single point where the in-memory and segment
+    representations meet.
+    """
+    persona = artifacts.persona
+    observations, dsar_missing = persona_observations(artifacts)
+    records: Dict[str, List[dict]] = {
+        "personas": [
+            {
+                "pos": pos,
+                "name": persona.name,
+                "kind": persona.kind,
+                "category": persona.category,
+                "loaded_slots": sorted(artifacts.loaded_slots),
+                "install_failures": list(artifacts.install_failures),
+                "dsar_missing": dsar_missing,
+            }
+        ],
+        "bids": [
+            {
+                "pos": pos,
+                "persona": b.persona,
+                "iteration": b.iteration,
+                "site": b.site,
+                "slot": b.slot_id,
+                "bidder": b.bidder,
+                "cpm": b.cpm,
+                "interacted": b.interacted,
+            }
+            for b in artifacts.bids
+        ],
+        "ads": [
+            {
+                "pos": pos,
+                "persona": ad.persona,
+                "iteration": ad.iteration,
+                "site": ad.site,
+                "slot": ad.slot_id,
+                "advertiser": ad.creative.advertiser,
+                "product": ad.creative.product,
+                "source": ad.creative.source,
+            }
+            for ad in artifacts.ads
+        ],
+        "sync": [
+            {
+                "pos": pos,
+                "persona": event.persona,
+                "source": event.source,
+                "destination": event.destination_host,
+                "uid": event.uid,
+                "url": event.url,
+            }
+            for event in persona_sync_events(artifacts)
+        ],
+        "dsar": [
+            {
+                "pos": pos,
+                "persona": obs.persona,
+                "request": obs.request_label,
+                "interests": (
+                    list(obs.interests) if obs.interests is not None else None
+                ),
+            }
+            for obs in observations
+        ],
+        "audio": [
+            {
+                "pos": pos,
+                "persona": session.persona,
+                "skill": session.skill_name,
+                "start": segment.start,
+                "brand": segment.label,
+            }
+            for session in artifacts.audio_sessions
+            for segment in session.ad_segments
+        ],
+    }
+    if persona.kind == "interest":
+        records["flows"] = _flow_records(artifacts, pos)
+        records["policy"] = [
+            {
+                "pos": pos,
+                "persona": persona.name,
+                "skill": fetch.skill_id,
+                "has_link": fetch.has_link,
+                "downloaded": fetch.downloaded,
+                "mentions_amazon": (
+                    fetch.downloaded and fetch.document.mentions_amazon
+                ),
+                "links_amazon_policy": (
+                    fetch.downloaded and fetch.document.links_amazon_policy
+                ),
+            }
+            for fetch in artifacts.policy_fetches
+        ]
+    else:
+        records["flows"] = []
+        records["policy"] = []
+    return records
+
+
+def _flow_records(artifacts: PersonaArtifacts, pos: int) -> List[dict]:
+    rows: List[dict] = []
+    for skill_id, capture in artifacts.skill_captures.items():
+        dns = capture.dns_table()
+        for flow in capture.flows():
+            if flow.key[3] == "dns":
+                continue
+            domain = dns.domain_for_ip(flow.remote_ip) or flow.sni or ""
+            rows.append(
+                {
+                    "pos": pos,
+                    "persona": artifacts.persona.name,
+                    "skill": skill_id,
+                    "domain": domain,
+                    "ip": flow.remote_ip,
+                    "port": flow.remote_port,
+                    "packets": len(flow.packets),
+                    "bytes": flow.total_bytes,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Campaign integration
+# ---------------------------------------------------------------------- #
+
+
+def write_dataset_segments(store: SegmentStore, dataset) -> None:
+    """Materialize an in-memory dataset into ``store`` (one batch).
+
+    Bridges the two worlds for benchmarks and tests: the dataset's
+    personas must be exactly the store's roster, in order.
+    """
+    names = tuple(dataset.personas)
+    if names != store.roster:
+        raise ValueError(
+            "dataset personas do not match the store roster: "
+            f"{names} vs {store.roster}"
+        )
+    store.ensure_manifest()
+    records: Dict[str, List[dict]] = {stream: [] for stream in STREAMS}
+    for pos, name in enumerate(names):
+        for stream, recs in persona_stream_records(
+            dataset.personas[name], pos
+        ).items():
+            records[stream].extend(recs)
+    store.write_batch(list(range(len(names))), records)
+    store.write_manifest("complete")
+
+
+def write_segment_batch(
+    store: SegmentStore,
+    seed: Seed,
+    config: ExperimentConfig,
+    positions: Sequence[int],
+) -> None:
+    """Run the campaign for one persona batch and publish its segments.
+
+    The flat-memory unit: a private world is built, the batch's
+    personas are driven through the full campaign, their artifacts are
+    flattened to records and written, and everything is dropped before
+    the next batch.  Per-persona artifacts are seed-substream-keyed
+    (independent of batch composition), so any batching produces the
+    same segments.
+    """
+    roster = scaled_roster(config.roster_scale)
+    if tuple(p.name for p in roster) != store.roster:
+        raise ValueError("config roster does not match the store roster")
+    personas = [roster[pos] for pos in positions]
+    world = build_world(seed, faults=config.fault_profile)
+    dataset = ExperimentRunner(world, config, personas=personas).run()
+    records: Dict[str, List[dict]] = {stream: [] for stream in STREAMS}
+    for pos, persona in zip(positions, personas):
+        for stream, recs in persona_stream_records(
+            dataset.personas[persona.name], pos
+        ).items():
+            records[stream].extend(recs)
+    store.write_batch(list(positions), records)
+
+
+def run_segment_shard(
+    shard_index: int,
+    seed: Seed,
+    config: ExperimentConfig,
+    persona_names: Sequence[str],
+    collect_obs: bool = False,
+    *,
+    store_root: Union[str, Path],
+    batch_personas: int = 1,
+):
+    """Supervisor shard body that emits segments instead of artifacts.
+
+    Drop-in for :func:`repro.core.parallel._run_shard` (module-level so
+    the process backend can pickle it through ``functools.partial``):
+    instead of returning a pickled dataset bundle, the worker writes its
+    personas' segments straight to the store in ``batch_personas``-sized
+    batches — skipping batches already covered, which gives a crashed
+    and retried shard persona-granularity resume for free — and returns
+    a lightweight, artifact-free :class:`~repro.core.parallel.ShardResult`
+    for the supervisor's journal bookkeeping.
+    """
+    from repro.core.cache import config_fingerprint
+    from repro.core.parallel import ShardResult
+
+    roster = scaled_roster(config.roster_scale)
+    pos_by_name = {p.name: i for i, p in enumerate(roster)}
+    unknown = [n for n in persona_names if n not in pos_by_name]
+    if unknown:
+        raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")
+    store = SegmentStore(
+        store_root,
+        seed.root,
+        config_fingerprint(config),
+        [p.name for p in roster],
+    )
+    positions = [pos_by_name[name] for name in persona_names]
+    step = max(1, batch_personas)
+    covered = store.covered_positions()
+    pending = [pos for pos in positions if pos not in covered]
+    for start in range(0, len(pending), step):
+        chunk = pending[start : start + step]
+        # Re-scan: another attempt of this shard (reaped as hung but
+        # still running) may have covered these positions meanwhile.
+        store._scan_cache = None
+        fresh = store.covered_positions()
+        chunk = [pos for pos in chunk if pos not in fresh]
+        if not chunk:
+            continue
+        try:
+            write_segment_batch(store, seed, config, chunk)
+        except PositionsCoveredError:
+            store._scan_cache = None  # lost the race; identical bytes won
+        # Collect the batch's cyclic world/runner graph immediately so a
+        # worker's peak memory is one batch, not GC-schedule-dependent.
+        gc.collect()
+    return ShardResult(
+        shard_index=shard_index,
+        persona_names=list(persona_names),
+        personas={},
+        prebid_sites=[],
+        crawl_sites=[],
+        policy_fetches=[],
+        timings={},
+        obs=None,
+    )

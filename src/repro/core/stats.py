@@ -107,9 +107,16 @@ def mann_whitney_u(
                 z = (u1 - mean_u + 0.5) / math.sqrt(variance)
                 p_value = float(_scipy_stats.norm.cdf(z))
             else:
-                z = (u1 - mean_u - math.copysign(0.5, u1 - mean_u)) / math.sqrt(variance)
-                p_value = float(2.0 * _scipy_stats.norm.sf(abs(z)))
-                p_value = min(1.0, p_value)
+                # Correct toward the null by 0.5 on |U - mean|, as scipy
+                # does.  The former ``copysign(0.5, u1 - mean_u)`` form
+                # returned +0.5 at ``u1 == mean_u`` (sign of +0.0), which
+                # over-corrected exactly at the null center: p came out
+                # < 1 where scipy reports 1.0.  With midrank ties,
+                # ``|u1 - mean_u|`` can also be < 0.5, where the old form
+                # flipped the sign of z; ``sf`` of the (possibly negative)
+                # corrected statistic handles both regimes like scipy.
+                z = (abs(u1 - mean_u) - 0.5) / math.sqrt(variance)
+                p_value = float(min(1.0, 2.0 * _scipy_stats.norm.sf(z)))
 
     return MannWhitneyResult(
         u_statistic=u1,

@@ -15,10 +15,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 from urllib.parse import parse_qsl, urlparse
 
-from repro.core.experiment import AuditDataset
+from repro.core.experiment import AuditDataset, PersonaArtifacts
 from repro.web.browser import LoggedRequest
 
-__all__ = ["SyncEvent", "SyncAnalysis", "detect_cookie_syncing"]
+__all__ = [
+    "SyncEvent",
+    "SyncAnalysis",
+    "detect_cookie_syncing",
+    "persona_sync_events",
+    "fold_sync_events",
+]
 
 _SYNC_PATHS = re.compile(r"/(cm|setuid|match|x/cm|usersync|pixel)(/|$|\?)")
 _ID_PARAMS = ("uid", "user_id", "puid", "external_id", "buyeruid")
@@ -86,17 +92,49 @@ class SyncAnalysis:
 
 def detect_cookie_syncing(dataset: AuditDataset) -> SyncAnalysis:
     """Scan every persona's request log for cookie-sync traffic."""
+    return fold_sync_events(
+        event
+        for artifacts in dataset.personas.values()
+        for event in persona_sync_events(artifacts)
+    )
+
+
+def persona_sync_events(artifacts: PersonaArtifacts) -> List[SyncEvent]:
+    """One persona's sync events, in request-log order.
+
+    The per-persona unit of §5.5: extraction reads only this persona's
+    request log, so segment-store workers can emit sync events at any
+    batch granularity and :func:`fold_sync_events` over the roster-ordered
+    stream reproduces :func:`detect_cookie_syncing` exactly.
+    """
+    return [
+        event
+        for request in artifacts.request_log
+        for event in _parse_syncs(request, artifacts.persona.name)
+    ]
+
+
+def fold_sync_events(events, keep_events: bool = True) -> SyncAnalysis:
+    """Single-pass fold of an event stream into a :class:`SyncAnalysis`.
+
+    ``events`` is any iterable of :class:`SyncEvent` in roster order —
+    an in-memory dataset scan or a segment-store stream.  With
+    ``keep_events=False`` the per-event list is not retained, so memory
+    stays bounded by the aggregate sets however long the stream is (the
+    segment-store summary path).
+    """
     analysis = SyncAnalysis(partner_downstream=defaultdict(set))
-    for artifacts in dataset.personas.values():
-        for request in artifacts.request_log:
-            for event in _parse_syncs(request, artifacts.persona.name):
-                _classify(analysis, event)
+    for event in events:
+        _classify(analysis, event, keep_event=keep_events)
     analysis.partner_downstream = dict(analysis.partner_downstream)
     return analysis
 
 
-def _classify(analysis: SyncAnalysis, event: SyncEvent) -> None:
-    analysis.events.append(event)
+def _classify(
+    analysis: SyncAnalysis, event: SyncEvent, keep_event: bool = True
+) -> None:
+    if keep_event:
+        analysis.events.append(event)
     destination = event.destination_host
     if "amazon-adsystem" in destination:
         analysis.amazon_partners.add(event.source)

@@ -25,6 +25,7 @@ __all__ = [
     "TrafficAnalysis",
     "OrgClass",
     "analyze_traffic",
+    "analyze_traffic_stream",
 ]
 
 AMAZON = "Amazon Technologies, Inc."
@@ -221,6 +222,110 @@ def analyze_traffic(
         skill_ad_tracking=dict(skill_ad_tracking),
         skill_classes=dict(skill_classes),
         failed_skills=sorted(set(failed)),
+    )
+
+
+def analyze_traffic_stream(
+    flow_rows,
+    resolver: OrgResolver,
+    filter_list: FilterList,
+    vendor_by_skill: Mapping[str, str],
+    *,
+    install_failures=(),
+) -> TrafficAnalysis:
+    """Run the §4 pipeline as a single-pass fold over flow records.
+
+    ``flow_rows`` is any iterable of mappings with ``persona``,
+    ``skill``, ``domain``, and ``packets`` fields in roster order — the
+    segment store's ``flows`` stream, or rows re-read from an exported
+    ``skill_flows.csv``.  Rows with an empty domain (no DNS answer, no
+    SNI) are unattributable and skipped, exactly like the capture path.
+    The result is identical to :func:`analyze_traffic` on the dataset
+    the rows were extracted from: the stream already carries the
+    DNS-or-SNI domain per flow, and domain→organization resolution is
+    deterministic per domain.  ``install_failures`` supplies the failed
+    skill ids (the stream's ``personas`` records), since flow rows only
+    exist for captures that succeeded.
+
+    Memory is bounded by the number of distinct (skill, domain) pairs —
+    the analysis aggregates — never by the number of flows.
+    """
+    per_skill_by_key: Dict[Tuple[str, str], SkillTraffic] = {}
+    skills_by_domain: Dict[str, Set[str]] = defaultdict(set)
+    domain_org: Dict[str, str] = {}
+    traffic_matrix: Counter = Counter()
+    persona_third_party: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    skill_ad_tracking: Dict[str, Set[str]] = defaultdict(set)
+    skill_classes: Dict[str, Set[OrgClass]] = defaultdict(set)
+
+    class_memo: Dict[Tuple[str, str], OrgClass] = {}
+    is_ad_memo: Dict[str, bool] = {}
+
+    def classify(org: str, vendor: str) -> OrgClass:
+        key = (org, vendor)
+        org_class = class_memo.get(key)
+        if org_class is None:
+            class_memo[key] = org_class = _classify_org(org, vendor)
+        return org_class
+
+    def blocked(domain: str) -> bool:
+        verdict = is_ad_memo.get(domain)
+        if verdict is None:
+            is_ad_memo[domain] = verdict = filter_list.is_blocked(domain)
+        return verdict
+
+    for row in flow_rows:
+        persona = row["persona"]
+        skill_id = row["skill"]
+        at_set, fn_set = persona_third_party.setdefault(persona, (set(), set()))
+        traffic = per_skill_by_key.get((persona, skill_id))
+        if traffic is None:
+            traffic = SkillTraffic(skill_id=skill_id, persona=persona)
+            per_skill_by_key[(persona, skill_id)] = traffic
+        domain = row["domain"]
+        if not domain:
+            continue
+        attribution = resolver.attribute_domain(domain)
+        org, count = traffic.domains.get(
+            domain, (attribution.organization, 0)
+        )
+        requests = row["packets"]
+        traffic.domains[domain] = (org, count + requests)
+
+        vendor = vendor_by_skill.get(skill_id, "")
+        skills_by_domain[domain].add(skill_id)
+        domain_org[domain] = org
+        org_class = classify(org, vendor)
+        skill_classes[skill_id].add(org_class)
+        is_ad = blocked(domain)
+        traffic_matrix[(org_class, is_ad)] += requests
+        if org_class == "third party":
+            (at_set if is_ad else fn_set).add(domain)
+            if is_ad:
+                skill_ad_tracking[skill_id].add(domain)
+
+    domain_class: Dict[str, OrgClass] = {}
+    domain_is_ad: Dict[str, bool] = {}
+    for domain, org in domain_org.items():
+        vendors = {
+            vendor_by_skill.get(s, "") for s in skills_by_domain[domain]
+        }
+        domain_class[domain] = classify(
+            org, next(iter(vendors)) if len(vendors) == 1 else ""
+        )
+        domain_is_ad[domain] = blocked(domain)
+
+    return TrafficAnalysis(
+        per_skill=list(per_skill_by_key.values()),
+        skills_by_domain=dict(skills_by_domain),
+        domain_org=domain_org,
+        domain_class=domain_class,
+        domain_is_ad_tracking=domain_is_ad,
+        traffic_matrix=dict(traffic_matrix),
+        persona_third_party=persona_third_party,
+        skill_ad_tracking=dict(skill_ad_tracking),
+        skill_classes=dict(skill_classes),
+        failed_skills=sorted(set(install_failures)),
     )
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "WEB_COMPUTERS",
     "WEB_CATEGORIES",
     "VANILLA",
+    "base_category",
 ]
 
 CONNECTED_CAR = "connected-car"
@@ -57,6 +58,21 @@ CATEGORY_DISPLAY: Dict[str, str] = {
     HEALTH: "Health & Fitness",
     NAVIGATION: "Navigation & Trip Planners",
 }
+
+def base_category(persona: str) -> str:
+    """Resolve a persona name to its targeting category.
+
+    Scaled rosters (:func:`repro.core.personas.scaled_roster`) replicate
+    interest personas as ``<category>-r<N>``; replicas carry the same
+    interest profile as their base, so every category-keyed lookup
+    (bid calibration, house-campaign schedules) resolves through here.
+    For unreplicated names this is the identity.
+    """
+    base, sep, suffix = persona.rpartition("-r")
+    if sep and suffix.isdigit():
+        return base
+    return persona
+
 
 #: Control persona identifiers (§3.1.2).
 VANILLA = "vanilla"

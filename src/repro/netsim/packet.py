@@ -23,9 +23,14 @@ every capture into flows post-hoc.  Three choices keep this layer cheap:
 * ``slots=True`` dataclasses — no per-instance ``__dict__``, which cuts
   both memory and attribute-access cost on the two most-allocated types
   in the simulator;
-* interned identity strings — ``device_id``/``src_ip``/``dst_ip``/``sni``
-  repeat across millions of packets, so :func:`sys.intern` dedups them
-  and makes the flow-key dict lookups pointer-compare fast;
+* pooled identity strings — ``device_id``/``src_ip``/``dst_ip``/``sni``
+  repeat across millions of packets, so a module-level pool dedups them
+  and makes the flow-key dict lookups pointer-compare fast.  A private
+  pool rather than :func:`sys.intern`: resizing it costs kilobytes
+  (proportional to the few thousand distinct identities), whereas
+  pushing the process-wide intern table past a threshold forces a
+  multi-megabyte rehash into whatever campaign happens to be running —
+  visible as a spurious peak-memory spike in flat-memory monitoring;
 * **sealed flows** — a :class:`Flow` produced by a :class:`FlowTable`
   maintains its aggregates (``total_bytes``, ``sni``,
   ``first_timestamp``) incrementally as packets arrive and freezes them
@@ -36,7 +41,6 @@ every capture into flows post-hoc.  Three choices keep this layer cheap:
 from __future__ import annotations
 
 import enum
-import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
@@ -50,6 +54,16 @@ __all__ = [
     "flow_key",
     "group_flows",
 ]
+
+
+#: Dedup pool for packet identity strings (IPs, device ids, SNIs).
+#: Grows with the number of *distinct* identities — a few thousand for
+#: any roster — and never touches the global intern table.
+_STRING_POOL: Dict[str, str] = {}
+
+
+def _pooled(value: str) -> str:
+    return _STRING_POOL.setdefault(value, value)
 
 
 class Direction(enum.Enum):
@@ -112,20 +126,20 @@ class Packet:
         for port in (self.src_port, self.dst_port):
             if not 0 <= port <= 65535:
                 raise ValueError(f"port out of range: {port}")
-        # Identity strings repeat across millions of packets; interning
+        # Identity strings repeat across millions of packets; pooling
         # dedups the storage and turns downstream dict-key comparisons
         # into pointer checks.
-        object.__setattr__(self, "src_ip", sys.intern(self.src_ip))
-        object.__setattr__(self, "dst_ip", sys.intern(self.dst_ip))
-        object.__setattr__(self, "device_id", sys.intern(self.device_id))
+        object.__setattr__(self, "src_ip", _pooled(self.src_ip))
+        object.__setattr__(self, "dst_ip", _pooled(self.dst_ip))
+        object.__setattr__(self, "device_id", _pooled(self.device_id))
         if self.sni is not None:
-            object.__setattr__(self, "sni", sys.intern(self.sni))
+            object.__setattr__(self, "sni", _pooled(self.sni))
 
     def __reduce__(self):
         # Frozen slotted dataclasses have no __dict__ for the default
         # pickle path (and Python 3.10 generates no slots-aware
         # __getstate__), so rebuild through __init__ — which also
-        # re-interns the identity strings on load.
+        # re-pools the identity strings on load.
         return (
             self.__class__,
             (

@@ -150,10 +150,11 @@ class TestDatasetCache:
         assert not list(tmp_path.glob("dataset-*.pkl"))
         assert not DatasetCache._memory
 
-    def test_schema_version_is_crash_safe_era(self):
-        """v5 invalidates pre-crash-safe pickles (AuditDataset gained
-        ``missing_personas``; v4 entries lack the field)."""
-        assert CACHE_SCHEMA_VERSION == 5
+    def test_schema_version_is_segment_store_era(self):
+        """v6 invalidates pre-segment-store pickles (PersonaArtifacts
+        gained ``policy_fetches`` and ExperimentConfig gained
+        ``roster_scale``; v5 entries lack both)."""
+        assert CACHE_SCHEMA_VERSION == 6
 
 
 class TestCopySemantics:

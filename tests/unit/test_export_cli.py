@@ -75,6 +75,33 @@ class TestCli:
         assert (tmp_path / "r" / "bids.csv").exists()
         assert "exported" in capsys.readouterr().out
 
+    def test_run_segments_store_matches_memory(self, tmp_path, capsys):
+        mem = tmp_path / "mem"
+        seg = tmp_path / "seg"
+        assert main(["run", "--small", "--seed", "7", "--out", str(mem)]) == 0
+        code = main(
+            [
+                "run", "--small", "--seed", "7",
+                "--store", "segments",
+                "--store-dir", str(tmp_path / "store"),
+                "--out", str(seg),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "segment store" in out
+        for name in sorted(p.name for p in mem.iterdir()):
+            assert (mem / name).read_bytes() == (seg / name).read_bytes(), name
+
+    def test_run_segments_rejects_cache_flag(self, tmp_path):
+        code = main(
+            [
+                "run", "--small", "--seed", "7", "--cache",
+                "--store", "segments", "--out", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+
     def test_tables_small(self, capsys):
         assert main(["tables", "--small", "--seed", "7"]) == 0
         out = capsys.readouterr().out

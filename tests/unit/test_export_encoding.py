@@ -1,0 +1,68 @@
+"""Exports must pin UTF-8 explicitly on every file they write.
+
+Without an explicit ``encoding=``, Python falls back to the locale's
+preferred encoding — exports produced on a C.UTF-8 CI runner and a
+cp1252 Windows box would differ byte-for-byte (and non-ASCII skill or
+advertiser names would crash outright).  These tests spy on the two
+write primitives the export layer uses and fail if any write slips
+through without UTF-8 pinned.
+"""
+
+from pathlib import Path
+
+from repro.core.export import EXPORT_FILES, export_dataset, export_segment_store
+from repro.core.segments import SegmentStore, write_dataset_segments
+
+
+def _spy_writes(monkeypatch):
+    """Record (path, encoding) for every text-mode write through Path."""
+    writes = []
+    real_open = Path.open
+    real_write_text = Path.write_text
+
+    def spy_open(self, mode="r", *args, **kwargs):
+        if "w" in mode and "b" not in mode:
+            writes.append((self.name, kwargs.get("encoding")))
+        return real_open(self, mode, *args, **kwargs)
+
+    def spy_write_text(self, data, *args, **kwargs):
+        writes.append((self.name, kwargs.get("encoding")))
+        return real_write_text(self, data, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "open", spy_open)
+    monkeypatch.setattr(Path, "write_text", spy_write_text)
+    return writes
+
+
+class TestExportEncoding:
+    def test_export_dataset_pins_utf8_everywhere(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        writes = _spy_writes(monkeypatch)
+        export_dataset(small_dataset, tmp_path)
+        written = {name for name, _ in writes}
+        assert set(EXPORT_FILES) <= written
+        offenders = [name for name, enc in writes if enc != "utf-8"]
+        assert not offenders, f"writes without encoding='utf-8': {offenders}"
+
+    def test_export_segment_store_pins_utf8_everywhere(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        store = SegmentStore(
+            tmp_path / "store",
+            7,
+            "enc0000000000000",
+            tuple(small_dataset.personas),
+        )
+        write_dataset_segments(store, small_dataset)
+        writes = _spy_writes(monkeypatch)
+        export_segment_store(store, tmp_path / "out")
+        written = {name for name, _ in writes}
+        assert set(EXPORT_FILES) <= written
+        offenders = [name for name, enc in writes if enc != "utf-8"]
+        assert not offenders, f"writes without encoding='utf-8': {offenders}"
+
+    def test_summary_json_decodes_as_utf8(self, small_dataset, tmp_path):
+        export_dataset(small_dataset, tmp_path)
+        # Decodes strictly as UTF-8 — independent of the locale default.
+        (tmp_path / "summary.json").read_bytes().decode("utf-8", errors="strict")

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from scipy import stats as scipy_stats
 
 from repro.core.stats import (
@@ -65,6 +67,17 @@ class TestMannWhitney:
         assert not result.significant
         assert abs(result.effect_size) < 0.01
 
+    def test_two_sided_at_exact_null_is_one(self):
+        """Regression: at ``U == mean`` the continuity correction must
+        point toward the null.  The old ``copysign(0.5, u1 - mean_u)``
+        took the sign of ``+0.0`` and over-corrected, reporting p < 1
+        for identical tied samples where scipy reports exactly 1.0."""
+        x = [float(i) for i in range(1, 9)]  # ties force the asymptotic path
+        ours = mann_whitney_u(x, x, alternative="two-sided")
+        theirs = scipy_stats.mannwhitneyu(x, x, alternative="two-sided")
+        assert theirs.pvalue == 1.0
+        assert ours.p_value == 1.0
+
     def test_empty_sample_rejected(self):
         with pytest.raises(ValueError):
             mann_whitney_u([], [1.0])
@@ -72,6 +85,51 @@ class TestMannWhitney:
     def test_invalid_alternative_rejected(self):
         with pytest.raises(ValueError):
             mann_whitney_u([1.0], [2.0], alternative="sideways")
+
+
+#: Drawing from a small discrete pool makes midrank ties common; the
+#: float pool keeps samples untied.  Sizes >= 8 pin the asymptotic
+#: (continuity-corrected normal) path on both sides of the comparison.
+_tied_sample = st.lists(
+    st.sampled_from([1.0, 2.0, 3.0, 4.0, 5.0]), min_size=8, max_size=25
+)
+_untied_pool = [round(0.07 * k + 0.013, 6) for k in range(200)]
+
+
+class TestMannWhitneyProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        x=_tied_sample,
+        y=_tied_sample,
+        alternative=st.sampled_from(["greater", "less", "two-sided"]),
+    )
+    def test_tied_samples_match_scipy_asymptotic(self, x, y, alternative):
+        if len(set(x) | set(y)) < 2:
+            return  # zero-variance degenerate: scipy's z is undefined
+        ours = mann_whitney_u(x, y, alternative=alternative)
+        theirs = scipy_stats.mannwhitneyu(
+            x, y, alternative=alternative, method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9, abs=1e-12)
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.data(),
+        alternative=st.sampled_from(["greater", "less", "two-sided"]),
+    )
+    def test_untied_samples_match_scipy_asymptotic(self, data, alternative):
+        # Sampling distinct values without replacement guarantees no ties.
+        pool = data.draw(
+            st.permutations(_untied_pool).map(lambda p: p[:50])
+        )
+        n1 = data.draw(st.integers(min_value=9, max_value=25))
+        x, y = pool[:n1], pool[n1:]
+        ours = mann_whitney_u(x, y, alternative=alternative)
+        theirs = scipy_stats.mannwhitneyu(
+            x, y, alternative=alternative, method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9, abs=1e-12)
 
 
 class TestRankBiserial:
