@@ -9,6 +9,108 @@ import pkgutil
 import repro
 
 PREAMBLE = """\
+## CampaignSpec: one serializable campaign description
+
+`repro.core.campaign.CampaignSpec` is the single description of a
+campaign execution — config, seed, worker topology, cache,
+observability, crash-safety knobs, and store selection — shared
+verbatim by the Python API (`run_campaign(spec)`), the CLI
+(`repro run --spec spec.json`), and the HTTP service (`POST
+/campaigns`).  Properties the rest of the system builds on:
+
+* **Frozen + validated at construction.**  Every invalid combination
+  (unknown field, bad backend, negative workers, supervisor knobs
+  without `parallel=True`, …) raises the same message on every
+  surface, before anything runs.
+* **Exact JSON round trip.**  `CampaignSpec.from_json(spec.to_json())
+  == spec`, with unknown keys rejected (a typo'd knob fails the
+  submit instead of silently running a different campaign).  The
+  document carries a `schema` version (`SPEC_SCHEMA_VERSION`).
+* **Stable fingerprint.**  `spec.fingerprint()` digests the canonical
+  JSON — identical across processes and machines; job identity for the
+  service and a reuse key everywhere else.
+* **Runtime companions stay out.**  A live `ObsCollector`, a
+  `DatasetCache` instance, or a `WorkerFaultPlan` are per-process
+  overrides accepted by the kwargs form of `run_campaign` only — they
+  cannot cross a process boundary, so they are not spec fields.
+
+`execute_spec(spec, out_dir)` is the run-and-export path on top:
+because export content is seed-deterministic and the CLI, the Python
+API, and the HTTP service all funnel through it, the export directory
+for a given spec is **byte-identical no matter which surface submitted
+it**.
+
+JSON shape (defaults shown; `config` accepts any `ExperimentConfig`
+field):
+
+```json
+{
+  "schema": 1,
+  "config": {"skills_per_persona": 50, "pre_iterations": 6, "...": "..."},
+  "seed": 42,
+  "parallel": false,
+  "workers": null,
+  "backend": "process",
+  "cache": null,
+  "cache_copy": true,
+  "obs": true,
+  "checkpoint_dir": null,
+  "resume": false,
+  "on_shard_failure": "retry",
+  "shard_timeout": null,
+  "max_shard_retries": 2,
+  "store": "memory",
+  "store_dir": null,
+  "batch_personas": 1
+}
+```
+
+## Audit as a service (HTTP)
+
+`repro serve --root DIR` starts a stdlib-only HTTP service
+(`repro.service.AuditService`) that runs campaigns as durable **jobs**:
+
+| method | path | meaning |
+|---|---|---|
+| `POST` | `/campaigns` | submit a CampaignSpec (JSON body) → `201` + job record; invalid specs are a `400` with the construction error |
+| `GET` | `/campaigns` | list all jobs |
+| `GET` | `/campaigns/{id}` | one job's state record |
+| `GET` | `/campaigns/{id}/events` | Server-Sent Events tail of the job's event log (`?follow=0` replays and closes) |
+| `GET` | `/campaigns/{id}/results` | export-file listing |
+| `GET` | `/campaigns/{id}/results/{name}` | one export file's bytes |
+| `POST` | `/campaigns/{id}/cancel` | cancel a queued job |
+| `GET` | `/healthz` | liveness + `service.*` counters |
+
+**Job lifecycle.**  `queued` → `running` → one of the terminal states
+`complete`, `partial` (a degraded parallel campaign dropped personas),
+`failed`, or `cancelled`.  Each job owns a directory under the service
+root (`spec.json`, `state.json`, `events.jsonl`, `out/`, plus
+per-job `checkpoint/` and `segments/` namespaces), with every state
+write atomic.  Kill the service mid-campaign and restart it on the same
+root: non-terminal jobs are re-enqueued and **resume** from their own
+crash-safe checkpoints (shard journal or content-addressed segment
+batches), producing exports byte-identical to an uninterrupted run.
+
+**Scheduling.**  `CampaignScheduler` admits jobs strict-FIFO under a
+worker-token budget (`--total-workers`): a serial campaign costs one
+token, a parallel campaign its worker count, and the sum of running
+jobs' tokens never exceeds the budget — observable as
+`service.workers_peak` in `/healthz`.  Concurrent tenants get isolated
+namespaces and independently-seeded campaigns.
+
+**Events.**  The job log speaks the obs event schema (`schema`, `seq`,
+`type`, `sim_time`, `fields`): `job.submitted`, `job.started`
+(`resumed` flag), `job.progress` (completed shards/batches),
+`job.finished` / `job.failed` / `job.cancelled` / `job.recovered`.
+The SSE endpoint emits each line as one `data:` frame and closes with
+`event: end` + the terminal state.
+
+Client side: `repro submit spec.json --url http://host:8321 --wait
+--download DIR` submits a spec file, polls to completion, and downloads
+the exports; `repro run --spec spec.json --out DIR` runs the same file
+locally — `diff -r` of the two directories is empty (CI's
+`service-smoke` job asserts exactly that).
+
 ## Observability
 
 Every campaign run traces itself by default.  `run_campaign` returns its
@@ -174,12 +276,12 @@ none of it moves an exported byte
   benchmarks/bench_pipeline_throughput.py::bench_pipeline_throughput
   --bench-json benchmarks/BENCH_pipeline.json` and commit the result.
 
-## Migrating to `run_campaign`
+## Migrating to `run_campaign` / `CampaignSpec`
 
-The three legacy entrypoints are deprecated shims importable from
-`repro.core.experiment` / `repro.core.parallel` only (they are no longer
-re-exported from `repro` or `repro.core`); `run_campaign` is the one
-entrypoint used by the CLI, tests, and benchmarks.
+The three pre-1.0 entrypoints — `run_experiment`,
+`run_parallel_experiment`, `run_cached_experiment` — were deprecated
+shims through 1.5.x and are **removed in 1.6**; `run_campaign` is the
+one entrypoint used by the CLI, the service, tests, and benchmarks.
 
 | legacy call | replacement |
 |---|---|
@@ -187,11 +289,25 @@ entrypoint used by the CLI, tests, and benchmarks.
 | `run_parallel_experiment(seed, config, workers=4, backend="process")` | `run_campaign(config, seed, parallel=True, workers=4, backend="process")` |
 | `run_cached_experiment(seed_root, config)` | `run_campaign(config, seed_root, cache=True)` |
 
-Note the argument order change: `run_campaign` takes `(config, seed)` —
-config first, matching how call sites are usually parameterized — and
-everything else is keyword-only.  The shims emit `DeprecationWarning`
-and delegate to `run_campaign`; they do not attach an observability
-collector (`dataset.obs is None`).
+Note the argument order: `run_campaign` takes `(config, seed)` — config
+first, matching how call sites are usually parameterized — and
+everything else is keyword-only.
+
+Since 1.6 the preferred form is a spec — build it once, run it anywhere:
+
+```python
+spec = CampaignSpec(config=config, seed=42, parallel=True, workers=4)
+dataset = run_campaign(spec)            # Python API
+# repro run --spec spec.json           # CLI, same exports
+# POST /campaigns <- spec.to_json()    # HTTP service, same exports
+```
+
+`run_campaign(spec, workers=8)` is a `TypeError` — a spec is the whole
+campaign; derive variants with `spec.replace(workers=8)`.  The kwargs
+form `run_campaign(config, seed, ...)` remains supported as a shim that
+builds the spec internally and also accepts the non-serializable
+runtime companions (`obs=` collector, `cache=` instance,
+`worker_faults=`).
 """
 
 

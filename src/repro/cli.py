@@ -3,6 +3,8 @@
 Commands
 --------
 ``run``        run the full (or scaled) campaign and export artifacts
+``serve``      start the audit HTTP service (:mod:`repro.service`)
+``submit``     submit a CampaignSpec file to a running audit service
 ``tables``     print the paper's headline tables from a fresh campaign
 ``report``     render campaign reports (``obs-summary``)
 ``policheck``  run the §7 policy-compliance analysis
@@ -17,23 +19,29 @@ Every campaign-running command shares one flag set (``--seed``,
 through
 :func:`repro.core.run_campaign`.  ``run`` additionally exposes the
 crash-safety knobs (``--checkpoint-dir``, ``--resume``,
-``--on-shard-failure``, ``--shard-timeout``).  Output is emitted through the
-``repro.cli`` logger; ``--quiet`` raises the threshold to warnings.
+``--on-shard-failure``, ``--shard-timeout``) and accepts a serialized
+:class:`~repro.core.campaign.CampaignSpec` via ``--spec`` — the same
+document the HTTP service takes, so ``repro run --spec`` and an HTTP
+submission of the same file export byte-identical directories.  Output
+is emitted through the ``repro.cli`` logger; ``--quiet`` raises the
+threshold to warnings.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import logging
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
 from repro.core.bids import bid_summary_table, significance_vs_vanilla
-from repro.core.campaign import run_campaign
+from repro.core.campaign import CampaignSpec, execute_spec, run_campaign
 from repro.core.experiment import ExperimentConfig
-from repro.core.export import export_dataset
 from repro.core.report import render_kv, render_table
 from repro.core.syncing import detect_cookie_syncing
 from repro.util.rng import Seed
@@ -146,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", default="results", help="output directory")
     run.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="run the campaign described by a serialized CampaignSpec "
+        "(JSON; '-' for stdin) instead of composing one from flags — the "
+        "same document `repro submit` sends to the audit service, so both "
+        "surfaces export byte-identical directories",
+    )
+    run.add_argument(
         "--store",
         choices=("memory", "segments"),
         default="memory",
@@ -200,6 +217,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="wall-clock watchdog: reap and requeue a shard worker that "
         "produces no result within SECONDS (host clock, not sim clock)",
+    )
+
+    serve = sub.add_parser(
+        "serve", parents=[common], help="start the audit HTTP service"
+    )
+    serve.add_argument(
+        "--root",
+        default="audit-jobs",
+        help="service state directory (jobs, checkpoints, exports); "
+        "restarting with the same root recovers in-flight jobs",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--total-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker-token budget shared by all running campaigns: a "
+        "serial campaign costs 1, a parallel one its worker count",
+    )
+
+    submit = sub.add_parser(
+        "submit", parents=[common], help="submit a CampaignSpec to a service"
+    )
+    submit.add_argument(
+        "spec", metavar="FILE", help="CampaignSpec JSON file ('-' for stdin)"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="audit service base URL"
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job until it reaches a terminal state",
+    )
+    submit.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval for --wait",
+    )
+    submit.add_argument(
+        "--download",
+        metavar="DIR",
+        default=None,
+        help="after completion, download every result file to DIR "
+        "(implies --wait)",
     )
 
     sub.add_parser("tables", parents=[campaign], help="print headline tables")
@@ -297,66 +365,181 @@ def _write_obs_outputs(dataset, args) -> None:
 # ---------------------------------------------------------------------- #
 
 
-def _cmd_run(args) -> int:
+def _spec_from_run_args(args) -> Optional[CampaignSpec]:
+    """``run`` flags -> a :class:`CampaignSpec`, or ``None`` on a flag
+    conflict (already logged, exit code 2)."""
     if args.store == "segments":
-        return _cmd_run_segments(args)
+        incompatible = [
+            flag
+            for flag, active in (
+                ("--cache", args.cache),
+                ("--resume", args.resume),
+                ("--checkpoint-dir", args.checkpoint_dir is not None),
+                ("--trace-out", args.trace_out is not None),
+                ("--metrics-out", args.metrics_out is not None),
+            )
+            if active
+        ]
+        if incompatible:
+            _LOG.warning(
+                "%s do(es) not apply to --store segments: the store's "
+                "content-addressed batches already provide reuse and resume, "
+                "and segment workers do not trace",
+                ", ".join(incompatible),
+            )
+            return None
+        return CampaignSpec(
+            config=_resolve_config(args),
+            seed=args.seed,
+            parallel=args.parallel,
+            workers=args.workers if args.parallel else None,
+            backend=args.backend,
+            store="segments",
+            store_dir=args.store_dir,
+            on_shard_failure=args.on_shard_failure,
+            shard_timeout=args.shard_timeout,
+        )
     if args.store_dir is not None:
         _LOG.warning("--store-dir is ignored without --store segments")
-    dataset = _run_campaign_from_args(args)
-    counts = export_dataset(dataset, args.out)
+    cache_root = None
+    if args.cache:
+        from repro.core.cache import DatasetCache
+
+        cache_root = str(DatasetCache().root)
+    return CampaignSpec(
+        config=_resolve_config(args),
+        seed=args.seed,
+        parallel=args.parallel,
+        workers=args.workers if args.parallel else None,
+        backend=args.backend,
+        # the CLI only reads the dataset, so a cache hit is aliased
+        cache=cache_root,
+        cache_copy=not args.cache,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        on_shard_failure=args.on_shard_failure,
+        shard_timeout=args.shard_timeout,
+    )
+
+
+def _load_spec_file(path: str) -> CampaignSpec:
+    text = sys.stdin.read() if path == "-" else Path(path).read_text(encoding="utf-8")
+    return CampaignSpec.from_json(text)
+
+
+def _cmd_run(args) -> int:
+    if args.spec is not None:
+        shaping = [
+            flag
+            for flag, active in (
+                ("--seed", args.seed != 42),
+                ("--small", args.small),
+                ("--parallel", args.parallel),
+                ("--backend", args.backend != "process"),
+                ("--faults", args.faults != "none"),
+                ("--cache", args.cache),
+                ("--store", args.store != "memory"),
+                ("--store-dir", args.store_dir is not None),
+                ("--roster-scale", args.roster_scale != 1),
+                ("--checkpoint-dir", args.checkpoint_dir is not None),
+                ("--resume", args.resume),
+                ("--on-shard-failure", args.on_shard_failure != "retry"),
+                ("--shard-timeout", args.shard_timeout is not None),
+            )
+            if active
+        ]
+        if shaping:
+            _LOG.warning(
+                "--spec takes the whole campaign from the file; also passing "
+                "%s is ambiguous — edit the spec instead",
+                ", ".join(shaping),
+            )
+            return 2
+        spec = _load_spec_file(args.spec)
+    else:
+        spec = _spec_from_run_args(args)
+        if spec is None:
+            return 2
+    counts, result = execute_spec(spec, args.out)
     _LOG.info("%s", render_kv(counts, title=f"exported to {args.out}/"))
-    if dataset.timings:
-        total = dataset.timings.get("total", 0.0)
+    if spec.store == "segments":
+        _LOG.info("segment store: %s", result.campaign_dir)
+        return 0
+    _write_obs_outputs(result, args)
+    if result.timings:
+        total = result.timings.get("total", 0.0)
         _LOG.info("campaign wall-clock: %.1fs", total)
     return 0
 
 
-def _cmd_run_segments(args) -> int:
-    """``run --store segments``: stream the campaign through the store."""
-    from pathlib import Path
+def _cmd_serve(args) -> int:
+    from repro.service import AuditService
 
-    from repro.core.campaign import run_segment_campaign
-    from repro.core.export import export_segment_store
-
-    incompatible = [
-        flag
-        for flag, active in (
-            ("--cache", args.cache),
-            ("--resume", args.resume),
-            ("--checkpoint-dir", args.checkpoint_dir is not None),
-            ("--trace-out", args.trace_out is not None),
-            ("--metrics-out", args.metrics_out is not None),
-        )
-        if active
-    ]
-    if incompatible:
-        _LOG.warning(
-            "%s do(es) not apply to --store segments: the store's "
-            "content-addressed batches already provide reuse and resume, "
-            "and segment workers do not trace",
-            ", ".join(incompatible),
-        )
-        return 2
-    config = _resolve_config(args)
-    store_dir = (
-        Path(args.store_dir)
-        if args.store_dir is not None
-        else Path(args.out) / "_segments"
+    service = AuditService(
+        args.root,
+        host=args.host,
+        port=args.port,
+        total_workers=args.total_workers,
     )
-    store = run_segment_campaign(
-        config,
-        args.seed,
-        store_dir=store_dir,
-        parallel=args.parallel,
-        workers=args.workers if args.parallel else None,
-        backend=args.backend,
-        on_shard_failure=getattr(args, "on_shard_failure", "retry"),
-        shard_timeout=getattr(args, "shard_timeout", None),
-    )
-    counts = export_segment_store(store, args.out)
-    _LOG.info("%s", render_kv(counts, title=f"exported to {args.out}/"))
-    _LOG.info("segment store: %s", store.campaign_dir)
+    service.start()
+    _LOG.info("audit service listening on %s (root: %s)", service.url, args.root)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        _LOG.info("shutting down")
+        service.stop(wait=False)
     return 0
+
+
+_TERMINAL_JOB_STATES = ("complete", "partial", "failed", "cancelled")
+
+
+def _http_json(url: str, data: Optional[bytes] = None) -> dict:
+    import urllib.request
+
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _cmd_submit(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    spec = _load_spec_file(args.spec)  # fail locally before going remote
+    base = args.url.rstrip("/")
+    try:
+        job = _http_json(base + "/campaigns", spec.to_json().encode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        _LOG.warning("submit rejected (%d): %s", exc.code, detail)
+        return 1
+    _LOG.info("submitted %s (fingerprint %s)", job["id"], spec.fingerprint())
+    if not args.wait and args.download is None:
+        return 0
+    while True:
+        detail = _http_json(f"{base}/campaigns/{job['id']}")
+        if detail["state"] in _TERMINAL_JOB_STATES:
+            break
+        time.sleep(args.poll)
+    _LOG.info("job %s: %s", job["id"], detail["state"])
+    if args.download is not None:
+        listing = _http_json(f"{base}/campaigns/{job['id']}/results")
+        out = Path(args.download)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in listing["files"]:
+            with urllib.request.urlopen(
+                f"{base}/campaigns/{job['id']}/results/{name}"
+            ) as response:
+                (out / name).write_bytes(response.read())
+        _LOG.info("downloaded %d files to %s/", len(listing["files"]), out)
+    return 0 if detail["state"] in ("complete", "partial") else 1
 
 
 def _cmd_tables(args) -> int:
@@ -562,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     handlers = {
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "tables": _cmd_tables,
         "report": _cmd_report,
         "policheck": _cmd_policheck,

@@ -1,7 +1,7 @@
 """On-disk dataset cache keyed by (seed, config).
 
-:func:`repro.core.experiment.run_cached_experiment` used to memoize the
-campaign with ``functools.lru_cache``, which had two problems: every
+Early versions memoized the campaign with an in-process
+``functools.lru_cache``, which had two problems: every
 caller shared one mutable :class:`~repro.core.experiment.AuditDataset`
 (mutations leaked between tests), and the cache died with the process,
 so every pytest session re-ran the full campaign.

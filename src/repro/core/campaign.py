@@ -1,11 +1,27 @@
-"""The one campaign entrypoint: :func:`run_campaign`.
+"""The one campaign entrypoint: :func:`run_campaign` on a
+:class:`CampaignSpec`.
 
 The framework grew three ways to run the measurement campaign — serial
 (``run_experiment``), persona-sharded parallel
 (``run_parallel_experiment``), and disk-cached
 (``run_cached_experiment``) — each with its own argument order and no
-shared observability story.  :func:`run_campaign` collapses them behind
-one signature::
+shared observability story.  ``run_campaign`` collapsed them behind one
+signature, and then accreted thirteen keyword arguments that could not
+cross a process boundary.  :class:`CampaignSpec` is the redesign: one
+frozen, validated, JSON-round-trippable object holding *everything* that
+defines a campaign execution — config, seed, worker topology, cache,
+observability, crash-safety knobs, and store selection — shared verbatim
+by the Python API, the CLI, and the HTTP service
+(:mod:`repro.service`)::
+
+    spec = CampaignSpec(config=ExperimentConfig(), seed=42,
+                        parallel=True, workers=4)
+    dataset = run_campaign(spec)                    # the one entrypoint
+    spec == CampaignSpec.from_json(spec.to_json())  # exact round trip
+    spec.fingerprint()                              # stable job identity
+
+The kwargs form survives as a thin shim that builds a spec and
+delegates::
 
     dataset = run_campaign(config, seed)                     # serial
     dataset = run_campaign(config, seed, parallel=True,
@@ -14,19 +30,25 @@ one signature::
 
 Observability is on by default: every run traces into an
 :class:`~repro.obs.ObsCollector` (spans, counters, events, manifest)
-exposed as ``dataset.obs``.  Pass ``obs=False`` to disable it, or your
-own collector to trace into it.  Parallel runs merge per-shard
-collectors so the simulated-time span tree is byte-identical to the
-serial run's for the same seed.
+exposed as ``dataset.obs``.  Parallel runs merge per-shard collectors so
+the simulated-time span tree is byte-identical to the serial run's for
+the same seed.
 
-The legacy entrypoints survive as thin shims that raise
-``DeprecationWarning`` and delegate here.
+:func:`execute_spec` is the run-and-export path on top: it executes a
+spec (memory or segment store) and writes the export files to a
+directory — the CLI's ``run`` command and the HTTP service both call it,
+which is what makes an HTTP-submitted spec's exports byte-identical to
+the same spec run locally.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.experiment import (
     AuditDataset,
@@ -34,6 +56,8 @@ from repro.core.experiment import (
     _run_serial_experiment,
 )
 from repro.core.parallel import (
+    BACKENDS,
+    ON_SHARD_FAILURE,
     SupervisorPolicy,
     WorkerFaultPlan,
     _run_parallel_experiment,
@@ -43,7 +67,23 @@ from repro.core.personas import scaled_roster
 from repro.obs import NULL_OBS, ObsCollector, RunManifest
 from repro.util.rng import Seed
 
-__all__ = ["run_campaign", "run_segment_campaign"]
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "STORES",
+    "CampaignSpec",
+    "execute_spec",
+    "run_campaign",
+    "run_segment_campaign",
+]
+
+#: Bump whenever the serialized CampaignSpec layout changes shape; a
+#: stale or foreign spec document fails :meth:`CampaignSpec.from_dict`.
+SPEC_SCHEMA_VERSION = 1
+
+#: Campaign result stores: ``"memory"`` materializes one in-RAM
+#: ``AuditDataset``; ``"segments"`` streams persona batches through the
+#: on-disk :class:`~repro.core.segments.SegmentStore`.
+STORES = ("memory", "segments")
 
 #: Default worker count when ``parallel=True`` and ``workers`` is unset.
 _DEFAULT_WORKERS = 2
@@ -89,8 +129,255 @@ def _resolve_cache(cache):
     )
 
 
+# ---------------------------------------------------------------------- #
+# CampaignSpec
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One complete, serializable description of a campaign execution.
+
+    Every field is a JSON scalar, a nested :class:`ExperimentConfig`, or
+    ``None`` — ``CampaignSpec.from_json(spec.to_json())`` round-trips
+    exactly, and :meth:`fingerprint` is a stable identity usable as a
+    cache/job key across processes and machines.  Validation happens at
+    construction (``__post_init__``), so an invalid spec can never be
+    submitted, scheduled, or executed: the CLI, the Python API, and the
+    HTTP body all fail with the same message.
+
+    Non-serializable runtime companions (a live
+    :class:`~repro.obs.ObsCollector`, a
+    :class:`~repro.core.parallel.WorkerFaultPlan`) are deliberately NOT
+    spec fields — they are per-process overrides accepted by the kwargs
+    form of :func:`run_campaign` only.
+    """
+
+    #: Scale knobs; the paper-scale default when omitted.
+    config: ExperimentConfig = dataclasses.field(default_factory=ExperimentConfig)
+    #: Root seed (int — :class:`~repro.util.rng.Seed` is reconstructed
+    #: at execution time so the spec stays JSON-scalar).
+    seed: int = 42
+    #: Shard the persona roster across workers.
+    parallel: bool = False
+    #: Worker count (``None`` → default 2; only valid with ``parallel``).
+    workers: Optional[int] = None
+    #: Parallel backend: ``"process"`` or ``"thread"``.
+    backend: str = "process"
+    #: Dataset-cache root directory, or ``None`` for no cache.  Serial
+    #: memory-store campaigns only.
+    cache: Optional[str] = None
+    #: On a cache hit, deep-copy (``True``) or alias (``False``) the
+    #: cached dataset.  ``False`` requires ``cache``.
+    cache_copy: bool = True
+    #: Collect the observability trace (``dataset.obs``).  Memory store
+    #: only; segment-store workers never trace.
+    obs: bool = True
+    #: Durable shard-journal directory (parallel memory store only).
+    checkpoint_dir: Optional[str] = None
+    #: Load valid checkpointed shards from ``checkpoint_dir`` instead of
+    #: recomputing them.
+    resume: bool = False
+    #: Supervisor policy when a shard exhausts its attempts:
+    #: ``"retry"`` / ``"degrade"`` / ``"raise"``.
+    on_shard_failure: str = "retry"
+    #: Wall-clock watchdog seconds per shard attempt (``None`` → off).
+    shard_timeout: Optional[float] = None
+    #: Requeues per shard after its first failed attempt.
+    max_shard_retries: int = 2
+    #: Result store: ``"memory"`` or ``"segments"``.
+    store: str = "memory"
+    #: Segment-store root (``store="segments"`` only; ``None`` lets
+    #: :func:`execute_spec` default it to ``<out>/_segments``).
+    store_dir: Optional[str] = None
+    #: Personas per streamed batch (``store="segments"`` only).
+    batch_personas: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, ExperimentConfig):
+            raise TypeError(
+                "config must be an ExperimentConfig, got "
+                f"{type(self.config).__name__}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise TypeError(
+                f"seed must be an int, got {type(self.seed).__name__}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.on_shard_failure not in ON_SHARD_FAILURE:
+            raise ValueError(
+                f"on_shard_failure must be one of {ON_SHARD_FAILURE}, got "
+                f"{self.on_shard_failure!r}"
+            )
+        if self.store not in STORES:
+            raise ValueError(f"store must be one of {STORES}, got {self.store!r}")
+        if self.workers is not None:
+            if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+                raise TypeError(
+                    f"workers must be an int, got {type(self.workers).__name__}"
+                )
+            if self.workers < 1:
+                raise ValueError(f"workers must be >= 1, got {self.workers}")
+            if not self.parallel:
+                raise ValueError("workers requires parallel=True")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
+            )
+        if self.max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.batch_personas < 1:
+            raise ValueError(
+                f"batch_personas must be >= 1, got {self.batch_personas}"
+            )
+        if not self.parallel:
+            supervisor_knobs = {
+                "checkpoint_dir": (self.checkpoint_dir, None),
+                "resume": (self.resume, False),
+                "on_shard_failure": (self.on_shard_failure, "retry"),
+                "shard_timeout": (self.shard_timeout, None),
+                "max_shard_retries": (self.max_shard_retries, 2),
+            }
+            offending = [
+                name
+                for name, (value, default) in supervisor_knobs.items()
+                if value != default
+            ]
+            if offending:
+                raise ValueError(
+                    f"{', '.join(offending)} require(s) parallel=True — the "
+                    "checkpoint journal and shard supervisor only exist for "
+                    "sharded runs"
+                )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir=...")
+        if not self.cache_copy and self.cache is None:
+            raise ValueError("cache_copy=False requires cache=...")
+        if self.parallel and self.cache is not None:
+            raise ValueError(
+                "cache=... is mutually exclusive with parallel=True; the cache "
+                "stores serial campaigns (a cached parallel run would never "
+                "exercise the shard merge it exists to verify)"
+            )
+        if self.store == "segments":
+            offending = [
+                name
+                for name, active in (
+                    ("cache", self.cache is not None),
+                    ("checkpoint_dir", self.checkpoint_dir is not None),
+                    ("resume", self.resume),
+                )
+                if active
+            ]
+            if offending:
+                raise ValueError(
+                    f"{', '.join(offending)} do(es) not apply to "
+                    "store='segments': the store's content-addressed batches "
+                    "already provide reuse and resume"
+                )
+        elif self.batch_personas != 1:
+            raise ValueError("batch_personas requires store='segments'")
+        for name in ("cache", "checkpoint_dir", "store_dir"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise TypeError(
+                    f"{name} must be a string path or None in a CampaignSpec, "
+                    f"got {type(value).__name__} (the kwargs form of "
+                    "run_campaign accepts Path/DatasetCache objects)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (nested config expanded field by field)."""
+        payload = dataclasses.asdict(self)
+        payload["config"]["audio_personas"] = list(
+            payload["config"]["audio_personas"]
+        )
+        payload["schema"] = SPEC_SCHEMA_VERSION
+        return payload
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        """Build and validate a spec from its :meth:`to_dict` form.
+
+        Unknown keys — top-level or inside ``config`` — are an error,
+        never silently dropped: a typo'd knob in an HTTP body must fail
+        the submit, not run a subtly different campaign.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"campaign spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        payload = dict(payload)
+        schema = payload.pop("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                f"campaign spec schema {schema!r} is not supported "
+                f"(this build speaks schema {SPEC_SCHEMA_VERSION})"
+            )
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise ValueError(f"unknown campaign spec fields: {unknown}")
+        config = payload.get("config", {})
+        if isinstance(config, dict):
+            config_fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+            bad = sorted(set(config) - config_fields)
+            if bad:
+                raise ValueError(f"unknown config fields: {bad}")
+            payload["config"] = ExperimentConfig(**config)
+        elif not isinstance(config, ExperimentConfig):
+            raise TypeError(
+                "config must be a JSON object or ExperimentConfig, got "
+                f"{type(config).__name__}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"campaign spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the spec (16 hex chars).
+
+        Canonical-JSON based (sorted keys, compact separators), so the
+        same spec fingerprints identically in every process, on every
+        machine, and across submissions — job identity for the service
+        layer and a reuse key everywhere else.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def replace(self, **changes: object) -> "CampaignSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
+
+
 def run_campaign(
-    config: Optional[ExperimentConfig] = None,
+    config: Union[None, ExperimentConfig, CampaignSpec] = None,
     seed: Union[int, Seed] = 42,
     *,
     parallel: bool = False,
@@ -105,109 +392,141 @@ def run_campaign(
     shard_timeout: Optional[float] = None,
     max_shard_retries: int = 2,
     worker_faults: Optional[WorkerFaultPlan] = None,
-) -> AuditDataset:
-    """Run the full measurement campaign and return its dataset.
+):
+    """Run the full measurement campaign described by a spec.
 
-    Parameters
-    ----------
-    config:
-        Scale knobs; ``None`` means the paper-scale default.
-    seed:
-        Root seed as an ``int`` or a :class:`~repro.util.rng.Seed`.
-    parallel:
-        Shard the persona roster across workers.  The exported dataset —
-        and the merged trace's simulated-time span tree — are identical
-        to the serial run's for the same seed.
-    workers, backend:
-        Parallel topology (only valid with ``parallel=True``); backend
-        is ``"process"`` or ``"thread"``.
+    The one true entrypoint takes a :class:`CampaignSpec`::
+
+        dataset = run_campaign(spec)
+
+    and returns the :class:`~repro.core.experiment.AuditDataset`
+    (``spec.store == "memory"``) or the
+    :class:`~repro.core.segments.SegmentStore` (``spec.store ==
+    "segments"``).
+
+    The historical kwargs form is kept as a thin shim: it normalises its
+    arguments into a :class:`CampaignSpec` plus the non-serializable
+    runtime companions and delegates.  See :class:`CampaignSpec` for the
+    meaning of every knob; the runtime-only extras are:
+
+    obs:
+        ``None``/``True``/``False`` map onto ``spec.obs``; an existing
+        :class:`~repro.obs.ObsCollector` traces into it (serial/cached
+        only).
     cache:
-        ``True`` / a path / a :class:`~repro.core.cache.DatasetCache` to
-        memoize the serial campaign on disk per ``(seed, config)``.
-        Mutually exclusive with ``parallel``.
+        ``True`` → the default cache root, a path → that root, or a live
+        :class:`~repro.core.cache.DatasetCache` instance.
     cache_copy:
         On a cache hit, ``True`` (default) returns an independent deep
-        copy of the cached dataset; ``False`` aliases the cached
-        instance — much cheaper, for read-only consumers (reports,
-        exports, benchmarks).  Attaching the run manifest to
-        ``dataset.obs`` is the one mutation this function itself makes.
-    obs:
-        ``None`` (default) traces into a fresh
-        :class:`~repro.obs.ObsCollector`, returned as ``dataset.obs``;
-        ``False`` disables observability; an existing collector traces
-        into it (serial/cached only).
-    checkpoint_dir:
-        Directory for the crash-safe shard journal
-        (:class:`~repro.core.checkpoint.ShardJournal`): every completed
-        shard is atomically checkpointed there, so a killed campaign can
-        be resumed.  Parallel only.  When unset, shard results still
-        flow through an ephemeral journal that is discarded on return.
-    resume:
-        Load valid checkpointed shards from ``checkpoint_dir`` instead
-        of recomputing them.  Requires ``checkpoint_dir`` and the same
-        seed, config, and worker count as the interrupted run (the
-        journal key is validated).  Shard artifacts being
-        seed-deterministic, the resumed exports are byte-identical to an
-        uninterrupted run's.
-    on_shard_failure:
-        Supervisor policy when a shard worker crashes, hangs, or
-        publishes a poisoned result: ``"retry"`` (default) requeues up
-        to ``max_shard_retries`` times then raises
-        :class:`~repro.core.parallel.ShardFailure`; ``"raise"``
-        propagates the first failure; ``"degrade"`` drops exhausted
-        shards and returns an explicitly-partial dataset
-        (``dataset.missing_personas``, manifest, ``supervisor.*``
-        counters).
-    shard_timeout:
-        Wall-clock (host) seconds before the watchdog reaps a hung
-        shard worker and requeues it; ``None`` disables the watchdog.
-    max_shard_retries:
-        Requeues per shard after its first failed attempt.
+        copy; ``False`` aliases the cached instance (read-only
+        consumers).
     worker_faults:
         Seeded :class:`~repro.core.parallel.WorkerFaultPlan` injecting
-        worker-level crash/hang/poison faults (tests, chaos CI).
+        worker-level crash/hang/poison faults (tests, chaos CI).  Never
+        part of a spec: fault injection is a property of the harness,
+        not of the campaign.
     """
-    from repro import __version__
-    from repro.core.cache import config_fingerprint
-
-    if config is None:
-        config = ExperimentConfig()
-    seed = _resolve_seed(seed)
-    collector = _resolve_obs(obs)
-    cache_store = _resolve_cache(cache)
-
-    if not parallel and workers is not None:
-        raise ValueError("workers requires parallel=True")
-    if not parallel:
-        supervisor_knobs = {
+    if isinstance(config, CampaignSpec):
+        spec = config
+        extras = {
+            "seed": (seed, 42),
+            "parallel": (parallel, False),
+            "workers": (workers, None),
+            "backend": (backend, "process"),
+            "cache": (cache, None),
+            "cache_copy": (cache_copy, True),
+            "obs": (obs, None),
             "checkpoint_dir": (checkpoint_dir, None),
             "resume": (resume, False),
             "on_shard_failure": (on_shard_failure, "retry"),
             "shard_timeout": (shard_timeout, None),
             "max_shard_retries": (max_shard_retries, 2),
-            "worker_faults": (worker_faults, None),
         }
         offending = [
-            name for name, (value, default) in supervisor_knobs.items()
-            if value != default
+            name for name, (value, default) in extras.items() if value != default
         ]
         if offending:
-            raise ValueError(
-                f"{', '.join(offending)} require(s) parallel=True — the "
-                "checkpoint journal and shard supervisor only exist for "
-                "sharded runs"
+            raise TypeError(
+                "run_campaign(spec) takes the whole campaign from the spec; "
+                f"also passing {', '.join(offending)} is ambiguous — use "
+                "spec.replace(...) instead"
             )
-    if resume and checkpoint_dir is None:
-        raise ValueError("resume=True requires checkpoint_dir=...")
-    if not cache_copy and cache_store is None:
-        raise ValueError("cache_copy=False requires cache=...")
-    if parallel and cache_store is not None:
-        raise ValueError(
-            "cache=... is mutually exclusive with parallel=True; the cache "
-            "stores serial campaigns (a cached parallel run would never "
-            "exercise the shard merge it exists to verify)"
+        return _execute(spec, worker_faults=worker_faults)
+
+    # Legacy kwargs form: normalise into a spec + runtime companions.
+    if config is None:
+        config = ExperimentConfig()
+    seed_obj = _resolve_seed(seed)
+    cache_store = _resolve_cache(cache)
+    if obs is not None and not isinstance(obs, (bool, ObsCollector)):
+        raise TypeError(
+            f"obs must be None, a bool, or an ObsCollector, got {type(obs).__name__}"
         )
-    if parallel and isinstance(collector, ObsCollector) and obs not in (None, True):
+    obs_override = obs if isinstance(obs, ObsCollector) else None
+    if not parallel and workers is not None:
+        raise ValueError("workers requires parallel=True")
+    spec = CampaignSpec(
+        config=config,
+        seed=seed_obj.root,
+        parallel=parallel,
+        workers=workers,
+        backend=backend,
+        cache=None if cache_store is None else str(cache_store.root),
+        cache_copy=cache_copy,
+        obs=obs is not False,
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        resume=resume,
+        on_shard_failure=on_shard_failure,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+    )
+    return _execute(
+        spec,
+        obs_override=obs_override,
+        cache_override=cache_store,
+        worker_faults=worker_faults,
+    )
+
+
+def _execute(
+    spec: CampaignSpec,
+    *,
+    obs_override: Optional[ObsCollector] = None,
+    cache_override=None,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+):
+    """Execute a validated spec (plus runtime-only companions)."""
+    from repro import __version__
+    from repro.core.cache import config_fingerprint
+
+    if spec.store == "segments":
+        if spec.store_dir is None:
+            raise ValueError(
+                "store='segments' needs store_dir — set it on the spec, or "
+                "run through execute_spec(spec, out_dir) which defaults it "
+                "to <out>/_segments"
+            )
+        return run_segment_campaign(
+            spec.config,
+            spec.seed,
+            store_dir=spec.store_dir,
+            parallel=spec.parallel,
+            workers=spec.workers,
+            backend=spec.backend,
+            batch_personas=spec.batch_personas,
+            on_shard_failure=spec.on_shard_failure,
+            shard_timeout=spec.shard_timeout,
+            max_shard_retries=spec.max_shard_retries,
+            worker_faults=worker_faults,
+        )
+
+    config = spec.config
+    seed = Seed(spec.seed)
+    collector = obs_override if obs_override is not None else _resolve_obs(spec.obs)
+    cache_store = (
+        cache_override if cache_override is not None else _resolve_cache(spec.cache)
+    )
+    if spec.parallel and obs_override is not None:
         raise ValueError(
             "cannot trace a parallel run into a caller-supplied collector; "
             "pass obs=None and read the merged collector from dataset.obs"
@@ -216,22 +535,22 @@ def run_campaign(
     fingerprint = config_fingerprint(config)
     roster = tuple(p.name for p in scaled_roster(config.roster_scale))
 
-    if parallel:
-        n_workers = _DEFAULT_WORKERS if workers is None else workers
+    if spec.parallel:
+        n_workers = _DEFAULT_WORKERS if spec.workers is None else spec.workers
         policy = SupervisorPolicy(
-            on_shard_failure=on_shard_failure,
-            shard_timeout=shard_timeout,
-            max_shard_retries=max_shard_retries,
+            on_shard_failure=spec.on_shard_failure,
+            shard_timeout=spec.shard_timeout,
+            max_shard_retries=spec.max_shard_retries,
             worker_faults=worker_faults,
         )
         dataset, report = _run_parallel_experiment(
             seed,
             config,
             workers=n_workers,
-            backend=backend,
+            backend=spec.backend,
             collect_obs=collector.enabled,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
+            checkpoint_dir=spec.checkpoint_dir,
+            resume=spec.resume,
             policy=policy,
         )
         shards = tuple(
@@ -243,7 +562,7 @@ def run_campaign(
             config_fingerprint=fingerprint,
             entrypoint="parallel",
             workers=len(shards),
-            backend=backend,
+            backend=spec.backend,
             shards=shards,
             package_version=__version__,
             fault_profile=config.fault_profile,
@@ -252,14 +571,14 @@ def run_campaign(
                 for index in range(len(shards))
             ),
             missing_personas=report.missing_personas,
-            resumed=resume,
-            checkpointed=checkpoint_dir is not None,
+            resumed=spec.resume,
+            checkpointed=spec.checkpoint_dir is not None,
         )
     elif cache_store is not None:
         dataset = cache_store.read(
             seed.root,
             config,
-            copy=cache_copy,
+            copy=spec.cache_copy,
             compute=lambda: _run_serial_experiment(seed, config, obs=collector),
         )
         manifest = RunManifest(
@@ -290,6 +609,37 @@ def run_campaign(
         }
         dataset.obs.manifest = manifest
     return dataset
+
+
+def execute_spec(
+    spec: CampaignSpec,
+    out_dir: Union[str, Path],
+    *,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+) -> Tuple[Dict[str, int], object]:
+    """Run ``spec`` and export its artifacts to ``out_dir``.
+
+    The single run-and-export code path shared by ``repro run``, the
+    Python API, and the HTTP service (:mod:`repro.service`): because
+    export content is seed-deterministic and every consumer funnels
+    through here, the export directory for a given spec is byte-
+    identical no matter which surface submitted it.
+
+    Returns ``(counts, result)`` where ``counts`` maps export file name
+    to row count and ``result`` is the
+    :class:`~repro.core.experiment.AuditDataset` (memory store) or
+    :class:`~repro.core.segments.SegmentStore` (segment store).
+    """
+    from repro.core.export import export_dataset, export_segment_store
+
+    out = Path(out_dir)
+    if spec.store == "segments":
+        if spec.store_dir is None:
+            spec = spec.replace(store_dir=str(out / "_segments"))
+        store = run_campaign(spec, worker_faults=worker_faults)
+        return export_segment_store(store, out), store
+    dataset = run_campaign(spec, worker_faults=worker_faults)
+    return export_dataset(dataset, out), dataset
 
 
 def run_segment_campaign(

@@ -20,7 +20,6 @@ Timeline (simulated dates mirror the paper's December-2021 campaign):
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -50,8 +49,6 @@ __all__ = [
     "PolicyFetch",
     "AuditDataset",
     "ExperimentRunner",
-    "run_experiment",
-    "run_cached_experiment",
 ]
 
 _DAY = 86400.0
@@ -667,34 +664,3 @@ def _run_serial_experiment(
     """
     world = build_world(seed, faults=config.fault_profile)
     return ExperimentRunner(world, config, obs=obs).run()
-
-
-def run_experiment(
-    seed: Seed, config: ExperimentConfig = ExperimentConfig()
-) -> AuditDataset:
-    """Deprecated alias — use :func:`repro.core.run_campaign`.
-
-    Note the argument order flip: ``run_campaign(config, seed)``.
-    """
-    warnings.warn(
-        "run_experiment(seed, config) is deprecated; use "
-        "run_campaign(config, seed) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_serial_experiment(seed, config)
-
-
-def run_cached_experiment(
-    seed_root: int = 42, config: ExperimentConfig = ExperimentConfig()
-) -> AuditDataset:
-    """Deprecated alias — use ``run_campaign(config, seed, cache=True)``."""
-    warnings.warn(
-        "run_cached_experiment(seed_root, config) is deprecated; use "
-        "run_campaign(config, seed_root, cache=True) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.core.campaign import run_campaign
-
-    return run_campaign(config, seed_root, cache=True)

@@ -1,6 +1,6 @@
 """Persona-sharded parallel campaign runner with a crash-safe supervisor.
 
-The serial campaign (:func:`repro.core.experiment.run_experiment`) is a
+The serial campaign (``run_campaign(config, seed)``) is a
 single pass over the full persona roster.  But personas are measurement
 *units*: every per-persona artifact is derived from seed-keyed random
 substreams (:class:`~repro.util.rng.Seed`, :class:`~repro.util.rng.StreamFamily`),
@@ -71,7 +71,6 @@ import tempfile
 import threading
 import time
 import traceback
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -106,7 +105,6 @@ __all__ = [
     "parallel_map",
     "shard_personas",
     "merge_shard_results",
-    "run_parallel_experiment",
 ]
 
 #: Worker backends: "process" sidesteps the GIL (the campaign is pure
@@ -968,23 +966,3 @@ def _run_parallel_experiment(
             if count:
                 dataset.obs.inc(name, count)
     return dataset, report
-
-
-def run_parallel_experiment(
-    seed: Seed,
-    config: ExperimentConfig = ExperimentConfig(),
-    workers: int = 2,
-    backend: str = "process",
-) -> AuditDataset:
-    """Deprecated alias — use ``run_campaign(config, seed, parallel=True)``."""
-    warnings.warn(
-        "run_parallel_experiment(seed, config) is deprecated; use "
-        "run_campaign(config, seed, parallel=True, workers=..., "
-        "backend=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    dataset, _ = _run_parallel_experiment(
-        seed, config, workers=workers, backend=backend
-    )
-    return dataset

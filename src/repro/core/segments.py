@@ -212,6 +212,16 @@ class SegmentStore:
                 f"store manifest {self.manifest_path} is unreadable: {exc}"
             ) from exc
 
+    def status(self) -> Optional[str]:
+        """The manifest's campaign status (``"running"`` / ``"partial"``
+        / ``"complete"``), or ``None`` before any manifest exists.  The
+        service layer reads this to classify a finished segment job."""
+        manifest = self.read_manifest()
+        if manifest is None:
+            return None
+        value = manifest.get("status")
+        return value if isinstance(value, str) else None
+
     def manifest_matches(self) -> bool:
         """True when a manifest exists and matches this campaign's key."""
         try:

@@ -19,7 +19,12 @@ never branches on an ``if``.
 """
 
 from repro.obs.collector import NULL_OBS, NullObs, ObsCollector, merge_collectors
-from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    event_line,
+    make_event_record,
+)
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
 from repro.obs.metrics import MERGE_POLICIES, Counter, Gauge, MetricsRegistry
 from repro.obs.tracer import SPAN_SCHEMA_VERSION, Span, Tracer
@@ -39,5 +44,7 @@ __all__ = [
     "SPAN_SCHEMA_VERSION",
     "Span",
     "Tracer",
+    "event_line",
+    "make_event_record",
     "merge_collectors",
 ]

@@ -25,12 +25,50 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Optional, Sequence, TextIO
 
-__all__ = ["EventLog", "EVENT_SCHEMA_VERSION"]
+__all__ = [
+    "EventLog",
+    "EVENT_SCHEMA_VERSION",
+    "event_line",
+    "make_event_record",
+]
 
 #: Bump when the event record layout changes shape.
 EVENT_SCHEMA_VERSION = 1
 
 _TOP_LEVEL_KEYS = ("schema", "seq", "type", "sim_time", "fields")
+
+
+def make_event_record(
+    seq: int,
+    event_type: str,
+    fields: Dict[str, object],
+    sim_time: Optional[float] = None,
+) -> Dict[str, object]:
+    """One schema-conformant event record (the five-key contract).
+
+    Shared by the in-memory :class:`EventLog` and the service layer's
+    on-disk job logs (:mod:`repro.service.jobs`), so every JSONL event
+    in the system — campaign trace or job progress — has the same shape
+    and the same validation.
+    """
+    for key, value in fields.items():
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TypeError(
+                f"event field {key!r} must be a JSON scalar, got "
+                f"{type(value).__name__}"
+            )
+    return {
+        "schema": EVENT_SCHEMA_VERSION,
+        "seq": seq,
+        "type": event_type,
+        "sim_time": None if sim_time is None else round(sim_time, 6),
+        "fields": {key: fields[key] for key in sorted(fields)},
+    }
+
+
+def event_line(record: Dict[str, object]) -> str:
+    """The canonical JSONL form (sorted keys, compact separators)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
 class EventLog:
@@ -47,21 +85,12 @@ class EventLog:
 
     def emit(self, event_type: str, **fields: object) -> Dict[str, object]:
         """Record one event, stamping the current simulated time."""
-        for key, value in fields.items():
-            if value is not None and not isinstance(value, (str, int, float, bool)):
-                raise TypeError(
-                    f"event field {key!r} must be a JSON scalar, got "
-                    f"{type(value).__name__}"
-                )
-        record: Dict[str, object] = {
-            "schema": EVENT_SCHEMA_VERSION,
-            "seq": len(self._records),
-            "type": event_type,
-            "sim_time": (
-                None if self._clock is None else round(self._clock.now, 6)
-            ),
-            "fields": {key: fields[key] for key in sorted(fields)},
-        }
+        record = make_event_record(
+            len(self._records),
+            event_type,
+            fields,
+            sim_time=None if self._clock is None else self._clock.now,
+        )
         self._records.append(record)
         return record
 
@@ -81,10 +110,7 @@ class EventLog:
 
     def to_jsonl(self) -> str:
         """One canonical JSON object per line."""
-        return "\n".join(
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-            for record in self._records
-        )
+        return "\n".join(event_line(record) for record in self._records)
 
     def write(self, handle: TextIO) -> int:
         """Write the JSONL form to ``handle``; returns the line count."""

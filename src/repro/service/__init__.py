@@ -1,0 +1,54 @@
+"""Audit-as-a-service: run measurement campaigns over HTTP.
+
+The paper's audit framework is useful to people who don't want to drive
+a Python API: this package turns a :class:`~repro.core.campaign.
+CampaignSpec` — the one serializable description of a campaign — into a
+job you can submit, watch, and download over plain HTTP.
+
+Three layers, one per module:
+
+* :mod:`repro.service.jobs` — durable job state.  Each job owns a
+  directory (spec, state, event log, exports, checkpoint/segment
+  namespaces); state writes are atomic, so a killed service recovers
+  every in-flight job on restart and resumes it from its own
+  crash-safe checkpoints.
+* :mod:`repro.service.scheduler` — fair-share execution.  Strict-FIFO
+  admission under a worker-token budget bounds total concurrency while
+  letting multiple tenants' campaigns (different seeds, isolated
+  namespaces) run side by side.
+* :mod:`repro.service.app` — the HTTP surface.  Stdlib
+  ``ThreadingHTTPServer``; submit specs as JSON, tail progress as
+  Server-Sent Events, download export files whose bytes are identical
+  to a local ``repro run`` of the same spec.
+
+Start one from the CLI (``repro serve --root jobs/``) or in process::
+
+    from repro.service import AuditService
+    with AuditService("jobs", port=0, total_workers=4) as service:
+        print(service.url)
+"""
+
+from repro.service.app import AuditService
+from repro.service.jobs import (
+    JOB_SCHEMA_VERSION,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobEventWriter,
+    JobStore,
+    SubmitError,
+)
+from repro.service.scheduler import CampaignScheduler, worker_cost
+
+__all__ = [
+    "AuditService",
+    "CampaignScheduler",
+    "JOB_SCHEMA_VERSION",
+    "JOB_STATES",
+    "Job",
+    "JobEventWriter",
+    "JobStore",
+    "SubmitError",
+    "TERMINAL_STATES",
+    "worker_cost",
+]

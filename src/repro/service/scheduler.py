@@ -1,0 +1,209 @@
+"""Fair-share campaign scheduler with a bounded worker budget.
+
+The service runs campaigns for multiple tenants concurrently, but the
+host has a fixed number of cores — so admission is governed by a
+**worker-token budget**: a serial campaign costs one token, a parallel
+campaign costs its worker count, and the sum of running jobs' tokens
+never exceeds ``total_workers``.  Admission is strict FIFO over the
+submission order: the head job waits until its tokens fit, and nothing
+behind it can jump the queue.  That is the fairness guarantee — a small
+tenant can never be starved by a stream of big campaigns (they queue
+behind it), and a big campaign can never be starved by a stream of
+small ones (they queue behind *it*).
+
+Every admitted job runs on its own thread; the campaign itself may then
+fan out into processes (``backend="process"``) inside its token
+allowance.  Scheduler behaviour is observable through the ``service.*``
+counters (:meth:`CampaignScheduler.counters`), including
+``service.workers_peak`` — the high-water token usage, which a test can
+assert never exceeded the budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.campaign import CampaignSpec, _DEFAULT_WORKERS
+from repro.service.jobs import Job, JobStore
+
+__all__ = ["CampaignScheduler", "worker_cost"]
+
+
+def worker_cost(spec: CampaignSpec, total_workers: int) -> int:
+    """Worker tokens one campaign consumes while running.
+
+    Clamped to the budget so a campaign asking for more workers than
+    the service owns still runs (alone) instead of queueing forever.
+    """
+    cost = (spec.workers or _DEFAULT_WORKERS) if spec.parallel else 1
+    return max(1, min(cost, total_workers))
+
+
+class CampaignScheduler:
+    """FIFO job queue + worker-token admission over a :class:`JobStore`."""
+
+    def __init__(self, store: JobStore, *, total_workers: int = 4) -> None:
+        if total_workers < 1:
+            raise ValueError(f"total_workers must be >= 1, got {total_workers}")
+        self.store = store
+        self.total_workers = total_workers
+        self._cond = threading.Condition()
+        self._queue: List[str] = []  # job ids, submission order
+        self._active_tokens = 0
+        self._active_threads: Dict[str, threading.Thread] = {}
+        self._counters: Dict[str, int] = {
+            "service.jobs_submitted": 0,
+            "service.jobs_completed": 0,
+            "service.jobs_partial": 0,
+            "service.jobs_failed": 0,
+            "service.jobs_cancelled": 0,
+            "service.jobs_recovered": 0,
+            "service.workers_active": 0,
+            "service.workers_peak": 0,
+        }
+        self._stopping = False
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Recover persisted jobs and start dispatching."""
+        recovered = self.store.recover()
+        with self._cond:
+            for job in recovered:
+                self._queue.append(job.id)
+                self._counters["service.jobs_recovered"] += 1
+            self._stopping = False
+            self._cond.notify_all()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="campaign-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop admitting jobs; optionally wait for running ones."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        if wait:
+            for thread in list(self._active_threads.values()):
+                thread.join()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and nothing is running."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._queue and not self._active_threads,
+                timeout=timeout,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Submission / cancellation
+    # ------------------------------------------------------------------ #
+
+    def submit(self, spec: CampaignSpec) -> Job:
+        """Persist and enqueue a new campaign job."""
+        job = self.store.submit(spec)
+        with self._cond:
+            self._queue.append(job.id)
+            self._counters["service.jobs_submitted"] += 1
+            self._cond.notify_all()
+        return job
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job if it has not started; returns the new state.
+
+        A ``queued`` job is dequeued and marked ``cancelled``.  A
+        ``running`` campaign is not interruptible (its worker processes
+        own the work), so cancellation is recorded as a request and the
+        job runs to its own terminal state.  Terminal jobs are
+        unchanged.  Returns ``None`` for unknown ids.
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            return None
+        with self._cond:
+            if job_id in self._queue and job.state == "queued":
+                self._queue.remove(job_id)
+                self._counters["service.jobs_cancelled"] += 1
+                # Event before state: SSE tails close on the terminal
+                # state and must not miss the cancellation event.
+                job.events.emit("job.cancelled")
+                job.update_state("cancelled")
+                self._cond.notify_all()
+                return "cancelled"
+        if job.state == "running":
+            job.set_flag("cancel_requested", True)
+        return job.state
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the ``service.*`` counters."""
+        with self._cond:
+            counters = dict(self._counters)
+            counters["service.jobs_queued"] = len(self._queue)
+        return counters
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(lambda: self._stopping or self._admissible())
+                if self._stopping:
+                    return
+                job_id = self._queue.pop(0)
+                job = self.store.get(job_id)
+                assert job is not None  # queue only ever holds known ids
+                cost = worker_cost(job.spec, self.total_workers)
+                self._active_tokens += cost
+                self._counters["service.workers_active"] = self._active_tokens
+                self._counters["service.workers_peak"] = max(
+                    self._counters["service.workers_peak"], self._active_tokens
+                )
+                thread = threading.Thread(
+                    target=self._run_job,
+                    args=(job, cost),
+                    name=f"campaign-{job.id}",
+                    daemon=True,
+                )
+                self._active_threads[job.id] = thread
+            thread.start()
+
+    def _admissible(self) -> bool:
+        """Strict FIFO: only the head job is considered for admission."""
+        if not self._queue:
+            return False
+        job = self.store.get(self._queue[0])
+        if job is None:
+            self._queue.pop(0)
+            return self._admissible()
+        cost = worker_cost(job.spec, self.total_workers)
+        return self._active_tokens + cost <= self.total_workers
+
+    def _run_job(self, job: Job, cost: int) -> None:
+        try:
+            state = job.execute()
+        except Exception:  # noqa: BLE001 - job.execute already records errors
+            state = "failed"
+        with self._cond:
+            self._active_tokens -= cost
+            self._counters["service.workers_active"] = self._active_tokens
+            self._active_threads.pop(job.id, None)
+            key = {
+                "complete": "service.jobs_completed",
+                "partial": "service.jobs_partial",
+            }.get(state, "service.jobs_failed")
+            self._counters[key] += 1
+            self._cond.notify_all()

@@ -12,7 +12,7 @@ from repro.core.cache import (
     default_cache_dir,
 )
 from repro.core.campaign import run_campaign
-from repro.core.experiment import ExperimentConfig, run_cached_experiment
+from repro.core.experiment import ExperimentConfig
 
 TINY = ExperimentConfig(
     skills_per_persona=2,
@@ -199,13 +199,11 @@ class TestCopySemantics:
             run_campaign(TINY, 321, cache_copy=False)
 
 
-class TestRunCachedExperiment:
-    def test_shim_warns_and_copies_are_independent(self, monkeypatch, tmp_path):
+class TestRunCampaignCached:
+    def test_cached_copies_are_independent(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
-            first = run_cached_experiment(321, TINY)
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
-            second = run_cached_experiment(321, TINY)
+        first = run_campaign(TINY, 321, cache=True)
+        second = run_campaign(TINY, 321, cache=True)
         assert first is not second
         assert _bid_rows(first) == _bid_rows(second)
 

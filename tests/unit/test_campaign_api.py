@@ -3,11 +3,7 @@
 import pytest
 
 from repro.core.campaign import run_campaign
-from repro.core.experiment import (
-    ExperimentConfig,
-    run_experiment,
-)
-from repro.core.parallel import run_parallel_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.obs import ObsCollector
 from repro.util.rng import Seed
 
@@ -85,31 +81,18 @@ class TestValidation:
             run_campaign(TINY, 1, cache=42)
 
 
-class TestLegacyShims:
-    def test_run_experiment_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
-            dataset = run_experiment(Seed(2001), TINY)
-        assert dataset.personas
-        assert dataset.obs is None
+class TestLegacyShimsRemoved:
+    """The pre-1.6 entrypoints are gone, not just deprecated."""
 
-    def test_run_parallel_experiment_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
-            dataset = run_parallel_experiment(
-                Seed(2002), TINY, workers=2, backend="thread"
-            )
-        assert dataset.personas
-        assert dataset.obs is None
+    def test_run_experiment_is_gone(self):
+        import repro.core.experiment as experiment
 
-    def test_shim_matches_campaign_artifacts(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_experiment(Seed(2003), TINY)
-        modern = run_campaign(TINY, 2003, obs=False)
-        legacy_bids = {
-            name: [(b.site, b.bidder, b.cpm) for b in audit.bids]
-            for name, audit in legacy.personas.items()
-        }
-        modern_bids = {
-            name: [(b.site, b.bidder, b.cpm) for b in audit.bids]
-            for name, audit in modern.personas.items()
-        }
-        assert legacy_bids == modern_bids
+        assert not hasattr(experiment, "run_experiment")
+        assert not hasattr(experiment, "run_cached_experiment")
+        assert "run_experiment" not in experiment.__all__
+
+    def test_run_parallel_experiment_is_gone(self):
+        import repro.core.parallel as parallel
+
+        assert not hasattr(parallel, "run_parallel_experiment")
+        assert "run_parallel_experiment" not in parallel.__all__

@@ -1,0 +1,77 @@
+"""The package's public surface: ``repro.__all__``, version wiring.
+
+Two drift guards:
+
+* every name in ``repro.__all__`` must import from ``repro`` and be
+  documented in ``docs/API.md`` (regenerate with
+  ``python docs/generate_api.py`` after changing a public surface);
+* ``pyproject.toml`` must derive its package version from
+  ``repro.__version__`` (the two once said 1.0.0 and 1.5.x at the same
+  time — never again).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestPublicSurface:
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} "
+            "but `from repro import ...` cannot provide it"
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    def test_core_entrypoints_are_public(self):
+        for name in ("CampaignSpec", "ExperimentConfig", "Seed",
+                     "execute_spec", "run_campaign"):
+            assert name in repro.__all__
+
+    def test_all_names_are_documented(self):
+        api_md = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+        missing = [
+            name
+            for name in repro.__all__
+            if name != "__version__" and f"`{name}`" not in api_md
+        ]
+        assert not missing, (
+            f"public names absent from docs/API.md: {missing} — run "
+            "`PYTHONPATH=src python docs/generate_api.py`"
+        )
+
+    def test_service_surface_is_documented(self):
+        api_md = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+        for name in ("AuditService", "CampaignScheduler", "JobStore"):
+            assert f"`{name}`" in api_md
+
+    def test_star_import_matches_all(self):
+        namespace = {}
+        exec("from repro import *", namespace)  # noqa: S102 - test-only
+        exported = {name for name in namespace if not name.startswith("__")}
+        declared = {name for name in repro.__all__ if name != "__version__"}
+        assert exported == declared
+
+
+class TestVersionWiring:
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_pyproject_version_is_dynamic_from_package(self):
+        tomllib = pytest.importorskip("tomllib")
+        payload = tomllib.loads(
+            (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        )
+        assert "version" in payload["project"].get("dynamic", []), (
+            "pyproject.toml must declare version as dynamic — a literal "
+            "version there drifts from repro.__version__"
+        )
+        assert "version" not in payload["project"]
+        attr = payload["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+        assert attr == "repro.__version__"
