@@ -65,6 +65,63 @@ field):
 }
 ```
 
+## Longitudinal timelines: `TimelineSpec`
+
+`repro.core.timeline.TimelineSpec` extends the spec contract along the
+time axis: a base `CampaignSpec` (which must select
+`store="segments"`) plus an ordered tuple of `EpochSpec` mutations.
+Like the campaign spec it is frozen, validated at construction, an
+exact JSON round trip, and fingerprintable; `repro timeline run
+--spec timeline.json` and `run_timeline(spec, out_dir)` execute the
+same document identically.
+
+Each `EpochSpec` is the **absolute** (cumulative) ecosystem state of
+one epoch, not a diff — so any epoch is independently executable via
+`spec.effective_config(i)`:
+
+```json
+{
+  "schema": 1,
+  "base": {"...": "a CampaignSpec document with store = segments"},
+  "epochs": [
+    {},
+    {
+      "offset_days": 14,
+      "bidders_entered": 1,
+      "bidders_exited": 0,
+      "catalog_churn": ["smart-home:e1-5f2a10"],
+      "interest_drift": ["dating:2"],
+      "filterlist_add": ["fresh.tracker.example"],
+      "filterlist_remove": ["amazon-adsystem.com"]
+    }
+  ]
+}
+```
+
+* **Dirty-set semantics.**  `persona_fingerprint(seed_root, config,
+  persona)` digests every input that can reach one persona's
+  artifacts.  `offset_days` and bidder churn are global (every persona
+  dirty); `catalog_churn` dirties only that category's interest
+  persona; `interest_drift` only the named persona; filter-list
+  updates dirty **nobody** — the list classifies traffic after the
+  fact, so an update only relabels the delta report.
+* **Incremental recompute.**  `run_timeline(spec, out_dir)` copies
+  clean personas' segment records from the previous epoch's store and
+  re-executes only the dirty set; `incremental=False` (CLI `--cold`)
+  recomputes everything.  Both paths export byte-identical files, and
+  each epoch's store manifest publishes
+  `timeline.personas_reused` / `timeline.personas_recomputed`.
+* **Delta report.**  Each consecutive epoch pair writes
+  `delta-epoch<i-1>-to-epoch<i>.json`: `tracker_domains`
+  (new/vanished under each epoch's own filter list), `bid_deltas`
+  (per-persona mean-CPM movement), `policy_regressions`
+  (compliance flags that went true→false), and `seasonality` (where
+  each epoch's day 0 sits on the holiday ramp).
+* **Seeded authoring.**  `TimelineSpec.generate(base, n_epochs=...)`
+  draws drift/churn/filter-list mutations from
+  `Seed(base.seed).derive("timeline")` substreams — the same base spec
+  always yields the same timeline (`repro timeline generate`).
+
 ## Audit as a service (HTTP)
 
 `repro serve --root DIR` starts a stdlib-only HTTP service

@@ -77,11 +77,20 @@ class PersonaState:
 class AdTechWorld:
     """All server-side ad-tech state plus endpoint handlers."""
 
-    def __init__(self, seed: Seed, universe: "WebUniverse") -> None:
+    def __init__(
+        self,
+        seed: Seed,
+        universe: "WebUniverse",
+        *,
+        bidders_entered: int = 0,
+        bidders_exited: int = 0,
+    ) -> None:
         self._seed = seed
         self.universe = universe
         self.ad_server = AdServer(seed.derive("ads"))
-        self.bidders: List[Bidder] = self._make_bidders(seed)
+        self.bidders: List[Bidder] = self._make_bidders(
+            seed, entered=bidders_entered, exited=bidders_exited
+        )
         self.partner_codes: Tuple[str, ...] = tuple(
             b.code for b in self.bidders if b.is_partner
         )
@@ -106,10 +115,30 @@ class AdTechWorld:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _make_bidders(seed: Seed) -> List[Bidder]:
+    def _make_bidders(
+        seed: Seed, *, entered: int = 0, exited: int = 0
+    ) -> List[Bidder]:
+        """The DSP roster, optionally churned for a timeline epoch.
+
+        ``exited`` drops the last that many original partners (the most
+        recently joined leave first); ``entered`` appends fresh partner
+        DSPs under the ``edsp`` code prefix.  Per-slot bidder subsets
+        are sampled from the whole roster, so any churn reshapes every
+        slot's demand — a global mutation by construction.
+        """
+        if exited >= N_PARTNERS:
+            raise ValueError(
+                f"bidders_exited must be < {N_PARTNERS}, got {exited}: "
+                "at least one original Amazon partner must remain"
+            )
         bidders = []
-        for i in range(N_PARTNERS):
+        for i in range(N_PARTNERS - exited):
             code = f"dsp{i:02d}"
+            bidders.append(
+                Bidder(code, f"ib.{code}.bid-exchange.com", is_partner=True, seed=seed)
+            )
+        for i in range(entered):
+            code = f"edsp{i:02d}"
             bidders.append(
                 Bidder(code, f"ib.{code}.bid-exchange.com", is_partner=True, seed=seed)
             )

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        run the full (or scaled) campaign and export artifacts
+``timeline``   longitudinal multi-epoch audits (``generate`` / ``run``)
 ``serve``      start the audit HTTP service (:mod:`repro.service`)
 ``submit``     submit a CampaignSpec file to a running audit service
 ``tables``     print the paper's headline tables from a fresh campaign
@@ -270,6 +271,59 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --wait)",
     )
 
+    timeline = sub.add_parser(
+        "timeline", help="longitudinal multi-epoch audits (TimelineSpec)"
+    )
+    tsub = timeline.add_subparsers(dest="timeline_command", required=True)
+    tgen = tsub.add_parser(
+        "generate",
+        parents=[common],
+        help="author a seeded TimelineSpec and print/write its JSON",
+    )
+    tgen.add_argument("--small", action="store_true", help="scaled-down campaign")
+    tgen.add_argument(
+        "--parallel", action="store_true", help="shard each epoch across workers"
+    )
+    tgen.add_argument(
+        "--workers", type=int, default=4, help="worker count for --parallel"
+    )
+    tgen.add_argument(
+        "--backend", choices=("process", "thread"), default="process"
+    )
+    tgen.add_argument(
+        "--faults", metavar="PROFILE", default="none",
+        help="network fault profile for every epoch (none|mild|harsh|rate)",
+    )
+    tgen.add_argument("--epochs", type=int, default=2, metavar="N")
+    tgen.add_argument(
+        "--gap-days", type=int, default=0, metavar="DAYS",
+        help="sim-clock shift between epochs; nonzero marches the campaign "
+        "across the holiday ramp but dirties every persona",
+    )
+    tgen.add_argument("--drift-personas", type=int, default=2, metavar="N")
+    tgen.add_argument("--churn-categories", type=int, default=1, metavar="N")
+    tgen.add_argument("--filterlist-updates", type=int, default=1, metavar="N")
+    tgen.add_argument(
+        "--out", default="-", metavar="FILE",
+        help="write the TimelineSpec JSON here ('-' for stdout)",
+    )
+    trun = tsub.add_parser(
+        "run",
+        parents=[common],
+        help="execute a TimelineSpec: per-epoch exports + delta reports",
+    )
+    trun.add_argument(
+        "--spec", metavar="FILE", required=True,
+        help="TimelineSpec JSON file ('-' for stdin)",
+    )
+    trun.add_argument("--out", default="timeline-results", help="output directory")
+    trun.add_argument(
+        "--cold", action="store_true",
+        help="disable incremental reuse: every epoch recomputes the full "
+        "roster (exports are byte-identical either way — this flag exists "
+        "to verify exactly that)",
+    )
+
     sub.add_parser("tables", parents=[campaign], help="print headline tables")
 
     report = sub.add_parser("report", parents=[campaign], help="render reports")
@@ -469,6 +523,69 @@ def _cmd_run(args) -> int:
     if result.timings:
         total = result.timings.get("total", 0.0)
         _LOG.info("campaign wall-clock: %.1fs", total)
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.core.timeline import TimelineSpec, run_timeline
+
+    if args.timeline_command == "generate":
+        config = _config(args.small)
+        if args.faults != config.fault_profile:
+            config = dataclasses.replace(config, fault_profile=args.faults)
+        base = CampaignSpec(
+            config=config,
+            seed=args.seed,
+            parallel=args.parallel,
+            workers=args.workers if args.parallel else None,
+            backend=args.backend,
+            store="segments",
+        )
+        spec = TimelineSpec.generate(
+            base,
+            n_epochs=args.epochs,
+            epoch_gap_days=args.gap_days,
+            drift_personas=args.drift_personas,
+            churn_categories=args.churn_categories,
+            filterlist_updates=args.filterlist_updates,
+        )
+        text = spec.to_json(indent=2) + "\n"
+        if args.out == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.out).write_text(text, encoding="utf-8")
+            _LOG.info("wrote TimelineSpec (%d epochs) to %s", args.epochs, args.out)
+        return 0
+
+    text = (
+        sys.stdin.read()
+        if args.spec == "-"
+        else Path(args.spec).read_text(encoding="utf-8")
+    )
+    spec = TimelineSpec.from_json(text)
+    result = run_timeline(spec, args.out, incremental=not args.cold)
+    for run in result.epochs:
+        counts = dict(run.counts)
+        counts["personas_reused"] = run.personas_reused
+        counts["personas_recomputed"] = run.personas_recomputed
+        _LOG.info(
+            "%s",
+            render_kv(
+                counts,
+                title=f"epoch {run.index:02d} -> {run.export_dir}/ ({run.status})",
+            ),
+        )
+    for delta in result.deltas:
+        epochs = delta["epochs"]
+        _LOG.info(
+            "delta epoch %02d -> %02d: %d new / %d vanished tracker domains, "
+            "%d policy regressions",
+            epochs["previous"],
+            epochs["current"],
+            len(delta["tracker_domains"]["new"]),
+            len(delta["tracker_domains"]["vanished"]),
+            len(delta["policy_regressions"]),
+        )
     return 0
 
 
@@ -745,6 +862,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     handlers = {
         "run": _cmd_run,
+        "timeline": _cmd_timeline,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "tables": _cmd_tables,

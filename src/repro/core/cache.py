@@ -44,7 +44,7 @@ from repro.core.experiment import (
     ExperimentConfig,
     _run_serial_experiment,
 )
-from repro.core.world import build_world
+from repro.core.world import build_config_world
 from repro.util.rng import Seed
 
 __all__ = [
@@ -71,7 +71,12 @@ __all__ = [
 #: (:mod:`repro.core.segments`), which subsumes this cache with
 #: persona-granularity reuse; ``DatasetCache`` remains as the
 #: compatibility path for whole-dataset consumers.
-CACHE_SCHEMA_VERSION = 6
+#: v7: timeline era — ``ExperimentConfig`` gained the epoch-mutation
+#: fields (``epoch_offset_days``, ``bidders_entered``/``bidders_exited``,
+#: ``catalog_churn``, ``interest_drift``); fingerprints shifted and
+#: reattached worlds are built through ``build_config_world`` so the
+#: mutations apply on cache loads too.
+CACHE_SCHEMA_VERSION = 7
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -201,7 +206,7 @@ class DatasetCache:
             return None
         dataset: AuditDataset = payload["dataset"]
         # Re-attach a generative-truth world (see module docstring).
-        dataset.world = build_world(Seed(seed_root), faults=config.fault_profile)
+        dataset.world = build_config_world(Seed(seed_root), config)
         return dataset
 
     def _store(

@@ -74,6 +74,7 @@ __all__ = [
     "execute_spec",
     "run_campaign",
     "run_segment_campaign",
+    "run_segment_positions",
 ]
 
 #: Bump whenever the serialized CampaignSpec layout changes shape; a
@@ -684,20 +685,8 @@ def run_segment_campaign(
     manifest status is ``"complete"``, or ``"partial"`` when a degraded
     parallel run dropped personas.
     """
-    import functools
-    import gc
-    import shutil
-    import tempfile
-
-    from repro import __version__
     from repro.core.cache import config_fingerprint
-    from repro.core.checkpoint import ShardJournal
-    from repro.core.parallel import _ShardSupervisor
-    from repro.core.segments import (
-        SegmentStore,
-        run_segment_shard,
-        write_segment_batch,
-    )
+    from repro.core.segments import SegmentStore
 
     if config is None:
         config = ExperimentConfig()
@@ -713,9 +702,69 @@ def run_segment_campaign(
     store = SegmentStore(store_dir, seed.root, fingerprint, names)
     store.ensure_manifest()
 
+    missing = run_segment_positions(
+        store,
+        seed,
+        config,
+        range(len(names)),
+        parallel=parallel,
+        workers=workers,
+        backend=backend,
+        batch_personas=batch_personas,
+        on_shard_failure=on_shard_failure,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+        worker_faults=worker_faults,
+    )
+    store.write_manifest("partial" if missing else "complete")
+    return store
+
+
+def run_segment_positions(
+    store,
+    seed: Seed,
+    config: ExperimentConfig,
+    positions,
+    *,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    backend: str = "process",
+    batch_personas: int = 1,
+    on_shard_failure: str = "retry",
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 2,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+) -> Tuple[str, ...]:
+    """Execute a subset of roster positions into a segment store.
+
+    The execution core shared by :func:`run_segment_campaign` (which
+    passes the full roster) and the timeline layer's incremental epoch
+    runner (which passes only the dirty set).  Already-covered positions
+    are skipped either way; the caller owns the manifest.  Returns the
+    persona names a degraded parallel run dropped (empty on success —
+    the serial path either completes or raises).
+    """
+    import functools
+    import gc
+    import shutil
+    import tempfile
+
+    from repro import __version__
+    from repro.core.checkpoint import ShardJournal
+    from repro.core.parallel import _ShardSupervisor
+    from repro.core.segments import run_segment_shard, write_segment_batch
+
+    roster = scaled_roster(config.roster_scale)
+    positions = sorted(set(int(pos) for pos in positions))
+    for pos in positions:
+        if not 0 <= pos < len(roster):
+            raise ValueError(
+                f"position {pos} outside roster of {len(roster)}"
+            )
+
     if not parallel:
         covered = store.covered_positions()
-        pending = [pos for pos in range(len(names)) if pos not in covered]
+        pending = [pos for pos in positions if pos not in covered]
         for start in range(0, len(pending), batch_personas):
             write_segment_batch(
                 store, seed, config, pending[start : start + batch_personas]
@@ -724,12 +773,13 @@ def run_segment_campaign(
             # peak memory stays one-batch-sized instead of riding the
             # generational GC's schedule across a long roster.
             gc.collect()
-        store.write_manifest("complete")
-        return store
+        return ()
 
     n_workers = _DEFAULT_WORKERS if workers is None else workers
     if n_workers < 1:
         raise ValueError(f"workers must be >= 1, got {n_workers}")
+    if not positions:
+        return ()
     policy = SupervisorPolicy(
         on_shard_failure=on_shard_failure,
         shard_timeout=shard_timeout,
@@ -737,14 +787,17 @@ def run_segment_campaign(
         worker_faults=worker_faults,
     )
     plan = [
-        [p.name for p in shard] for shard in shard_personas(roster, n_workers)
+        [p.name for p in shard]
+        for shard in shard_personas([roster[pos] for pos in positions], n_workers)
     ]
     # The journal here is supervisor bookkeeping only (attempt history,
     # crash/hang/poison recovery) — durability lives in the store's
     # content-addressed batches, so the journal is ephemeral.
     journal_root = tempfile.mkdtemp(prefix="repro-segment-journal-")
     try:
-        journal = ShardJournal(journal_root, seed.root, fingerprint, plan)
+        journal = ShardJournal(
+            journal_root, seed.root, store.config_fingerprint, plan
+        )
         journal.reset()
         journal.write_manifest(status="running", package_version=__version__)
         supervisor = _ShardSupervisor(
@@ -763,6 +816,7 @@ def run_segment_campaign(
         _, report = supervisor.run({})
     finally:
         shutil.rmtree(journal_root, ignore_errors=True)
-
-    store.write_manifest("partial" if report.missing_personas else "complete")
-    return store
+    # Workers wrote batches from other processes; drop any coverage scan
+    # the caller's handle took before the run.
+    store._scan_cache = None
+    return tuple(report.missing_personas)

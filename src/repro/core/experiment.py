@@ -28,7 +28,7 @@ from repro.alexa.account import AmazonAccount
 from repro.alexa.device import AVSEcho, EchoDevice, PlaintextRecord
 from repro.alexa.dsar import DataExport
 from repro.core.personas import Persona, scaled_roster
-from repro.core.world import World, build_world
+from repro.core.world import World, build_config_world
 from repro.data import categories as cat
 from repro.data.skill_catalog import STREAMING_SKILLS
 from repro.data.websites import WEB_PRIMING_SITES, WebsiteSpec
@@ -76,12 +76,47 @@ class ExperimentConfig:
     #: 13-persona campaign; larger scales drive the flat-memory segment
     #: store (see :mod:`repro.core.segments`).
     roster_scale: int = 1
+    #: Timeline-epoch mutations (:mod:`repro.core.timeline`).  All of
+    #: them default to "no mutation", so a plain campaign is epoch 0 of
+    #: every timeline.  Because they are config fields they participate
+    #: in :func:`repro.core.cache.config_fingerprint` — two epochs whose
+    #: effective configs match share a segment-store directory and reuse
+    #: each other's covered personas for free.
+    #:
+    #: Calendar shift in whole days: the world clock's epoch becomes
+    #: ``PAPER_EPOCH + epoch_offset_days``, so
+    #: :func:`repro.data.calibration.holiday_factor` seasonality (Table
+    #: 6) varies across timeline epochs while the day-relative crawl
+    #: schedule is untouched.
+    epoch_offset_days: int = 0
+    #: Bidder-roster churn: ``bidders_entered`` appends that many new
+    #: partner DSPs (``edsp00``, ``edsp01``, …); ``bidders_exited``
+    #: removes the last that many original partners.  Slot assignment
+    #: samples from the whole roster, so any churn dirties every persona.
+    bidders_entered: int = 0
+    bidders_exited: int = 0
+    #: Skill-catalog churn tokens, ``"<category>:<salt>"``: re-draw the
+    #: review counts of that category's skills with a salt-keyed stream,
+    #: reshuffling its ``top_skills`` ranking while every other
+    #: category's skills — and every other seeded draw — stay untouched.
+    catalog_churn: Tuple[str, ...] = ()
+    #: Interest-drift tokens, ``"<persona>:<shift>"``: slide that
+    #: persona's skill window down its category ranking by ``shift``
+    #: positions (installs skills ranked ``shift .. shift+n``), leaving
+    #: every other persona's artifacts untouched.
+    interest_drift: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.skills_per_persona < 1 or self.skills_per_persona > 50:
             raise ValueError("skills_per_persona must be in [1, 50]")
         if self.pre_iterations < 0 or self.post_iterations < 1:
             raise ValueError("iteration counts out of range")
+        if self.pre_iterations > 6:
+            raise ValueError(
+                f"pre_iterations must be <= 6, got {self.pre_iterations}: "
+                "pre-interaction crawls run every other day from day 0 and "
+                "must finish before the day-11 install phase"
+            )
         if self.crawl_sites < 1:
             raise ValueError(f"crawl_sites must be >= 1, got {self.crawl_sites}")
         if self.prebid_discovery_target < 1:
@@ -121,6 +156,31 @@ class ExperimentConfig:
         object.__setattr__(
             self, "fault_profile", FaultProfile.parse(self.fault_profile).name
         )
+        for name in ("epoch_offset_days", "bidders_entered", "bidders_exited"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"{name} must be an int, got {type(value).__name__}"
+                )
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        object.__setattr__(self, "catalog_churn", tuple(self.catalog_churn))
+        for token in self.catalog_churn:
+            category, sep, salt = str(token).partition(":")
+            if not sep or not salt or category not in cat.ALL_CATEGORIES:
+                raise ValueError(
+                    f"catalog_churn token {token!r} must be "
+                    f"'<category>:<salt>' with a category from "
+                    f"{sorted(cat.ALL_CATEGORIES)}"
+                )
+        object.__setattr__(self, "interest_drift", tuple(self.interest_drift))
+        for token in self.interest_drift:
+            persona, sep, shift = str(token).partition(":")
+            if not sep or not persona or not shift.isdigit() or int(shift) < 1:
+                raise ValueError(
+                    f"interest_drift token {token!r} must be "
+                    "'<persona>:<shift>' with an integer shift >= 1"
+                )
 
 
 @dataclass
@@ -433,7 +493,11 @@ class ExperimentRunner:
         self, personas: Sequence[Persona], sites: List[WebsiteSpec]
     ) -> None:
         for i in range(self.config.pre_iterations):
-            self._advance_to_day(2 * i)  # Dec 10, 12, ..., 20
+            # Iteration 0 crawls on day 0, where setup/discovery already
+            # left the clock; asking to "advance" there would be a
+            # backwards target.
+            if i:
+                self._advance_to_day(2 * i)  # Dec 12, 14, ..., 20
             self._crawl_all(
                 personas, sites, iteration=-(self.config.pre_iterations - i)
             )
@@ -457,9 +521,18 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
 
     def _skills_for(self, persona: Persona):
-        return self.world.catalog.top_skills(
-            persona.category, self.config.skills_per_persona
+        n = self.config.skills_per_persona
+        shift = sum(
+            int(token.partition(":")[2])
+            for token in self.config.interest_drift
+            if token.partition(":")[0] == persona.name
         )
+        if shift == 0:
+            return self.world.catalog.top_skills(persona.category, n)
+        # Interest drift: the persona's attention window slides down the
+        # category ranking, so installs/captures/policies churn while the
+        # category-keyed bid parameters (and every other persona) hold.
+        return self.world.catalog.top_skills(persona.category, n + shift)[shift:]
 
     def _install_all_skills(self, personas: Sequence[Persona]) -> None:
         for persona in personas:
@@ -631,8 +704,19 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
 
     def _advance_to_day(self, day: float) -> None:
-        """Advance the sim clock to ``day`` days after the epoch."""
+        """Advance the sim clock to ``day`` days after the epoch.
+
+        A target behind the clock is a scheduling bug (mirroring
+        :meth:`~repro.util.clock.SimClock.advance`): silently no-opping
+        here would let a mis-scheduled timeline collapse distinct crawl
+        days onto one date and skew the Table-6 seasonality unnoticed.
+        """
         target = day * _DAY
+        if target < self.world.clock.now:
+            raise ValueError(
+                f"cannot advance backwards to day {day} "
+                f"(clock is already at {self.world.clock.now / _DAY:.3f} days)"
+            )
         if target > self.world.clock.now:
             self.world.clock.advance(target - self.world.clock.now)
 
@@ -662,5 +746,5 @@ def _run_serial_experiment(
     Internal serial engine behind :func:`repro.core.run_campaign`; call
     that instead of this.
     """
-    world = build_world(seed, faults=config.fault_profile)
+    world = build_config_world(seed, config)
     return ExperimentRunner(world, config, obs=obs).run()

@@ -87,7 +87,7 @@ from repro.core.experiment import (
     PolicyFetch,
 )
 from repro.core.personas import Persona, all_personas, scaled_roster
-from repro.core.world import build_world
+from repro.core.world import build_config_world, build_world
 from repro.data.websites import WebsiteSpec
 from repro.obs import ObsCollector, merge_collectors
 from repro.util.rng import Seed, StreamFamily
@@ -217,7 +217,7 @@ def _run_shard(
     # Faults come from the root seed (never shard order): every shard's
     # FaultPlan draws identical per-(actor, domain) schedules, which is
     # what keeps faulted parallel runs byte-identical to serial.
-    world = build_world(seed, faults=config.fault_profile)
+    world = build_config_world(seed, config)
     obs = ObsCollector() if collect_obs else None
     dataset = ExperimentRunner(world, config, personas=personas, obs=obs).run()
     return ShardResult(
@@ -237,6 +237,7 @@ def merge_shard_results(
     results: Sequence[ShardResult],
     fault_profile: Optional[str] = None,
     *,
+    config: Optional[ExperimentConfig] = None,
     expected_personas: Optional[Sequence[str]] = None,
     allow_partial: bool = False,
 ) -> AuditDataset:
@@ -319,7 +320,13 @@ def merge_shard_results(
         prebid_sites=list(reference.prebid_sites),
         crawl_sites=list(reference.crawl_sites),
         policy_fetches=policy_fetches,
-        world=build_world(seed, faults=fault_profile),
+        # The merged dataset's generative-truth handle reflects the full
+        # config when one is given (timeline epochs mutate the world).
+        world=(
+            build_config_world(seed, config)
+            if config is not None
+            else build_world(seed, faults=fault_profile)
+        ),
         timings=timings,
         missing_personas=missing,
         obs=obs,
@@ -944,6 +951,7 @@ def _run_parallel_experiment(
         seed,
         [results[index] for index in sorted(results)],
         fault_profile=config.fault_profile,
+        config=config,
         expected_personas=[name for names in plan for name in names],
         allow_partial=policy.on_shard_failure == "degrade",
     )

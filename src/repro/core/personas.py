@@ -18,6 +18,7 @@ __all__ = [
     "control_personas",
     "all_personas",
     "scaled_roster",
+    "positions_by_name",
 ]
 
 
@@ -104,3 +105,14 @@ def scaled_roster(scale: int = 1) -> List[Persona]:
         )
     personas.extend(control_personas())
     return personas
+
+
+def positions_by_name(roster: List[Persona]) -> dict:
+    """Map persona name to roster position.
+
+    Roster position is the stable per-campaign persona identity — the
+    segment store keys records by it, and the timeline layer classifies
+    dirty personas by it — so every consumer that translates names to
+    positions should share this one mapping.
+    """
+    return {persona.name: pos for pos, persona in enumerate(roster)}

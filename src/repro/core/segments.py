@@ -65,10 +65,10 @@ from repro.core.experiment import (
     ExperimentRunner,
     PersonaArtifacts,
 )
-from repro.core.personas import scaled_roster
+from repro.core.personas import positions_by_name, scaled_roster
 from repro.core.profiling import persona_observations
 from repro.core.syncing import persona_sync_events
-from repro.core.world import build_world
+from repro.core.world import build_config_world
 from repro.util.rng import Seed
 
 __all__ = [
@@ -183,7 +183,16 @@ class SegmentStore:
     def manifest_path(self) -> Path:
         return self.campaign_dir / _MANIFEST_NAME
 
-    def write_manifest(self, status: str) -> None:
+    def write_manifest(
+        self, status: str, extras: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Publish the campaign manifest.
+
+        ``extras`` merges additional top-level fields into the payload
+        (e.g. the timeline layer's ``timeline.personas_reused`` /
+        ``timeline.personas_recomputed`` counters); they may not shadow
+        the fixed key fields.
+        """
         if status not in ("running", "partial", "complete"):
             raise ValueError(f"invalid store status: {status!r}")
         payload = {
@@ -195,6 +204,13 @@ class SegmentStore:
             "status": status,
             "package_version": _package_version(),
         }
+        if extras:
+            shadowed = set(extras) & set(payload)
+            if shadowed:
+                raise ValueError(
+                    f"manifest extras shadow fixed fields: {sorted(shadowed)}"
+                )
+            payload.update(extras)
         atomic_write_bytes(
             self.manifest_path,
             (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
@@ -712,7 +728,7 @@ def write_segment_batch(
     if tuple(p.name for p in roster) != store.roster:
         raise ValueError("config roster does not match the store roster")
     personas = [roster[pos] for pos in positions]
-    world = build_world(seed, faults=config.fault_profile)
+    world = build_config_world(seed, config)
     dataset = ExperimentRunner(world, config, personas=personas).run()
     records: Dict[str, List[dict]] = {stream: [] for stream in STREAMS}
     for pos, persona in zip(positions, personas):
@@ -748,7 +764,7 @@ def run_segment_shard(
     from repro.core.parallel import ShardResult
 
     roster = scaled_roster(config.roster_scale)
-    pos_by_name = {p.name: i for i, p in enumerate(roster)}
+    pos_by_name = positions_by_name(roster)
     unknown = [n for n in persona_names if n not in pos_by_name]
     if unknown:
         raise ValueError(f"unknown personas in shard {shard_index}: {unknown}")

@@ -23,7 +23,7 @@ from repro.data.domains import (
     build_endpoint_registry,
     build_entity_database,
 )
-from repro.data.skill_catalog import SkillCatalog, build_catalog
+from repro.data.skill_catalog import SkillCatalog, build_catalog, churn_catalog
 from repro.data.websites import WebsiteSpec, build_toplist
 from repro.netsim.endpoints import EndpointRegistry
 from repro.netsim.faults import FaultPlan, FaultProfile
@@ -33,11 +33,11 @@ from repro.orgmap.filterlists import FilterList
 from repro.orgmap.resolver import OrgResolver
 from repro.orgmap.whois import WhoisService
 from repro.policies.corpus import PolicyCorpus, build_corpus
-from repro.util.clock import SimClock
+from repro.util.clock import PAPER_EPOCH, SimClock
 from repro.util.rng import Seed
 from repro.web.browser import WebUniverse
 
-__all__ = ["World", "build_world"]
+__all__ = ["World", "build_world", "build_config_world"]
 
 
 @dataclass
@@ -81,6 +81,11 @@ def build_world(
     seed: Seed,
     catalog: SkillCatalog = None,
     faults: Optional[Union[str, FaultProfile]] = None,
+    *,
+    epoch_offset_days: int = 0,
+    bidders_entered: int = 0,
+    bidders_exited: int = 0,
+    catalog_churn: tuple = (),
 ) -> World:
     """Stand up the whole simulated lab for one seed.
 
@@ -93,8 +98,21 @@ def build_world(
     a float-rate string, or a :class:`~repro.netsim.faults.FaultProfile` —
     installs a seeded :class:`~repro.netsim.faults.FaultPlan` on the
     router and exposes it as :attr:`World.fault_plan` for the browsers.
+
+    The keyword-only knobs are the timeline-epoch mutations
+    (:mod:`repro.core.timeline`): ``epoch_offset_days`` shifts the world
+    clock's calendar epoch (the simulation still starts at elapsed 0, so
+    the day-relative crawl schedule is unchanged — only the dates, and
+    therefore the Table-6 holiday seasonality, move);
+    ``bidders_entered``/``bidders_exited`` churn the DSP roster; and
+    ``catalog_churn`` re-ranks skill categories
+    (:func:`~repro.data.skill_catalog.churn_catalog`).  Use
+    :func:`build_config_world` to thread them from an
+    :class:`~repro.core.experiment.ExperimentConfig`.
     """
-    clock = SimClock()
+    from datetime import timedelta
+
+    clock = SimClock(epoch=PAPER_EPOCH + timedelta(days=epoch_offset_days))
     registry = build_endpoint_registry()
     fault_plan: Optional[FaultPlan] = None
     if faults is not None:
@@ -104,12 +122,19 @@ def build_world(
     router = Router(registry, clock, faults=fault_plan)
     if catalog is None:
         catalog = build_catalog(seed)
+    if catalog_churn:
+        catalog = churn_catalog(catalog, seed, catalog_churn)
     cloud = AlexaCloud(catalog, router, clock, seed)
     marketplace = Marketplace(catalog, cloud)
     dsar = DataRequestPortal(cloud)
     audio_server = AudioAdServer(seed.derive("audio"))
     universe = WebUniverse()
-    adtech = AdTechWorld(seed, universe)
+    adtech = AdTechWorld(
+        seed,
+        universe,
+        bidders_entered=bidders_entered,
+        bidders_exited=bidders_exited,
+    )
     toplist = build_toplist(seed)
     corpus = build_corpus(catalog, seed)
     entity_db = build_entity_database()
@@ -133,4 +158,23 @@ def build_world(
         whois=whois,
         filter_list=filter_list,
         fault_plan=fault_plan,
+    )
+
+
+def build_config_world(seed: Seed, config) -> World:
+    """:func:`build_world` with every world-shaping field of an
+    :class:`~repro.core.experiment.ExperimentConfig` threaded through.
+
+    The single world-construction path for campaign engines (serial,
+    parallel shards, segment batches, cache loads): going through it is
+    what guarantees that two engines given the same ``(seed, config)``
+    audit the same world — the root of every byte-identical-exports pin.
+    """
+    return build_world(
+        seed,
+        faults=config.fault_profile,
+        epoch_offset_days=config.epoch_offset_days,
+        bidders_entered=config.bidders_entered,
+        bidders_exited=config.bidders_exited,
+        catalog_churn=config.catalog_churn,
     )

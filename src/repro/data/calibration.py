@@ -40,6 +40,7 @@ __all__ = [
     "NON_PARTNER_SIGNAL_FACTOR",
     "bid_params",
     "holiday_factor",
+    "holiday_window",
     "N_PARTNERS",
     "N_NON_PARTNERS",
     "N_DOWNSTREAM_THIRD_PARTIES",
@@ -148,6 +149,17 @@ _HOLIDAY_RAMP: Tuple[Tuple[_dt.date, float], ...] = (
     (_dt.date(2021, 12, 28), 1.5),
     (_dt.date(2022, 1, 3), 1.0),
 )
+
+
+def holiday_window() -> Tuple[_dt.date, _dt.date]:
+    """First and last anchor dates of the seasonal ramp.
+
+    The multiplier is 1.0 on and outside both endpoints, so a campaign
+    whose day range misses ``[start, end]`` sees flat seasonal pricing.
+    The timeline layer uses this to report whether each epoch's shifted
+    clock still overlaps the holiday surge.
+    """
+    return _HOLIDAY_RAMP[0][0], _HOLIDAY_RAMP[-1][0]
 
 
 def holiday_factor(when: _dt.datetime) -> float:

@@ -25,6 +25,7 @@ __all__ = [
     "SkillSpec",
     "SkillCatalog",
     "build_catalog",
+    "churn_catalog",
     "STREAMING_SKILLS",
     "QUOTAS",
 ]
@@ -987,4 +988,38 @@ def build_catalog(seed: Seed) -> SkillCatalog:
     skills = _assign_policies(skills, seed)
     skills = _assign_data_types(skills, seed)
     skills = _assign_amazon_endpoints(skills, seed)
+    return SkillCatalog(skills)
+
+
+def churn_catalog(
+    catalog: SkillCatalog, seed: Seed, tokens: Sequence[str]
+) -> SkillCatalog:
+    """Re-rank categories of a built catalog for a timeline epoch.
+
+    Each token is ``"<category>:<salt>"``: every skill in that category
+    gets a fresh ``review_count`` drawn from a stream keyed by the salt
+    and the skill id, reshuffling the category's ``top_skills`` order.
+    This is a post-pass over an already-built catalog, so every other
+    seeded assignment (failures, policies, data types, endpoints) is
+    frozen into the specs before any churn draw happens — churning
+    category X can never perturb category Y, which is what lets the
+    timeline layer treat catalog churn as a per-category mutation.
+    """
+    churned: Dict[str, List[str]] = {}
+    for token in tokens:
+        category, _, salt = str(token).partition(":")
+        churned.setdefault(category, []).append(salt)
+    if not churned:
+        return catalog
+    unknown = sorted(set(churned) - set(cat.ALL_CATEGORIES))
+    if unknown:
+        raise ValueError(f"catalog_churn names unknown categories: {unknown}")
+    skills: List[SkillSpec] = []
+    for spec in catalog:
+        salts = churned.get(spec.category)
+        if salts is None:
+            skills.append(spec)
+            continue
+        rng = seed.rng("catalog-churn", *salts, spec.skill_id)
+        skills.append(replace(spec, review_count=rng.randint(10, 9000)))
     return SkillCatalog(skills)

@@ -423,18 +423,35 @@ class JobStore:
         """Jobs to re-enqueue after a restart, in submission order.
 
         A ``queued`` job never started; a ``running`` job was cut down
-        by the crash — both go back to ``queued``.  Running jobs keep
-        their checkpoint/segment namespaces, so re-execution resumes
-        from durable work instead of starting over.
+        by the crash — both go back to ``queued`` with their original
+        submission-ordering keys (``seq``, ``queued_at``) intact, so a
+        restarted service replays the queue in the order callers
+        submitted it.  A job whose ``state.json`` never landed (crash
+        between the spec persist and the first state write) is
+        re-stamped: ``seq`` is reconstructed from its id, and since the
+        original wall-clock time is unrecoverable, ``queued_at`` gets
+        the recovery time — FIFO order is carried by ``seq`` either way.
+        Running jobs keep their checkpoint/segment namespaces, so
+        re-execution resumes from durable work instead of starting over.
         """
         recovered: List[Job] = []
         for job in self.list():
             state = job.state
             if state in TERMINAL_STATES:
                 continue
+            persisted = job.describe()
+            ordering: Dict[str, object] = {}
+            if "seq" not in persisted:
+                seq = _seq_of(job.id)
+                if seq is not None:
+                    ordering["seq"] = seq
+            if "queued_at" not in persisted:
+                ordering["queued_at"] = time.time()
             if state == "running":
-                job.update_state("queued", recovered=True)
+                job.update_state("queued", recovered=True, **ordering)
                 job.events.emit("job.recovered", previous_state="running")
+            elif ordering:
+                job.update_state("queued", **ordering)
             recovered.append(job)
         return recovered
 

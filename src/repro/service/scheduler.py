@@ -193,17 +193,23 @@ class CampaignScheduler:
         return self._active_tokens + cost <= self.total_workers
 
     def _run_job(self, job: Job, cost: int) -> None:
+        # Token release lives in a finally: a BaseException escaping
+        # job.execute (KeyboardInterrupt delivered to a worker thread,
+        # SystemExit from deep inside a backend) would otherwise leak the
+        # job's worker tokens and wedge admission forever.
+        state = "failed"
         try:
             state = job.execute()
         except Exception:  # noqa: BLE001 - job.execute already records errors
-            state = "failed"
-        with self._cond:
-            self._active_tokens -= cost
-            self._counters["service.workers_active"] = self._active_tokens
-            self._active_threads.pop(job.id, None)
-            key = {
-                "complete": "service.jobs_completed",
-                "partial": "service.jobs_partial",
-            }.get(state, "service.jobs_failed")
-            self._counters[key] += 1
-            self._cond.notify_all()
+            pass
+        finally:
+            with self._cond:
+                self._active_tokens -= cost
+                self._counters["service.workers_active"] = self._active_tokens
+                self._active_threads.pop(job.id, None)
+                key = {
+                    "complete": "service.jobs_completed",
+                    "partial": "service.jobs_partial",
+                }.get(state, "service.jobs_failed")
+                self._counters[key] += 1
+                self._cond.notify_all()

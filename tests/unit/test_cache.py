@@ -150,11 +150,12 @@ class TestDatasetCache:
         assert not list(tmp_path.glob("dataset-*.pkl"))
         assert not DatasetCache._memory
 
-    def test_schema_version_is_segment_store_era(self):
-        """v6 invalidates pre-segment-store pickles (PersonaArtifacts
-        gained ``policy_fetches`` and ExperimentConfig gained
-        ``roster_scale``; v5 entries lack both)."""
-        assert CACHE_SCHEMA_VERSION == 6
+    def test_schema_version_is_timeline_era(self):
+        """v7 invalidates pre-timeline pickles (ExperimentConfig gained
+        the epoch-mutation fields — offset, bidder churn, catalog churn,
+        interest drift — and cache loads now rebuild worlds through
+        ``build_config_world`` so the mutations apply on reattach)."""
+        assert CACHE_SCHEMA_VERSION == 7
 
 
 class TestCopySemantics:

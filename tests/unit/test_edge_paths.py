@@ -151,13 +151,30 @@ class TestCloudEdges:
 
 
 class TestExperimentEdges:
-    def test_advance_to_day_never_goes_backwards(self, small_dataset):
+    def test_advance_to_day_rejects_backwards_targets(self, small_dataset):
         clock = small_dataset.world.clock
         now = clock.now
-        # Re-requesting an earlier day is a no-op, not an error.
+        # A target behind the clock is a scheduling bug: silently
+        # no-opping would collapse distinct crawl days onto one date and
+        # skew the Table-6 seasonality unnoticed, so it raises.
         from repro.core.experiment import ExperimentRunner
 
         runner = ExperimentRunner.__new__(ExperimentRunner)
         runner.world = small_dataset.world
-        runner._advance_to_day(0)
+        with pytest.raises(ValueError, match="advance backwards"):
+            runner._advance_to_day(0)
+        assert clock.now == now
+
+    def test_advance_to_day_same_target_is_noop(self):
+        from types import SimpleNamespace
+
+        from repro.core.experiment import ExperimentRunner
+        from repro.util.clock import SimClock
+
+        runner = ExperimentRunner.__new__(ExperimentRunner)
+        clock = SimClock()
+        runner.world = SimpleNamespace(clock=clock)
+        runner._advance_to_day(3)
+        now = clock.now
+        runner._advance_to_day(3)  # identical target: no-op, no raise
         assert clock.now == now

@@ -128,6 +128,35 @@ class TestJobStore:
         assert payload["fingerprint"] == SPEC.fingerprint()
         assert CampaignSpec.from_dict(payload["spec"]) == SPEC
 
+    def test_recover_preserves_submission_order_keys(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(SPEC.replace(seed=1), queued_at=100.0)
+        second = store.submit(SPEC.replace(seed=2), queued_at=200.0)
+        recovered = JobStore(tmp_path).recover()
+        assert [j.id for j in recovered] == [first.id, second.id]
+        states = [j.describe() for j in recovered]
+        # Recovery must not re-stamp keys that survived the crash: a
+        # fresh queued_at would let a later submission leapfrog an
+        # earlier one on the restarted queue.
+        assert [s["seq"] for s in states] == [1, 2]
+        assert [s["queued_at"] for s in states] == [100.0, 200.0]
+
+    def test_recover_restamps_job_whose_state_never_landed(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(SPEC.replace(seed=1))
+        second = store.submit(SPEC.replace(seed=2))
+        # Crash window: spec.json persisted but the first state write
+        # never landed.  The job must still recover, after first, with
+        # seq reconstructed from its id.
+        (second.root / "state.json").unlink()
+        restarted = JobStore(tmp_path)
+        recovered = restarted.recover()
+        assert [j.id for j in recovered] == [first.id, second.id]
+        stamped = restarted.get(second.id).describe()
+        assert stamped["state"] == "queued"
+        assert stamped["seq"] == 2
+        assert "queued_at" in stamped
+
 
 class _StubExecute:
     """Replace Job.execute: record concurrency, idle briefly, succeed."""
@@ -233,3 +262,33 @@ class TestScheduler:
         scheduler.shutdown()
         assert scheduler.counters()["service.jobs_recovered"] == 1
         assert scheduler.counters()["service.jobs_completed"] == 1
+
+    def test_worker_tokens_survive_base_exception(self, tmp_path, monkeypatch):
+        # A BaseException escaping job.execute (KeyboardInterrupt landing
+        # on a worker thread, SystemExit from deep in a backend) must
+        # still release the job's worker tokens — otherwise admission is
+        # wedged forever and every later job queues behind a ghost.
+        calls = []
+
+        def explode(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                raise KeyboardInterrupt("delivered to the worker thread")
+            job.update_state("complete")
+            return "complete"
+
+        monkeypatch.setattr(Job, "execute", explode)
+        monkeypatch.setattr(threading, "excepthook", lambda args: None)
+        scheduler = CampaignScheduler(JobStore(tmp_path), total_workers=1)
+        scheduler.start()
+        scheduler.submit(SPEC.replace(seed=1))
+        survivor = scheduler.submit(SPEC.replace(seed=2))
+        # With a 1-token budget the second job can only run if the first
+        # one's token came back.
+        assert scheduler.wait_idle(timeout=10)
+        scheduler.shutdown()
+        assert survivor.state == "complete"
+        counters = scheduler.counters()
+        assert counters["service.workers_active"] == 0
+        assert counters["service.jobs_failed"] == 1
+        assert counters["service.jobs_completed"] == 1

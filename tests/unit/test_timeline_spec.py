@@ -1,0 +1,315 @@
+"""Unit tests for TimelineSpec (repro.core.timeline): the serializable
+longitudinal-audit description, its seeded generator, and the
+per-persona input fingerprints the incremental recompute relies on."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.campaign import CampaignSpec
+from repro.core.experiment import ExperimentConfig
+from repro.core.personas import scaled_roster
+from repro.core.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    EpochSpec,
+    TimelineSpec,
+    dirty_positions,
+    persona_fingerprint,
+)
+
+TINY = ExperimentConfig(
+    skills_per_persona=2,
+    pre_iterations=1,
+    post_iterations=1,
+    crawl_sites=2,
+    prebid_discovery_target=5,
+    audio_hours=0.5,
+)
+
+BASE = CampaignSpec(config=TINY, seed=7, store="segments")
+
+DRIFTED = EpochSpec(interest_drift=("dating:2",))
+CHURNED = EpochSpec(catalog_churn=("smart-home:abc123",))
+
+
+def two_epochs(**second):
+    return TimelineSpec(base=BASE, epochs=(EpochSpec(), EpochSpec(**second)))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        spec = two_epochs(
+            offset_days=14,
+            bidders_entered=2,
+            bidders_exited=1,
+            catalog_churn=("smart-home:s1", "dating:s2"),
+            interest_drift=("dating:3",),
+            filterlist_add=("new.tracker.example",),
+            filterlist_remove=("doubleclick.net",),
+        )
+        assert TimelineSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_defaults(self):
+        spec = TimelineSpec(base=BASE)
+        assert TimelineSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_round_trip(self):
+        spec = two_epochs(interest_drift=("dating:1",))
+        assert TimelineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_carries_schema_version(self):
+        assert TimelineSpec(base=BASE).to_dict()["schema"] == TIMELINE_SCHEMA_VERSION
+
+    def test_epochs_restore_as_epoch_specs(self):
+        restored = TimelineSpec.from_json(two_epochs(offset_days=3).to_json())
+        assert all(isinstance(e, EpochSpec) for e in restored.epochs)
+        assert restored.epochs[1].offset_days == 3
+
+    def test_base_restores_as_campaign_spec(self):
+        restored = TimelineSpec.from_json(TimelineSpec(base=BASE).to_json())
+        assert isinstance(restored.base, CampaignSpec)
+        assert restored.base == BASE
+
+    def test_epoch_list_fields_serialize_as_lists(self):
+        payload = DRIFTED.to_dict()
+        assert payload["interest_drift"] == ["dating:2"]
+        json.dumps(payload)  # JSON-safe without a custom encoder
+
+
+class TestFingerprint:
+    def test_stable_across_round_trip(self):
+        spec = two_epochs(interest_drift=("dating:2",))
+        assert TimelineSpec.from_json(spec.to_json()).fingerprint() == spec.fingerprint()
+
+    def test_mutations_shift_fingerprint(self):
+        assert two_epochs().fingerprint() != two_epochs(offset_days=7).fingerprint()
+        assert (
+            two_epochs(interest_drift=("dating:1",)).fingerprint()
+            != two_epochs(interest_drift=("dating:2",)).fingerprint()
+        )
+
+    def test_fingerprint_stable_across_processes(self):
+        spec = two_epochs(catalog_churn=("smart-home:s1",))
+        code = (
+            "import sys\n"
+            "from repro.core.timeline import TimelineSpec\n"
+            "print(TimelineSpec.from_json(sys.stdin.read()).fingerprint())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            input=spec.to_json(),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == spec.fingerprint()
+
+
+class TestValidation:
+    def test_memory_store_rejected(self):
+        with pytest.raises(ValueError, match="store='segments'"):
+            TimelineSpec(base=CampaignSpec(config=TINY, store="memory"))
+
+    def test_base_config_must_leave_mutations_at_defaults(self):
+        mutated = dataclasses.replace(TINY, interest_drift=("dating:1",))
+        with pytest.raises(ValueError, match="interest_drift"):
+            TimelineSpec(base=CampaignSpec(config=mutated, store="segments"))
+
+    def test_empty_epochs_rejected(self):
+        with pytest.raises(ValueError, match="at least one epoch"):
+            TimelineSpec(base=BASE, epochs=())
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TimelineSpec(
+                base=BASE,
+                epochs=(EpochSpec(offset_days=5), EpochSpec(offset_days=2)),
+            )
+
+    def test_invalid_drift_token_rejected_at_construction(self):
+        # ExperimentConfig token validation runs for every epoch up front.
+        with pytest.raises(ValueError, match="interest_drift token"):
+            two_epochs(interest_drift=("dating",))
+
+    def test_invalid_churn_category_rejected(self):
+        with pytest.raises(ValueError, match="catalog_churn token"):
+            two_epochs(catalog_churn=("not-a-category:s1",))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset_days"):
+            EpochSpec(offset_days=-1)
+
+    def test_bool_offset_rejected(self):
+        with pytest.raises(TypeError, match="offset_days"):
+            EpochSpec(offset_days=True)
+
+    def test_bad_filterlist_host_rejected(self):
+        with pytest.raises(ValueError, match="bare hostnames"):
+            EpochSpec(filterlist_add=("no dots here",))
+
+    def test_unknown_epoch_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown epoch spec fields"):
+            EpochSpec.from_dict({"offset_days": 1, "surprise": 2})
+
+    def test_unknown_timeline_field_rejected(self):
+        payload = TimelineSpec(base=BASE).to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown timeline spec fields"):
+            TimelineSpec.from_dict(payload)
+
+    def test_foreign_schema_rejected(self):
+        payload = TimelineSpec(base=BASE).to_dict()
+        payload["schema"] = TIMELINE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            TimelineSpec.from_dict(payload)
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ValueError, match="missing its base"):
+            TimelineSpec.from_dict({"schema": TIMELINE_SCHEMA_VERSION, "epochs": []})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            TimelineSpec.from_json("{nope")
+
+    def test_replace_revalidates(self):
+        spec = TimelineSpec(base=BASE)
+        with pytest.raises(ValueError, match="at least one epoch"):
+            spec.replace(epochs=())
+
+
+class TestEffectiveState:
+    def test_effective_config_injects_epoch_fields(self):
+        spec = two_epochs(
+            offset_days=14, bidders_entered=1, interest_drift=("dating:2",)
+        )
+        cfg0, cfg1 = spec.effective_config(0), spec.effective_config(1)
+        assert cfg0 == TINY
+        assert cfg1.epoch_offset_days == 14
+        assert cfg1.bidders_entered == 1
+        assert cfg1.interest_drift == ("dating:2",)
+        # Everything the epoch doesn't own comes straight from the base.
+        assert cfg1.skills_per_persona == TINY.skills_per_persona
+
+    def test_effective_filterlist_add_and_remove(self):
+        spec = two_epochs(
+            filterlist_add=("fresh.tracker.example",),
+            filterlist_remove=("amazon-adsystem.com",),
+        )
+        base_list, cur_list = (
+            spec.effective_filterlist(0),
+            spec.effective_filterlist(1),
+        )
+        assert base_list.is_blocked("amazon-adsystem.com")
+        assert not base_list.is_blocked("fresh.tracker.example")
+        assert not cur_list.is_blocked("amazon-adsystem.com")
+        assert cur_list.is_blocked("fresh.tracker.example")
+        assert cur_list.is_blocked("cdn.fresh.tracker.example")  # subdomains
+
+    def test_epoch_day0_shifts_with_offset(self):
+        spec = two_epochs(offset_days=21)
+        assert (spec.epoch_day0(1) - spec.epoch_day0(0)).days == 21
+
+
+class TestGenerate:
+    def test_deterministic_for_same_base(self):
+        a = TimelineSpec.generate(BASE, n_epochs=3)
+        b = TimelineSpec.generate(BASE, n_epochs=3)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinct_seeds_give_distinct_timelines(self):
+        other = dataclasses.replace(BASE, seed=8)
+        assert (
+            TimelineSpec.generate(BASE, n_epochs=2).epochs
+            != TimelineSpec.generate(other, n_epochs=2).epochs
+        )
+
+    def test_epoch_zero_is_unmutated(self):
+        spec = TimelineSpec.generate(BASE, n_epochs=3)
+        assert spec.epochs[0] == EpochSpec()
+
+    def test_defaults_keep_global_knobs_at_zero(self):
+        # The <30%-dirty criterion depends on this: only drift and churn
+        # mutate by default, so the dirty set stays a roster fraction.
+        spec = TimelineSpec.generate(BASE, n_epochs=3)
+        for epoch in spec.epochs:
+            assert epoch.offset_days == 0
+            assert epoch.bidders_entered == 0
+            assert epoch.bidders_exited == 0
+
+    def test_mutations_accumulate(self):
+        spec = TimelineSpec.generate(BASE, n_epochs=3, drift_personas=1)
+        assert len(spec.epochs[1].interest_drift) == 1
+        assert len(spec.epochs[2].interest_drift) == 2
+        assert set(spec.epochs[1].interest_drift) <= set(
+            spec.epochs[2].interest_drift
+        )
+
+    def test_gap_days_march_the_offsets(self):
+        spec = TimelineSpec.generate(BASE, n_epochs=3, epoch_gap_days=14)
+        assert [e.offset_days for e in spec.epochs] == [0, 14, 28]
+
+
+class TestPersonaFingerprint:
+    ROSTER = scaled_roster(1)
+
+    def _dirty(self, config):
+        return {
+            self.ROSTER[pos].name
+            for pos in dirty_positions(7, TINY, config, self.ROSTER)
+        }
+
+    def test_identical_configs_dirty_nobody(self):
+        assert self._dirty(dataclasses.replace(TINY)) == set()
+
+    def test_drift_dirties_only_the_named_persona(self):
+        config = dataclasses.replace(TINY, interest_drift=("dating:2",))
+        assert self._dirty(config) == {"dating"}
+
+    def test_drift_shift_sum_is_what_matters(self):
+        split = dataclasses.replace(TINY, interest_drift=("dating:1", "dating:2"))
+        merged = dataclasses.replace(TINY, interest_drift=("dating:3",))
+        persona = next(p for p in self.ROSTER if p.name == "dating")
+        assert persona_fingerprint(7, split, persona) == persona_fingerprint(
+            7, merged, persona
+        )
+
+    def test_churn_dirties_only_that_categorys_interest_personas(self):
+        config = dataclasses.replace(TINY, catalog_churn=("smart-home:s1",))
+        assert self._dirty(config) == {"smart-home"}
+
+    def test_churn_never_dirties_controls(self):
+        config = dataclasses.replace(TINY, catalog_churn=("smart-home:s1",))
+        for persona in self.ROSTER:
+            if persona.kind != "interest":
+                assert persona_fingerprint(7, config, persona) == persona_fingerprint(
+                    7, TINY, persona
+                )
+
+    def test_epoch_offset_dirties_everyone(self):
+        config = dataclasses.replace(TINY, epoch_offset_days=7)
+        assert self._dirty(config) == {p.name for p in self.ROSTER}
+
+    def test_bidder_churn_dirties_everyone(self):
+        config = dataclasses.replace(TINY, bidders_entered=1)
+        assert self._dirty(config) == {p.name for p in self.ROSTER}
+
+    def test_seed_root_reaches_the_fingerprint(self):
+        persona = self.ROSTER[0]
+        assert persona_fingerprint(7, TINY, persona) != persona_fingerprint(
+            8, TINY, persona
+        )
+
+    def test_filterlist_updates_dirty_nobody(self):
+        # Filter lists classify traffic after the fact; they are not part
+        # of ExperimentConfig at all, so no fingerprint can move.
+        spec = two_epochs(filterlist_add=("fresh.tracker.example",))
+        assert (
+            dirty_positions(
+                7, spec.effective_config(0), spec.effective_config(1), self.ROSTER
+            )
+            == []
+        )
