@@ -1,0 +1,272 @@
+"""Segment-store I/O benchmarks: the fast paths vs their pre-optimization
+baselines.
+
+Not a paper table — these time the store's own hot paths on a synthetic
+roster so regressions in the I/O fast path are caught: cold batch
+writes, warm coverage re-scans (cached digest verification vs full
+re-hashing), incremental-epoch reuse (zero-copy batch adoption vs the
+record-level parse/re-serialize copy the timeline layer used before),
+and indexed point reads vs full segment parses.  The ``speedup`` ratios
+are what ``benchmarks/check_bench_regression.py`` gates in CI against
+``benchmarks/BENCH_segments.json``; absolute seconds are informational.
+Refresh the committed baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_segment_io.py \\
+        --bench-json benchmarks/BENCH_segments.json
+
+(then re-round the gated speedups down to conservative values so the
+CI floor keeps absorbing runner noise).
+"""
+
+import time
+
+from repro.obs import ObsCollector
+from repro.core.segments import SegmentStore
+
+#: Synthetic campaign shape: paper-scale roster count (roster_scale 10
+#: ≈ 140 personas) in supervisor-style multi-persona batches, with
+#: record payloads sized so hashing and JSON dominate, as they do for
+#: real segment files.
+ROSTER = tuple(f"persona-{i:03d}" for i in range(140))
+BATCH_PERSONAS = 4
+RECORDS_PER_POS = 40
+STREAMS_USED = ("bids", "flows", "dsar")
+_PAD = "x" * 300
+SEED_ROOT = 77
+
+
+def _records(positions):
+    return {
+        stream: [
+            {"pos": pos, "stream": stream, "j": j, "pad": _PAD}
+            for pos in positions
+            for j in range(RECORDS_PER_POS)
+        ]
+        for stream in STREAMS_USED
+    }
+
+
+def _batches():
+    return [
+        list(range(start, min(start + BATCH_PERSONAS, len(ROSTER))))
+        for start in range(0, len(ROSTER), BATCH_PERSONAS)
+    ]
+
+
+def _build_store(root, fingerprint):
+    store = SegmentStore(root, SEED_ROOT, fingerprint, ROSTER)
+    for batch in _batches():
+        store.write_batch(batch, _records(batch))
+    return store
+
+
+def _store_bytes(store):
+    return sum(p.stat().st_size for p in store.segments_dir.iterdir())
+
+
+def bench_segment_cold_write(benchmark, bench_record, tmp_path):
+    """Cold write throughput: serialize + hash + publish every batch.
+
+    Informational (no speedup gate): the number to watch is MB/s drift.
+    """
+    counter = iter(range(1000))
+
+    def cold_write():
+        return _build_store(tmp_path / f"cold-{next(counter)}", "fp-cold")
+
+    store = benchmark.pedantic(cold_write, rounds=1, iterations=1)
+    started = time.perf_counter()
+    store2 = _build_store(tmp_path / "cold-timed", "fp-cold")
+    seconds = time.perf_counter() - started
+    total_mb = _store_bytes(store2) / 1e6
+    bench_record(
+        "bench_segment_cold_write",
+        cold_write_seconds=round(seconds, 3),
+        store_mb=round(total_mb, 2),
+        mb_per_second=round(total_mb / seconds, 1),
+    )
+    assert store2.covered_positions() == set(range(len(ROSTER)))
+
+
+def bench_segment_warm_rescan(benchmark, bench_record, tmp_path):
+    """Warm coverage re-scan: cached digest verification ≥3× full hashing.
+
+    A fresh store handle (new process, service restart, supervisor
+    retry) re-validates every batch marker.  The legacy path re-read
+    and re-hashed every segment file on every scan; the digest cache
+    turns an unchanged file into one ``stat`` call.
+    """
+    _build_store(tmp_path / "store", "fp-scan")
+
+    def scan(verify_fully):
+        store = SegmentStore(tmp_path / "store", SEED_ROOT, "fp-scan", ROSTER)
+        store.verify_digests_fully = verify_fully
+        store.obs = ObsCollector()
+        started = time.perf_counter()
+        covered = store.covered_positions()
+        seconds = time.perf_counter() - started
+        assert covered == set(range(len(ROSTER)))
+        return seconds, store.obs.metrics.as_dict()["counters"]
+
+    legacy_seconds = min(scan(True)[0] for _ in range(3))
+    optimized_times, counters = [], {}
+    for _ in range(3):
+        seconds, counters = scan(False)
+        optimized_times.append(seconds)
+    optimized_seconds = min(optimized_times)
+    benchmark.pedantic(lambda: scan(False), rounds=1, iterations=1)
+
+    speedup = legacy_seconds / optimized_seconds
+    measurements = {
+        "legacy_seconds": round(legacy_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "segment_files": len(_batches()) * len(STREAMS_USED),
+        "cache_hits": counters.get("segments.digest_cache.hits", 0),
+    }
+    bench_record("bench_segment_warm_rescan", **measurements)
+    benchmark.extra_info.update(measurements)
+
+    assert counters.get("segments.digest_cache.hits", 0) > 0
+    assert "segments.digest_cache.misses" not in counters
+    assert speedup >= 3.0, (
+        f"warm re-scan speedup {speedup:.2f}x < 3.0x (full hashing "
+        f"{legacy_seconds:.4f}s vs cached {optimized_seconds:.4f}s)"
+    )
+
+
+def _legacy_copy_epoch(prev, target):
+    """Pre-adoption epoch reuse: per-position parse + re-serialize.
+
+    What the timeline layer did before ``adopt_batch``: every clean
+    persona's records were read back out of the previous store (a full
+    parse of its batch's segment files — there was no sidecar index)
+    and re-written through ``write_batch``, with every scan re-hashing
+    every file (there was no digest cache).
+    """
+    prev.verify_digests_fully = True
+    target.verify_digests_fully = True
+    for entry in prev.batches():
+        for pos in entry.positions:
+            records = {
+                stream: [
+                    record
+                    for record in prev._segment_records(entry, stream)
+                    if record["pos"] == pos
+                ]
+                for stream in entry.segments
+            }
+            target.write_batch([pos], records)
+
+
+def bench_segment_incremental_reuse(benchmark, bench_record, tmp_path):
+    """Incremental-epoch reuse: zero-copy adoption ≥5× record copy.
+
+    The timeline case with an empty dirty set (every batch fully
+    clean): the legacy path round-trips every record through JSON and
+    re-hashes on every write-triggered scan; adoption hard-links the
+    content-addressed files and publishes fresh markers.
+    """
+    prev = _build_store(tmp_path / "prev", "fp-prev")
+
+    started = time.perf_counter()
+    legacy = SegmentStore(tmp_path / "legacy", SEED_ROOT, "fp-next", ROSTER)
+    _legacy_copy_epoch(
+        SegmentStore(tmp_path / "prev", SEED_ROOT, "fp-prev", ROSTER), legacy
+    )
+    legacy_seconds = time.perf_counter() - started
+
+    def adopt():
+        target = SegmentStore(
+            tmp_path / "adopted", SEED_ROOT, "fp-next", ROSTER
+        )
+        target.obs = ObsCollector()
+        counts = {"linked": 0, "copied": 0}
+        for entry in prev.batches():
+            batch_counts = target.adopt_batch(prev, entry)
+            counts["linked"] += batch_counts["linked"]
+            counts["copied"] += batch_counts["copied"]
+        return target, counts
+
+    started = time.perf_counter()
+    target, counts = adopt()
+    optimized_seconds = time.perf_counter() - started
+    benchmark.pedantic(
+        lambda: _build_store(tmp_path / "warmup", "fp-warm"),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = legacy_seconds / optimized_seconds
+    measurements = {
+        "legacy_seconds": round(legacy_seconds, 3),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "files_linked": counts["linked"],
+        "files_copied": counts["copied"],
+    }
+    bench_record("bench_segment_incremental_reuse", **measurements)
+    benchmark.extra_info.update(measurements)
+
+    assert counts["linked"] == len(_batches()) * len(STREAMS_USED)
+    assert target.covered_positions() == legacy.covered_positions()
+    for stream in STREAMS_USED:
+        assert list(target.iter_stream(stream)) == list(
+            legacy.iter_stream(stream)
+        ), f"adopted stream {stream!r} diverged from the record copy"
+    assert speedup >= 5.0, (
+        f"incremental reuse speedup {speedup:.2f}x < 5.0x (record copy "
+        f"{legacy_seconds:.3f}s vs adoption {optimized_seconds:.4f}s)"
+    )
+
+
+def bench_segment_point_read(benchmark, bench_record, tmp_path):
+    """Indexed point reads ≥1.5× full segment parses.
+
+    One persona's records of one stream: the sidecar index seeks to the
+    persona's byte extent; the legacy path parsed the whole segment
+    file and filtered.
+    """
+    store = _build_store(tmp_path / "store", "fp-point")
+    reads = [(stream, pos) for stream in STREAMS_USED for pos in range(len(ROSTER))]
+    entries = store.batches()
+    by_pos = {pos: e for e in entries for pos in e.positions}
+
+    def legacy_reads():
+        return [
+            [
+                record
+                for record in store._segment_records(by_pos[pos], stream)
+                if record["pos"] == pos
+            ]
+            for stream, pos in reads
+        ]
+
+    def indexed_reads():
+        return [store.stream_records_for(stream, pos) for stream, pos in reads]
+
+    indexed_reads()  # warm the sidecar index cache, as a real reader is
+    started = time.perf_counter()
+    legacy_results = legacy_reads()
+    legacy_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    indexed_results = indexed_reads()
+    optimized_seconds = time.perf_counter() - started
+    benchmark.pedantic(indexed_reads, rounds=1, iterations=1)
+
+    speedup = legacy_seconds / optimized_seconds
+    measurements = {
+        "legacy_seconds": round(legacy_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "point_reads": len(reads),
+        "microseconds_per_read": round(1e6 * optimized_seconds / len(reads), 1),
+    }
+    bench_record("bench_segment_point_read", **measurements)
+    benchmark.extra_info.update(measurements)
+
+    assert indexed_results == legacy_results
+    assert speedup >= 1.5, (
+        f"point-read speedup {speedup:.2f}x < 1.5x (full parse "
+        f"{legacy_seconds:.4f}s vs indexed {optimized_seconds:.4f}s)"
+    )

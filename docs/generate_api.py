@@ -105,12 +105,17 @@ one epoch, not a diff — so any epoch is independently executable via
   persona; `interest_drift` only the named persona; filter-list
   updates dirty **nobody** — the list classifies traffic after the
   fact, so an update only relabels the delta report.
-* **Incremental recompute.**  `run_timeline(spec, out_dir)` copies
-  clean personas' segment records from the previous epoch's store and
-  re-executes only the dirty set; `incremental=False` (CLI `--cold`)
-  recomputes everything.  Both paths export byte-identical files, and
-  each epoch's store manifest publishes
-  `timeline.personas_reused` / `timeline.personas_recomputed`.
+* **Incremental recompute.**  `run_timeline(spec, out_dir)` reuses
+  clean personas from the previous epoch's store and re-executes only
+  the dirty set: batches whose personas are all clean are **adopted
+  zero-copy** (`SegmentStore.adopt_batch` hard-links the
+  content-addressed segment files; no record is parsed), and only
+  batches straddling the dirty set fall back to record-level copy.
+  `incremental=False` (CLI `--cold`) recomputes everything.  Both
+  paths export byte-identical files, and each epoch's store manifest
+  publishes `timeline.personas_reused` /
+  `timeline.personas_recomputed` plus a `timeline.reuse` breakdown
+  (`linked` / `copied` segment files, record-level `records`).
 * **Delta report.**  Each consecutive epoch pair writes
   `delta-epoch<i-1>-to-epoch<i>.json`: `tracker_domains`
   (new/vanished under each epoch's own filter list), `bid_deltas`
@@ -332,6 +337,51 @@ none of it moves an exported byte
   `PYTHONPATH=src python -m pytest
   benchmarks/bench_pipeline_throughput.py::bench_pipeline_throughput
   --bench-json benchmarks/BENCH_pipeline.json` and commit the result.
+
+## Scaling: the segment-store I/O fast path
+
+`repro.core.segments.SegmentStore` streams campaigns through
+append-only, content-addressed JSONL segments (see the module
+docstring for the layout).  Three structures keep its hot paths off
+the O(campaign-size) cost curve:
+
+* **Zero-copy batch adoption** — `store.adopt_batch(prev_store,
+  entry)` transfers one validated batch from another store of the same
+  seed and roster by hard-linking its segment files (`os.link`),
+  falling back to a byte copy through `atomic_write_bytes` on
+  filesystems that refuse links.  No record is parsed or
+  re-serialized; a fresh marker records the origin store's config
+  fingerprint (`"origin"` field), which reads validate adopted segment
+  headers against.  Counters: `segments.reuse.linked` /
+  `segments.reuse.copied` (files); the timeline layer's record-level
+  fallback counts `segments.reuse.records`.
+* **Offset-indexed point reads** — each batch writes a sidecar index
+  `batches/index-<firstpos>.json`: the batch envelope (schema, seed
+  root, config fingerprint, positions) plus, per stream, the segment
+  file name, its full sha256, and an `offsets` map from roster
+  position to `[byte offset, byte length, record count]` of that
+  persona's contiguous run of lines.  `stream_records_for(stream,
+  pos)` seeks to the extent and parses only those lines.  The sidecar
+  is validated against the batch marker's file names and digests;
+  a missing, stale, or tampered index is rebuilt from the segment
+  file and re-persisted — never an error.
+* **Cached digest verification** — coverage scans verify every
+  referenced segment's sha256.  Verified digests persist in
+  `digest-cache.json` next to the manifest, keyed by `(file name,
+  size, mtime_ns)`, so unchanged files are never re-hashed — across
+  scans, processes, and service restarts (`segments.digest_cache.hits`
+  / `.misses` counters; `store.verify_digests_fully = True` forces the
+  cold path).  On any digest mismatch the cache is cleared, the handle
+  permanently switches to cold-path full hashing, and the corrupt
+  segment is quarantined to `*.corrupt` with a warning — corruption is
+  recomputed over, never silently trusted.
+
+Rebind `store.obs` to a live `ObsCollector` to record the counters.
+All three paths are pinned byte-identical to cold recompute by
+`tests/property/test_segment_reuse_properties.py`, and their speedups
+(≥5× incremental-epoch reuse, ≥3× warm re-scan, indexed point reads)
+are gated in CI against `benchmarks/BENCH_segments.json` by
+`benchmarks/bench_segment_io.py`.
 
 ## Migrating to `run_campaign` / `CampaignSpec`
 

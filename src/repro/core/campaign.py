@@ -818,5 +818,5 @@ def run_segment_positions(
         shutil.rmtree(journal_root, ignore_errors=True)
     # Workers wrote batches from other processes; drop any coverage scan
     # the caller's handle took before the run.
-    store._scan_cache = None
+    store.invalidate_scan()
     return tuple(report.missing_personas)

@@ -33,6 +33,44 @@ Durability and reuse rules (shared with :mod:`repro.core.checkpoint`):
   campaign skips covered personas, and a campaign killed mid-run
   resumes from its completed batches.
 
+I/O fast path
+-------------
+
+Three structures keep reads, reuse, and verification off the
+O(campaign-size) cost curve:
+
+* **Batch adoption (zero-copy reuse).**  :meth:`SegmentStore.adopt_batch`
+  transfers a whole validated batch from another store of the same seed
+  and roster (the timeline layer's previous epoch) by hard-linking the
+  already-content-addressed segment files (``os.link``; byte copy
+  through :func:`atomic_write_bytes` when the filesystem refuses links)
+  and publishing a fresh marker that records the origin store's config
+  fingerprint — no segment is parsed or re-serialized.  Record-level
+  copy survives only for batches that straddle an epoch's dirty set.
+  Adoption publishes ``segments.reuse.linked`` /
+  ``segments.reuse.copied`` (files) counters on ``store.obs``; the
+  record-level path counts ``segments.reuse.records``.
+* **Offset-indexed point reads.**  Each batch writes a sidecar index
+  (``batches/index-<firstpos>.json``) mapping roster position to the
+  per-stream ``[byte offset, byte length, record count]`` of that
+  persona's contiguous run of lines.  The sidecar is content-addressed
+  against the marker (it names each segment file and its full digest)
+  and is **rebuildable**: a missing, stale, or foreign index is
+  regenerated from the segment file and rewritten, never an error.
+  :meth:`SegmentStore.stream_records_for` seeks and parses one
+  persona's lines instead of the whole file.
+* **Cached digest verification.**  Scans verify every referenced
+  segment's sha256.  Verified digests are cached in
+  ``digest-cache.json`` next to the manifest, keyed by
+  ``(file name, size, mtime_ns)``, so unchanged files are never
+  re-hashed — across scans, processes, and service restarts.  Hits and
+  misses count as ``segments.digest_cache.hits`` / ``.misses``.  Any
+  mismatch clears the cache and switches the store handle to cold-path
+  full hashing for every subsequent verification (set
+  ``store.verify_digests_fully = True`` to force the cold path from
+  the start); the mismatching segment file is quarantined to
+  ``*.corrupt`` with a warning, matching the marker contract.
+
 Streams
 -------
 
@@ -53,13 +91,15 @@ from __future__ import annotations
 import gc
 import hashlib
 import json
+import logging
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.checkpoint import atomic_write_bytes
+from repro.obs import NULL_OBS
 from repro.core.experiment import (
     ExperimentConfig,
     ExperimentRunner,
@@ -88,6 +128,8 @@ __all__ = [
 #: fail validation and are recomputed rather than reused.
 SEGMENT_SCHEMA_VERSION = 1
 
+_log = logging.getLogger(__name__)
+
 #: Event streams, in export order.
 STREAMS = (
     "personas",
@@ -101,6 +143,7 @@ STREAMS = (
 )
 
 _MANIFEST_NAME = "MANIFEST.json"
+_DIGEST_CACHE_NAME = "digest-cache.json"
 
 
 class SegmentError(RuntimeError):
@@ -138,10 +181,20 @@ class _BatchEntry:
     #: stream -> (segment path, record count); streams with no records
     #: in this batch are absent.
     segments: Dict[str, Tuple[Path, int]]
+    #: stream -> full sha256 from the marker (what the sidecar index is
+    #: validated against).
+    digests: Dict[str, str] = field(default_factory=dict)
+    #: Config fingerprint stamped inside adopted segment files (None for
+    #: batches this store wrote itself).
+    origin_fingerprint: Optional[str] = None
 
     @property
     def first(self) -> int:
         return self.positions[0]
+
+    @property
+    def last(self) -> int:
+        return self.positions[-1]
 
 
 class SegmentStore:
@@ -173,7 +226,21 @@ class SegmentStore:
         )
         self.segments_dir = self.campaign_dir / "segments"
         self.batches_dir = self.campaign_dir / "batches"
+        #: Observability sink for ``segments.reuse.*`` and
+        #: ``segments.digest_cache.*`` counters; rebind to a live
+        #: :class:`~repro.obs.ObsCollector` to record them.
+        self.obs = NULL_OBS
+        #: Force cold-path verification: every scan re-reads and
+        #: re-hashes every segment file, ignoring the digest cache.
+        self.verify_digests_fully = False
         self._scan_cache: Optional[List[_BatchEntry]] = None
+        self._pos_entry: Optional[Dict[int, _BatchEntry]] = None
+        self._index_cache: Dict[int, Dict[str, Dict[str, list]]] = {}
+        self._digest_cache: Optional[Dict[str, dict]] = None
+        self._digest_cache_dirty = False
+        #: Set after any digest mismatch: the cache is no longer trusted
+        #: and every later verification takes the full-hash cold path.
+        self._digest_cache_distrusted = False
 
     # ------------------------------------------------------------------ #
     # Manifest
@@ -298,6 +365,7 @@ class SegmentStore:
             raise ValueError(f"unknown streams: {sorted(unknown)}")
 
         segments: Dict[str, Dict[str, object]] = {}
+        index_streams: Dict[str, Dict[str, object]] = {}
         for stream in STREAMS:
             records = records_by_stream.get(stream, [])
             stray = [
@@ -319,18 +387,37 @@ class SegmentStore:
                 "positions": ordered,
                 "count": len(records),
             }
-            lines = [_dumps(header)]
-            lines.extend(_dumps(record) for record in records)
+            header_line = _dumps(header)
+            lines = [header_line]
+            # Records of one pos are a contiguous run of lines (sorted
+            # above); track each run's byte extent for the sidecar index.
+            offsets: Dict[str, List[int]] = {}
+            cursor = len(header_line.encode("utf-8")) + 1
+            for record in records:
+                line = _dumps(record)
+                lines.append(line)
+                span = len(line.encode("utf-8")) + 1
+                run = offsets.setdefault(str(record["pos"]), [cursor, 0, 0])
+                run[1] += span
+                run[2] += 1
+                cursor += span
             payload = ("\n".join(lines) + "\n").encode("utf-8")
             digest = _digest(payload)
             name = f"{stream}-{ordered[0]:08d}-{digest[:12]}.jsonl"
             atomic_write_bytes(self.segments_dir / name, payload)
+            self._cache_verified_digest(self.segments_dir / name, digest)
             segments[stream] = {
                 "file": name,
                 "digest": digest,
                 "count": len(records),
             }
+            index_streams[stream] = {
+                "file": name,
+                "digest": digest,
+                "offsets": offsets,
+            }
 
+        self._write_index(ordered[0], ordered, index_streams)
         marker = {
             "schema": SEGMENT_SCHEMA_VERSION,
             "seed_root": self.seed_root,
@@ -345,18 +432,132 @@ class SegmentStore:
                 "utf-8"
             ),
         )
-        self._scan_cache = None
+        self._flush_digest_cache()
+        self.invalidate_scan()
         return marker_path
+
+    def adopt_batch(self, prev_store: "SegmentStore", entry) -> Dict[str, int]:
+        """Zero-copy transfer of one validated batch from ``prev_store``.
+
+        The segment files are already content-addressed (their digests
+        are pinned by ``prev_store``'s marker, which a ``_scan`` has
+        verified), so reuse needs no parse and no re-serialization:
+        each file is hard-linked into this store (``os.link``), falling
+        back to a byte copy through :func:`atomic_write_bytes` on
+        filesystems that refuse cross-store links.  A fresh marker is
+        published recording the origin store's config fingerprint —
+        adopted segment *headers* carry the origin fingerprint, and
+        reads validate them against it.
+
+        The caller owns dirty-set logic: every position in ``entry``
+        must be wanted as-is.  Returns ``{"linked": n, "copied": n}``
+        file counts, also published as ``segments.reuse.linked`` /
+        ``segments.reuse.copied`` obs counters.
+        """
+        if prev_store.seed_root != self.seed_root:
+            raise ValueError(
+                "adopt_batch requires matching seed roots: "
+                f"{prev_store.seed_root} vs {self.seed_root}"
+            )
+        if prev_store.roster != self.roster:
+            raise ValueError("adopt_batch requires identical rosters")
+        already = self.covered_positions() & set(entry.positions)
+        if already:
+            raise PositionsCoveredError(
+                f"positions already covered by this store: {sorted(already)}"
+            )
+        counts = {"linked": 0, "copied": 0}
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        segments: Dict[str, Dict[str, object]] = {}
+        for stream in STREAMS:
+            if stream not in entry.segments:
+                continue
+            source, count = entry.segments[stream]
+            digest = entry.digests.get(stream, "")
+            target = self.segments_dir / source.name
+            try:
+                os.link(source, target)
+                counts["linked"] += 1
+                self.obs.inc("segments.reuse.linked")
+            except FileExistsError:
+                # Content-addressed name: an existing live file at this
+                # name holds identical bytes (atomic publishes only).
+                counts["linked"] += 1
+                self.obs.inc("segments.reuse.linked")
+            except OSError:
+                atomic_write_bytes(target, source.read_bytes())
+                counts["copied"] += 1
+                self.obs.inc("segments.reuse.copied")
+            if digest:
+                self._cache_verified_digest(target, digest)
+            segments[stream] = {
+                "file": source.name,
+                "digest": digest,
+                "count": count,
+            }
+        # The sidecar index is position-sized, not record-sized; reusing
+        # the origin's (rebuilt from the segment if it was missing) and
+        # re-stamping it under this store's envelope stays zero-parse
+        # for the segment files themselves.
+        index_streams: Dict[str, Dict[str, object]] = {}
+        prev_index = prev_store._load_index(entry)
+        for stream, ref in segments.items():
+            offsets = prev_index.get(stream, {}).get("offsets")
+            if offsets is not None:
+                index_streams[stream] = {
+                    "file": ref["file"],
+                    "digest": ref["digest"],
+                    "offsets": offsets,
+                }
+        self._write_index(entry.first, list(entry.positions), index_streams)
+        marker = {
+            "schema": SEGMENT_SCHEMA_VERSION,
+            "seed_root": self.seed_root,
+            "config_fingerprint": self.config_fingerprint,
+            "positions": list(entry.positions),
+            "segments": segments,
+            "origin": {
+                "config_fingerprint": (
+                    entry.origin_fingerprint or prev_store.config_fingerprint
+                )
+            },
+        }
+        marker_path = self.batches_dir / f"batch-{entry.first:08d}.json"
+        atomic_write_bytes(
+            marker_path,
+            (json.dumps(marker, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+        self._flush_digest_cache()
+        self.invalidate_scan()
+        return counts
 
     # ------------------------------------------------------------------ #
     # Coverage / validation
     # ------------------------------------------------------------------ #
+
+    def invalidate_scan(self) -> None:
+        """Drop every cached view of on-disk state (coverage, position
+        lookup, loaded sidecar indexes).  Callers that know another
+        handle or process wrote batches use this instead of poking the
+        private caches."""
+        self._scan_cache = None
+        self._pos_entry = None
+        self._index_cache.clear()
 
     def covered_positions(self) -> Set[int]:
         """Roster positions with validated, content-addressed coverage."""
         return {
             pos for entry in self._scan() for pos in entry.positions
         }
+
+    def batches(self) -> List[_BatchEntry]:
+        """The validated coverage entries, in first-position order.
+
+        The timeline layer iterates these to decide, batch by batch,
+        between zero-copy :meth:`adopt_batch` and record-level copy."""
+        return list(self._scan())
 
     def _scan(self) -> List[_BatchEntry]:
         """Validate every coverage marker; quarantine the broken ones.
@@ -380,7 +581,11 @@ class SegmentStore:
                     continue
                 seen.update(entry.positions)
                 entries.append(entry)
+        self._flush_digest_cache()
         self._scan_cache = entries
+        self._pos_entry = {
+            pos: entry for entry in entries for pos in entry.positions
+        }
         return entries
 
     def _validate_marker(
@@ -410,7 +615,16 @@ class SegmentStore:
             or covered & set(positions)
         ):
             return None
+        origin = marker.get("origin")
+        origin_fingerprint: Optional[str] = None
+        if origin is not None:
+            if not isinstance(origin, dict) or not isinstance(
+                origin.get("config_fingerprint"), str
+            ):
+                return None
+            origin_fingerprint = origin["config_fingerprint"]
         segments: Dict[str, Tuple[Path, int]] = {}
+        digests: Dict[str, str] = {}
         refs = marker.get("segments")
         if not isinstance(refs, dict):
             return None
@@ -418,18 +632,224 @@ class SegmentStore:
             if stream not in STREAMS or not isinstance(ref, dict):
                 return None
             path = self.segments_dir / str(ref.get("file"))
-            try:
-                payload = path.read_bytes()
-            except OSError:
+            expected = ref.get("digest")
+            if not isinstance(expected, str) or not expected:
                 return None
-            if _digest(payload) != ref.get("digest"):
+            if not self._verify_segment(path, expected):
                 return None
             segments[stream] = (path, int(ref.get("count", 0)))
+            digests[stream] = expected
         return _BatchEntry(
             marker_path=marker_path,
             positions=tuple(positions),
             segments=segments,
+            digests=digests,
+            origin_fingerprint=origin_fingerprint,
         )
+
+    # ------------------------------------------------------------------ #
+    # Digest cache
+    # ------------------------------------------------------------------ #
+
+    @property
+    def digest_cache_path(self) -> Path:
+        return self.campaign_dir / _DIGEST_CACHE_NAME
+
+    def _load_digest_cache(self) -> Dict[str, dict]:
+        if self._digest_cache is None:
+            files: Dict[str, dict] = {}
+            try:
+                payload = json.loads(
+                    self.digest_cache_path.read_text(encoding="utf-8")
+                )
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("schema") == SEGMENT_SCHEMA_VERSION
+                    and isinstance(payload.get("files"), dict)
+                ):
+                    files = {
+                        str(name): entry
+                        for name, entry in payload["files"].items()
+                        if isinstance(entry, dict)
+                    }
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                pass  # absent or unreadable: every file verifies cold once
+            self._digest_cache = files
+        return self._digest_cache
+
+    def _cache_verified_digest(self, path: Path, digest: str) -> None:
+        cache = self._load_digest_cache()
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        cache[path.name] = {
+            "size": stat.st_size,
+            "mtime_ns": stat.st_mtime_ns,
+            "digest": digest,
+        }
+        self._digest_cache_dirty = True
+
+    def _flush_digest_cache(self) -> None:
+        if not self._digest_cache_dirty or self._digest_cache is None:
+            return
+        payload = {
+            "schema": SEGMENT_SCHEMA_VERSION,
+            "files": self._digest_cache,
+        }
+        atomic_write_bytes(
+            self.digest_cache_path,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+        self._digest_cache_dirty = False
+
+    def _verify_segment(self, path: Path, expected: str) -> bool:
+        """Digest-check one segment file, through the verified cache.
+
+        A cache entry matching the file's ``(size, mtime_ns)`` and the
+        marker's expected digest skips the read+hash entirely.  On any
+        mismatch the whole cache is cleared and this handle permanently
+        falls back to cold-path full hashing; the corrupt file is
+        quarantined to ``*.corrupt`` with a warning.
+        """
+        try:
+            stat = path.stat()
+        except OSError:
+            return False
+        cache = self._load_digest_cache()
+        if not self.verify_digests_fully and not self._digest_cache_distrusted:
+            cached = cache.get(path.name)
+            if (
+                cached is not None
+                and cached.get("size") == stat.st_size
+                and cached.get("mtime_ns") == stat.st_mtime_ns
+                and cached.get("digest") == expected
+            ):
+                self.obs.inc("segments.digest_cache.hits")
+                return True
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return False
+        self.obs.inc("segments.digest_cache.misses")
+        if _digest(payload) != expected:
+            # Corruption observed: nothing cached is trusted anymore.
+            self._digest_cache_distrusted = True
+            if cache:
+                cache.clear()
+                self._digest_cache_dirty = True
+            quarantined = _quarantine(path)
+            _log.warning(
+                "segment %s fails its content digest; quarantined to %s "
+                "and treating its batch as uncovered",
+                path.name,
+                quarantined.name if quarantined is not None else "<gone>",
+            )
+            return False
+        self._cache_verified_digest(path, expected)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Sidecar index
+    # ------------------------------------------------------------------ #
+
+    def _index_path(self, first: int) -> Path:
+        return self.batches_dir / f"index-{first:08d}.json"
+
+    def _write_index(
+        self,
+        first: int,
+        positions: Sequence[int],
+        streams: Dict[str, Dict[str, object]],
+    ) -> None:
+        payload = {
+            "schema": SEGMENT_SCHEMA_VERSION,
+            "seed_root": self.seed_root,
+            "config_fingerprint": self.config_fingerprint,
+            "positions": list(positions),
+            "streams": streams,
+        }
+        atomic_write_bytes(
+            self._index_path(first),
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+
+    def _load_index(self, entry: _BatchEntry) -> Dict[str, Dict[str, dict]]:
+        """The batch's sidecar index, rebuilt from segments if needed.
+
+        Returns ``{stream: {"file", "digest", "offsets"}}`` where
+        ``offsets`` maps ``str(pos)`` to ``[start, length, count]``
+        byte extents.  The sidecar is trusted only when its envelope
+        matches this store and every stream ref names the same file and
+        digest as the validated marker — anything else (missing, stale,
+        tampered, foreign) triggers a rebuild from the segment files,
+        which is then persisted for the next reader.
+        """
+        cached = self._index_cache.get(entry.first)
+        if cached is not None:
+            return cached
+        streams: Optional[Dict[str, Dict[str, dict]]] = None
+        try:
+            payload = json.loads(
+                self._index_path(entry.first).read_text(encoding="utf-8")
+            )
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == SEGMENT_SCHEMA_VERSION
+                and payload.get("seed_root") == self.seed_root
+                and payload.get("config_fingerprint")
+                == self.config_fingerprint
+                and isinstance(payload.get("streams"), dict)
+            ):
+                candidate = payload["streams"]
+                if all(
+                    isinstance(candidate.get(stream), dict)
+                    and candidate[stream].get("file")
+                    == entry.segments[stream][0].name
+                    and candidate[stream].get("digest")
+                    == entry.digests.get(stream)
+                    and isinstance(candidate[stream].get("offsets"), dict)
+                    for stream in entry.segments
+                ):
+                    streams = {
+                        stream: candidate[stream] for stream in entry.segments
+                    }
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        if streams is None:
+            streams = self._rebuild_index(entry)
+            self._write_index(entry.first, list(entry.positions), streams)
+        self._index_cache[entry.first] = streams
+        return streams
+
+    def _rebuild_index(self, entry: _BatchEntry) -> Dict[str, Dict[str, dict]]:
+        """Recompute per-position byte extents by reading the segments."""
+        streams: Dict[str, Dict[str, dict]] = {}
+        for stream, (path, _count) in entry.segments.items():
+            offsets: Dict[str, list] = {}
+            with path.open("rb") as handle:
+                cursor = len(handle.readline())  # header line
+                for raw in handle:
+                    if not raw.strip():
+                        cursor += len(raw)
+                        continue
+                    record = json.loads(raw)
+                    run = offsets.setdefault(
+                        str(record["pos"]), [cursor, 0, 0]
+                    )
+                    run[1] += len(raw)
+                    run[2] += 1
+                    cursor += len(raw)
+            streams[stream] = {
+                "file": path.name,
+                "digest": entry.digests.get(stream, ""),
+                "offsets": offsets,
+            }
+        return streams
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -454,6 +874,26 @@ class SegmentStore:
         return self._merge_entries(stream, entries)
 
     def _merge_entries(
+        self, stream: str, entries: List[_BatchEntry]
+    ) -> Iterator[dict]:
+        # Fast path: the contiguous batch plan a campaign writes never
+        # overlaps, so the sorted entries chain directly — no heap, no
+        # per-record comparison.  The k-way heap survives for genuinely
+        # overlapping position ranges (out-of-order backfills).
+        if all(
+            entries[i].last < entries[i + 1].first
+            for i in range(len(entries) - 1)
+        ):
+            return self._chain_entries(stream, entries)
+        return self._heap_merge_entries(stream, entries)
+
+    def _chain_entries(
+        self, stream: str, entries: List[_BatchEntry]
+    ) -> Iterator[dict]:
+        for entry in entries:
+            yield from self._segment_records(entry, stream)
+
+    def _heap_merge_entries(
         self, stream: str, entries: List[_BatchEntry]
     ) -> Iterator[dict]:
         heap: List[Tuple[int, int, int, dict, Iterator[dict]]] = []
@@ -487,33 +927,62 @@ class SegmentStore:
     def stream_records_for(self, stream: str, pos: int) -> List[dict]:
         """Point read: one persona's records of one stream.
 
-        Scans only the segment containing ``pos`` — the summary fold
-        uses this to pull the vanilla control's bids before streaming
-        the full roster.
+        Indexed: the position is located through the scan's position
+        map (no marker iteration) and the batch's sidecar index gives
+        the persona's byte extent, so only its own lines are read and
+        parsed — never the whole segment file.  Falls back to a full
+        segment scan when the index disagrees with what it finds.
         """
         if stream not in STREAMS:
             raise ValueError(f"unknown stream: {stream!r}")
-        for entry in self._scan():
-            if pos in entry.positions and stream in entry.segments:
-                return [
-                    record
-                    for record in self._segment_records(entry, stream)
-                    if record["pos"] == pos
-                ]
-        return []
+        if self._pos_entry is None:
+            self._scan()
+        entry = (self._pos_entry or {}).get(pos)
+        if entry is None or stream not in entry.segments:
+            return []
+        extent = (
+            self._load_index(entry).get(stream, {}).get("offsets", {})
+        ).get(str(pos))
+        if extent is None:
+            return []
+        start, length, count = extent
+        path, _total = entry.segments[stream]
+        try:
+            with path.open("rb") as handle:
+                handle.seek(start)
+                blob = handle.read(length)
+            records = [
+                json.loads(line) for line in blob.splitlines() if line.strip()
+            ]
+            if len(records) == count and all(
+                record.get("pos") == pos for record in records
+            ):
+                return records
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        # Extent disagrees with the file (e.g. a hand-edited segment
+        # whose digest was refreshed but whose index was not): rescan.
+        self._index_cache.pop(entry.first, None)
+        return [
+            record
+            for record in self._segment_records(entry, stream)
+            if record["pos"] == pos
+        ]
 
     def _segment_records(
         self, entry: _BatchEntry, stream: str
     ) -> Iterator[dict]:
         path, count = entry.segments[stream]
+        expected_fingerprint = (
+            entry.origin_fingerprint or self.config_fingerprint
+        )
         with path.open("r", encoding="utf-8") as handle:
             header = json.loads(next(handle))
             if (
                 header.get("schema") != SEGMENT_SCHEMA_VERSION
                 or header.get("stream") != stream
                 or header.get("seed_root") != self.seed_root
-                or header.get("config_fingerprint")
-                != self.config_fingerprint
+                or header.get("config_fingerprint") != expected_fingerprint
             ):
                 raise CorruptSegmentError(
                     f"segment {path.name} header fails validation"
@@ -531,11 +1000,13 @@ class SegmentStore:
                 )
 
 
-def _quarantine(path: Path) -> None:
+def _quarantine(path: Path) -> Optional[Path]:
+    target = path.with_name(path.name + ".corrupt")
     try:
-        os.replace(path, path.with_name(path.name + ".corrupt"))
+        os.replace(path, target)
     except OSError:
-        pass
+        return None
+    return target
 
 
 def _package_version() -> str:
@@ -782,7 +1253,7 @@ def run_segment_shard(
         chunk = pending[start : start + step]
         # Re-scan: another attempt of this shard (reaped as hung but
         # still running) may have covered these positions meanwhile.
-        store._scan_cache = None
+        store.invalidate_scan()
         fresh = store.covered_positions()
         chunk = [pos for pos in chunk if pos not in fresh]
         if not chunk:
@@ -790,7 +1261,7 @@ def run_segment_shard(
         try:
             write_segment_batch(store, seed, config, chunk)
         except PositionsCoveredError:
-            store._scan_cache = None  # lost the race; identical bytes won
+            store.invalidate_scan()  # lost the race; identical bytes won
         # Collect the batch's cyclic world/runner graph immediately so a
         # worker's peak memory is one batch, not GC-schedule-dependent.
         gc.collect()

@@ -515,12 +515,18 @@ def run_timeline_epoch(
 
     With ``incremental=True`` and a predecessor epoch, clean personas
     (unchanged fingerprint, covered in the previous epoch's store) are
-    copied segment-by-segment; only the dirty set re-executes.  With
-    ``incremental=False`` (or for epoch 0) every uncovered persona runs
-    cold — the correctness pin is that both paths export byte-identical
-    files.  Returns ``(store, personas_reused, personas_recomputed)``;
-    both counters are also published in the store manifest under the
-    ``"timeline"`` key.
+    reused; only the dirty set re-executes.  Reuse is **zero-copy**
+    where possible: a previous-epoch batch whose positions are entirely
+    clean is adopted whole via
+    :meth:`~repro.core.segments.SegmentStore.adopt_batch` (hard links,
+    no parse); only batches straddling the dirty set fall back to
+    record-level copy.  With ``incremental=False`` (or for epoch 0)
+    every uncovered persona runs cold — the correctness pin is that
+    both paths export byte-identical files.  Returns ``(store,
+    personas_reused, personas_recomputed)``; the store manifest's
+    ``"timeline"`` key additionally records the reuse mechanics as
+    ``reuse = {"linked", "copied", "records"}`` (segment files
+    hard-linked, files byte-copied, records JSON-round-tripped).
     """
     from repro.core.cache import config_fingerprint
     from repro.core.segments import STREAMS, SegmentStore
@@ -534,6 +540,7 @@ def run_timeline_epoch(
     names = tuple(p.name for p in roster)
     store = SegmentStore(store_dir, seed.root, fingerprint, names)
     store.ensure_manifest()
+    reuse = {"linked": 0, "copied": 0, "records": 0}
 
     if incremental and index > 0:
         prev_config = spec.effective_config(index - 1)
@@ -541,28 +548,41 @@ def run_timeline_epoch(
         if prev_fingerprint != fingerprint:
             # Identical fingerprints mean the two epochs share one store
             # directory and coverage carries over by construction; only
-            # distinct stores need the explicit copy.
+            # distinct stores need the explicit transfer.
             prev_store = SegmentStore(
                 store_dir, seed.root, prev_fingerprint, names
             )
-            prev_covered = prev_store.covered_positions()
             dirty = set(dirty_positions(seed.root, prev_config, config, roster))
             already = store.covered_positions()
-            for pos in range(len(names)):
-                if pos in dirty or pos in already or pos not in prev_covered:
+            for entry in prev_store.batches():
+                batch_positions = set(entry.positions)
+                wanted = batch_positions - dirty - already
+                if not wanted:
                     continue
-                records = {
-                    stream: prev_store.stream_records_for(stream, pos)
-                    for stream in STREAMS
-                }
-                store.write_batch(
-                    [pos],
-                    {
-                        stream: recs
-                        for stream, recs in records.items()
-                        if recs
-                    },
-                )
+                if wanted == batch_positions:
+                    counts = store.adopt_batch(prev_store, entry)
+                    reuse["linked"] += counts["linked"]
+                    reuse["copied"] += counts["copied"]
+                else:
+                    # The batch straddles the dirty set: only its clean
+                    # positions transfer, record by record.
+                    for pos in sorted(wanted):
+                        records = {
+                            stream: prev_store.stream_records_for(stream, pos)
+                            for stream in STREAMS
+                        }
+                        reuse["records"] += sum(
+                            len(recs) for recs in records.values()
+                        )
+                        store.write_batch(
+                            [pos],
+                            {
+                                stream: recs
+                                for stream, recs in records.items()
+                                if recs
+                            },
+                        )
+                already |= wanted
 
     covered = store.covered_positions()
     pending = [pos for pos in range(len(names)) if pos not in covered]
@@ -589,6 +609,7 @@ def run_timeline_epoch(
                 "incremental": bool(incremental and index > 0),
                 "personas_reused": reused,
                 "personas_recomputed": len(pending),
+                "reuse": reuse,
             }
         },
     )

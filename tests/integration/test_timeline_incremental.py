@@ -122,13 +122,32 @@ class TestReuseAccounting:
         result = run_timeline(spec, tmp_path)
         manifest_path = Path(result.epochs[1].campaign_dir) / "MANIFEST.json"
         manifest = json.loads(manifest_path.read_text())
+        reuse = manifest["timeline"].pop("reuse")
         assert manifest["timeline"] == {
             "epoch": 1,
             "incremental": True,
             "personas_reused": result.epochs[1].personas_reused,
             "personas_recomputed": result.epochs[1].personas_recomputed,
         }
+        # Every clean persona sits in its own single-position batch
+        # (batch_personas=1), so reuse is pure file adoption: segment
+        # files hard-linked, zero record-level JSON round trips.
+        assert reuse["linked"] > 0
+        assert reuse["copied"] == 0
+        assert reuse["records"] == 0
         assert manifest["status"] == "complete"
+
+    def test_straddling_batches_copy_only_clean_records(self, tmp_path):
+        # batch_personas=4 makes epoch-0 batches span several personas,
+        # so epoch 1's dirty set straddles some batches: those transfer
+        # record-by-record while fully-clean batches still adopt whole.
+        spec = _spec(_base(batch_personas=4))
+        result = run_timeline(spec, tmp_path)
+        manifest_path = Path(result.epochs[1].campaign_dir) / "MANIFEST.json"
+        reuse = json.loads(manifest_path.read_text())["timeline"]["reuse"]
+        assert reuse["linked"] > 0
+        assert reuse["records"] > 0
+        assert result.epochs[1].personas_recomputed == 3
 
     def test_identical_epochs_share_a_store_and_reuse_everything(self, tmp_path):
         spec = TimelineSpec(base=_base(), epochs=(EpochSpec(), EpochSpec()))
