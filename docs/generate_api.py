@@ -160,6 +160,21 @@ jobs' tokens never exceeds the budget — observable as
 `service.workers_peak` in `/healthz`.  Concurrent tenants get isolated
 namespaces and independently-seeded campaigns.
 
+**Backpressure & drain.**  Admission is bounded (`--max-queue`,
+default 64): an overflowing `POST /campaigns` is a `429` with a
+`Retry-After` header (`service.jobs_rejected`); a submit while the
+service is draining is a `503`; `ENOSPC` while persisting the job is
+a `507` with reason `storage_exhausted`.  Cancelling a queued job
+releases its admission slot, and its terminal `job.cancelled` event
+lands in the log *before* the state flips so an SSE tail cannot miss
+it.  `SIGTERM` triggers a graceful drain: admission stops, running
+campaigns finish, queued jobs stay durably parked for the next boot,
+and the process exits `0`.  A per-job watchdog (`--job-timeout`)
+fails jobs running past the wall-clock deadline (state `failed`,
+reason `watchdog_timeout`, `service.watchdog_reaped`) and frees their
+worker tokens; a late zombie completion can neither resurrect the job
+nor double-release tokens.
+
 **Events.**  The job log speaks the obs event schema (`schema`, `seq`,
 `type`, `sim_time`, `fields`): `job.submitted`, `job.started`
 (`resumed` flag), `job.progress` (completed shards/batches),
@@ -240,6 +255,75 @@ accounted for in the metrics (`net.faults.*`, `web.faults.*`,
 `<scope>.retries`, `<scope>.retry_exhausted`, `device.*_failures`,
 `skills.sessions_failed`) plus the manifest's `fault_profile` field —
 so partial data is always distinguishable from a healthy run.
+
+## Storage chaos: seeded I/O faults, hardened writes, `repro fsck`
+
+`repro.core.iosim` gives the storage layer the same seeded-fault
+treatment as the network (`FaultPlan`) and the workers
+(`WorkerFaultPlan`):
+
+* **`StorageFaultProfile`** — named per-operation rates over
+  `STORAGE_FAULT_KINDS` (`enospc`, `eio`, `fsync`, `rename`, `torn`,
+  `slow`, `corrupt_read`).  `StorageFaultProfile.parse` accepts a
+  profile name from `STORAGE_FAULT_PROFILES` (`none` / `mild` /
+  `harsh`) or an overall rate (`rate:0.05`).
+* **`StorageFaultPlan`** — turns a profile into concrete
+  `StorageFaultDecision`s drawn from `Seed.derive("storage")`
+  substreams keyed by `(component, op)` (`segments`, `checkpoint`,
+  `cache`, `service`, …), so a component's fault schedule depends only
+  on its own operation sequence — never on shard composition.
+  `plan.exhaust(component, op, after=N)` switches an op to persistent
+  `ENOSPC` after N calls for disk-full drills; `plan.snapshot()` /
+  `plan.summary()` expose the counters that campaigns fold into
+  observability as `storage.*`.
+* **Installation is harness-level** — `install_storage_faults(...)` /
+  the `storage_faults(...)` context manager in Python, the
+  `--storage-faults` flag on the CLI, or
+  `REPRO_STORAGE_FAULTS=<profile>:<seed>` in the environment.  The
+  plan never enters the config fingerprint: a faulted run is the same
+  campaign as a healthy one, merely executed on worse hardware.
+
+The injection seam is `repro.core.checkpoint.atomic_write_bytes`
+(write-temp → fsync → rename → **parent-dir fsync**) plus the read
+paths of the digest cache, sidecar indexes, checkpoint shards, and the
+dataset cache.  The hardening contract:
+
+* Transient faults (`eio`, `fsync`, `rename`, `torn`, `slow`) are
+  retried behind the seam with capped exponential backoff
+  (`DEFAULT_STORAGE_RETRY`, host clock); a torn temp file is discarded
+  before the rename, so torn bytes never reach a live name.
+  `storage.retries` / `storage.retry_exhausted` count the work.
+* `corrupt_read` fires only on self-healing artifacts; every victim is
+  quarantined to `*.corrupt` (`storage.quarantined`) and rebuilt or
+  recomputed, never trusted.
+* **Determinism bar.**  Under any profile where writes eventually
+  succeed, campaign exports are byte-identical to a no-fault run,
+  serial and parallel (`tests/integration/test_storage_chaos.py`,
+  `tests/property/test_storage_fault_properties.py`, CI's
+  `chaos-smoke` storage leg).
+* **`ENOSPC` degrades, never wedges.**  Segment campaigns finish
+  `partial` with `missing_personas` accounted and a `storage` block
+  (profile + counters) in the store manifest; the HTTP service maps it
+  to `507` and a `failed` job with reason `storage_exhausted`, its
+  worker tokens released.
+
+**`repro fsck <dir> [--repair] [--out report.json]`**
+(`repro.core.fsck.fsck_path`) is the offline audit.  It auto-detects
+what a directory holds — a segment store or single campaign, a
+checkpoint journal, a service job tree (recursing into each job's
+`checkpoint/` and `segments/`) — and classifies every artifact:
+
+| verdict | meaning | examples |
+|---|---|---|
+| `ok` | passes every integrity check | verified segment, valid shard |
+| `repaired` | reconstructible from surviving artifacts | rebuild a sidecar index, prune a stale digest cache, re-stamp a lost journal manifest, truncate a torn event-log tail |
+| `quarantined` | recomputable — moved to `*.corrupt` so a rerun recomputes | digest-mismatched segment + its marker, corrupt shard, corrupt `state.json` |
+| `unrecoverable` | identity-bearing, reported but never deleted | store `MANIFEST.json`, job `spec.json`, interior event-log damage |
+
+Without `--repair` the identical report is a dry run (`applied:
+false` on every action).  The JSON report counts each verdict and
+lists every action; the exit code is non-zero iff anything is
+unrecoverable.
 
 ## Crash safety & resume
 

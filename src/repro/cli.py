@@ -35,6 +35,7 @@ import dataclasses
 import json
 import logging
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -118,6 +119,15 @@ def _campaign_parent(common: argparse.ArgumentParser) -> argparse.ArgumentParser
         default="none",
         help="network fault profile: none|mild|harsh or a float rate "
         "(e.g. 0.05); seeded and deterministic, see repro.netsim.faults",
+    )
+    parent.add_argument(
+        "--storage-faults",
+        metavar="PROFILE",
+        default="none",
+        help="storage fault profile: none|mild|harsh or a float rate; "
+        "seeded, deterministic I/O fault injection on every durable "
+        "write/read path, see repro.core.iosim.  Harness-level: exports "
+        "stay byte-identical to a fault-free run",
     )
     parent.add_argument(
         "--cache",
@@ -240,6 +250,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker-token budget shared by all running campaigns: a "
         "serial campaign costs 1, a parallel one its worker count",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded admission queue: submissions beyond N queued "
+        "campaigns get HTTP 429 with Retry-After",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock watchdog: a campaign running longer is "
+        "marked failed and its worker tokens are freed",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        parents=[common],
+        help="cold integrity audit of a segment store, checkpoint "
+        "journal, or service job tree",
+    )
+    fsck.add_argument(
+        "path",
+        metavar="DIR",
+        help="artifact tree to audit (auto-detected: segment store / "
+        "campaign dir / checkpoint journal / job tree)",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply repairs: rebuild sidecar indexes, drop stale digest "
+        "caches, re-stamp recoverable journal manifests, truncate torn "
+        "event-log tails, quarantine corrupt artifacts to *.corrupt",
+    )
+    fsck.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report here",
     )
 
     submit = sub.add_parser(
@@ -590,6 +642,8 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from repro.service import AuditService
 
     service = AuditService(
@@ -597,16 +651,46 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         total_workers=args.total_workers,
+        max_queue=args.max_queue,
+        job_timeout=args.job_timeout,
     )
     service.start()
     _LOG.info("audit service listening on %s (root: %s)", service.url, args.root)
+
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
     try:
-        while True:
-            time.sleep(3600)
+        while not stop.wait(0.5):
+            pass
+        # SIGTERM: graceful drain — stop admission, let running
+        # campaigns finish (queued jobs stay durably queued for the
+        # next start), flush, exit 0.
+        _LOG.info("SIGTERM: draining running campaigns")
+        finished = service.drain()
+        _LOG.info(
+            "drain %s", "complete" if finished else "timed out; exiting anyway"
+        )
     except KeyboardInterrupt:
         _LOG.info("shutting down")
         service.stop(wait=False)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.core.fsck import fsck_path
+
+    try:
+        report = fsck_path(args.path, repair=args.repair)
+    except ValueError as exc:
+        _LOG.warning("%s", exc)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    sys.stdout.write(text)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+    return 0 if report["unrecoverable"] == 0 else 1
 
 
 _TERMINAL_JOB_STATES = ("complete", "partial", "failed", "cancelled")
@@ -860,10 +944,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "version":
         _LOG.info("%s", __version__)
         return 0
+    if getattr(args, "storage_faults", "none") != "none":
+        # Harness-level, not campaign-shaping: the plan lives in the
+        # process (and, via propagate, in spawned workers), never in the
+        # spec — which is why it composes with --spec and never touches
+        # the config fingerprint.
+        from repro.core.iosim import install_storage_faults
+
+        install_storage_faults(
+            args.storage_faults,
+            seed=getattr(args, "seed", 42),
+            propagate=True,
+        )
     handlers = {
         "run": _cmd_run,
         "timeline": _cmd_timeline,
         "serve": _cmd_serve,
+        "fsck": _cmd_fsck,
         "submit": _cmd_submit,
         "tables": _cmd_tables,
         "report": _cmd_report,

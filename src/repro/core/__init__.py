@@ -40,6 +40,16 @@ from repro.core.checkpoint import (
     CorruptShardError,
     ShardJournal,
     atomic_write_bytes,
+    quarantine_path,
+)
+from repro.core.fsck import FsckReport, fsck_path
+from repro.core.iosim import (
+    StorageFaultPlan,
+    StorageFaultProfile,
+    StorageRetryPolicy,
+    install_storage_faults,
+    storage_faults,
+    uninstall_storage_faults,
 )
 from repro.core.experiment import (
     AuditDataset,
@@ -94,6 +104,7 @@ __all__ = [
     "DisplayAdAnalysis",
     "ExperimentConfig",
     "ExperimentRunner",
+    "FsckReport",
     "MannWhitneyResult",
     "Persona",
     "PersonaArtifacts",
@@ -105,6 +116,9 @@ __all__ = [
     "ShardFailure",
     "ShardJournal",
     "ShardResult",
+    "StorageFaultPlan",
+    "StorageFaultProfile",
+    "StorageRetryPolicy",
     "SupervisorPolicy",
     "SupervisorReport",
     "SyncAnalysis",
@@ -130,13 +144,16 @@ __all__ = [
     "extract_audio_ads",
     "figure3_series",
     "figure7_series",
+    "fsck_path",
     "holiday_window_means",
+    "install_storage_faults",
     "interest_personas",
     "mann_whitney_u",
     "parallel_map",
     "partner_split",
     "persona_stream_records",
     "policy_availability",
+    "quarantine_path",
     "rank_biserial",
     "representative_bids",
     "run_campaign",
@@ -145,7 +162,9 @@ __all__ = [
     "scaled_roster",
     "shard_personas",
     "significance_vs_vanilla",
+    "storage_faults",
     "summarize",
     "transcribe_session",
+    "uninstall_storage_faults",
     "write_dataset_segments",
 ]

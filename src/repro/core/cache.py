@@ -38,7 +38,8 @@ from copy import copy as _shallow_copy, deepcopy as _deepcopy
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from repro.core.checkpoint import atomic_write_bytes
+from repro.core.checkpoint import atomic_write_bytes, quarantine_path
+from repro.core.iosim import read_bytes as _seam_read_bytes
 from repro.core.experiment import (
     AuditDataset,
     ExperimentConfig,
@@ -181,8 +182,13 @@ class DatasetCache:
     ) -> Optional[AuditDataset]:
         path = self.path_for(seed_root, config)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            # Corruptible seam read: a flipped bit fails the pickle load
+            # or envelope check and falls into the quarantine-and-miss
+            # path below — a recompute, never altered data.
+            raw = _seam_read_bytes(
+                path, component="cache", op="dataset", corruptible=True
+            )
+            payload = pickle.loads(raw)
             if not isinstance(payload, dict):
                 raise ValueError("cache payload is not an envelope dict")
         except FileNotFoundError:
@@ -225,15 +231,13 @@ class DatasetCache:
         # Atomic, fsynced publish (shared with the checkpoint journal):
         # never leave a half-written pickle at the key.
         atomic_write_bytes(
-            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            path,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            component="cache",
+            op="dataset",
         )
 
     @staticmethod
     def _quarantine(path: Path) -> Optional[Path]:
         """Move a corrupt entry to ``<name>.corrupt`` (best effort)."""
-        target = path.with_name(path.name + ".corrupt")
-        try:
-            os.replace(path, target)
-        except OSError:
-            return None
-        return target
+        return quarantine_path(path)

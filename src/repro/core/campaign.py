@@ -55,6 +55,7 @@ from repro.core.experiment import (
     ExperimentConfig,
     _run_serial_experiment,
 )
+from repro.core.iosim import current_storage_faults, is_enospc
 from repro.core.parallel import (
     BACKENDS,
     ON_SHARD_FAILURE,
@@ -603,6 +604,12 @@ def _execute(
         )
 
     if dataset.obs is not None:
+        plan = current_storage_faults()
+        if plan is not None:
+            # Fold the storage fault accounting into the run's trace so
+            # `--metrics-out` and the service events surface it.
+            for name, value in plan.snapshot().items():
+                dataset.obs.inc(name, value)
         manifest.phase_real_seconds = {
             name: seconds
             for name, seconds in dataset.timings.items()
@@ -716,7 +723,15 @@ def run_segment_campaign(
         max_shard_retries=max_shard_retries,
         worker_faults=worker_faults,
     )
-    store.write_manifest("partial" if missing else "complete")
+    extras: Dict[str, object] = {}
+    if missing:
+        extras["missing_personas"] = sorted(missing)
+    plan = current_storage_faults()
+    if plan is not None and plan.snapshot():
+        # Segment workers never trace, so the manifest carries the
+        # storage fault accounting the memory path puts on dataset.obs.
+        extras["storage"] = plan.summary()
+    store.write_manifest("partial" if missing else "complete", extras or None)
     return store
 
 
@@ -766,9 +781,27 @@ def run_segment_positions(
         covered = store.covered_positions()
         pending = [pos for pos in positions if pos not in covered]
         for start in range(0, len(pending), batch_personas):
-            write_segment_batch(
-                store, seed, config, pending[start : start + batch_personas]
-            )
+            try:
+                write_segment_batch(
+                    store, seed, config, pending[start : start + batch_personas]
+                )
+            except OSError as exc:
+                if not is_enospc(exc):
+                    raise
+                # Disk exhaustion does not heal on retry: degrade to the
+                # same partial semantics as on_shard_failure="degrade".
+                # Whatever the failed batch published before running out
+                # of space stayed atomic, so a fresh coverage scan tells
+                # exactly which personas are durably stored; the rest
+                # are reported missing and the caller stamps a partial
+                # manifest.
+                store.invalidate_scan()
+                fresh = store.covered_positions()
+                return tuple(
+                    roster[pos].name
+                    for pos in pending[start:]
+                    if pos not in fresh
+                )
             # The dead world/runner graph is cyclic; collect it now so
             # peak memory stays one-batch-sized instead of riding the
             # generational GC's schedule across a long roster.

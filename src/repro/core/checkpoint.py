@@ -38,8 +38,17 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.iosim import (
+    DEFAULT_STORAGE_RETRY,
+    current_storage_faults,
+    is_enospc,
+    read_bytes as _seam_read_bytes,
+    transient_storage_error,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -47,6 +56,8 @@ __all__ = [
     "CorruptShardError",
     "ShardJournal",
     "atomic_write_bytes",
+    "fsync_dir",
+    "quarantine_path",
     "shard_plan_digest",
 ]
 
@@ -65,24 +76,73 @@ class CorruptShardError(CheckpointError):
     """A journal entry exists but is unreadable or fails validation."""
 
 
-def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically: temp → fsync → rename.
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory.
 
-    A reader can never observe a partial file at ``path`` — it sees
-    either the previous content or the full new content.  The ``fsync``
-    before the rename is what makes the journal crash-safe: without it a
-    power loss could publish a name pointing at unwritten blocks.
+    ``os.replace`` publishes a name by mutating the parent directory;
+    until that directory's own metadata is flushed, a power loss can
+    silently drop the dirent even though the file's blocks were fsynced.
+    Best-effort because some filesystems refuse ``O_RDONLY`` on
+    directories — durability degrades there, correctness does not.
     """
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _inject_write_fault(decision, plan, target: Path, handle=None, data=b"") -> None:
+    """Raise (or sleep for) the injected fault at the right point of the
+    write sequence; no-op for stages the decision does not target."""
+    import errno as _errno
+
+    kind = decision.kind
+    plan.record(f"storage.faults.injected.{kind}")
+    if kind == "slow":
+        time.sleep(decision.seconds)
+    elif kind == "enospc":
+        raise OSError(
+            _errno.ENOSPC, f"injected: no space left on device ({target.name})"
+        )
+    elif kind == "eio":
+        raise OSError(_errno.EIO, f"injected: write I/O error ({target.name})")
+    elif kind == "torn":
+        handle.write(data[: int(len(data) * decision.fraction)])
+        handle.flush()
+        raise OSError(
+            _errno.EIO, f"injected: torn write after partial payload ({target.name})"
+        )
+    elif kind == "fsync":
+        raise OSError(_errno.EIO, f"injected: fsync failure ({target.name})")
+    elif kind == "rename":
+        raise OSError(_errno.EIO, f"injected: rename failure ({target.name})")
+
+
+def _atomic_write_attempt(target: Path, data: bytes, decision, plan) -> None:
+    """One temp → fsync → rename → dir-fsync publish attempt."""
+    if decision is not None and decision.kind in ("slow", "enospc", "eio"):
+        _inject_write_fault(decision, plan, target)
+        decision = None if decision.kind == "slow" else decision
     fd, tmp_name = tempfile.mkstemp(
         dir=target.parent, prefix=target.name + ".", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
+            if decision is not None and decision.kind == "torn":
+                _inject_write_fault(decision, plan, target, handle=handle, data=data)
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+            if decision is not None and decision.kind == "fsync":
+                _inject_write_fault(decision, plan, target)
+        if decision is not None and decision.kind == "rename":
+            _inject_write_fault(decision, plan, target)
         os.replace(tmp_name, target)
     except BaseException:
         try:
@@ -90,6 +150,80 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
         except OSError:
             pass
         raise
+    fsync_dir(target.parent)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    *,
+    component: str = "storage",
+    op: str = "write",
+) -> None:
+    """Write ``data`` to ``path`` atomically: temp → fsync → rename →
+    parent-dir fsync.
+
+    A reader can never observe a partial file at ``path`` — it sees
+    either the previous content or the full new content.  The ``fsync``
+    before the rename is what makes the journal crash-safe: without it a
+    power loss could publish a name pointing at unwritten blocks; the
+    directory fsync after it is what keeps the published *name* from
+    vanishing in the same crash.
+
+    This is the storage fault seam for writes: when a
+    :class:`~repro.core.iosim.StorageFaultPlan` is installed, each
+    attempt draws a decision keyed by ``(component, op)``.  Transient
+    faults (EIO, fsync, rename, torn temp write) are retried under
+    :data:`~repro.core.iosim.DEFAULT_STORAGE_RETRY` with capped backoff
+    on the host clock; ``ENOSPC`` propagates immediately — a full disk
+    does not heal on retry, the campaign layer degrades instead.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    plan = current_storage_faults()
+    policy = DEFAULT_STORAGE_RETRY
+    for attempt in range(1, policy.max_attempts + 1):
+        decision = plan.decide(component, op) if plan is not None else None
+        if decision is not None and decision.kind == "corrupt_read":
+            decision = None  # read-only fault kind; draw still consumed
+        try:
+            _atomic_write_attempt(target, data, decision, plan)
+        except OSError as exc:
+            if plan is not None and is_enospc(exc):
+                plan.record("storage.enospc")
+            if not transient_storage_error(exc):
+                raise
+            if attempt >= policy.max_attempts:
+                if plan is not None:
+                    plan.record("storage.retry_exhausted")
+                raise
+            if plan is not None:
+                plan.record("storage.retries")
+            time.sleep(policy.backoff(attempt))
+        else:
+            return
+
+
+def quarantine_path(path: Union[str, Path]) -> Optional[Path]:
+    """Move a corrupt artifact to ``<name>.corrupt`` — never delete it,
+    never leave it under a live name.
+
+    The rename is followed by a parent-directory fsync so a crash right
+    after quarantine cannot resurrect the corrupt name.  Best-effort:
+    returns the quarantine path, or ``None`` when the rename failed
+    (e.g. the artifact vanished concurrently).
+    """
+    source = Path(path)
+    target = source.with_name(source.name + ".corrupt")
+    try:
+        os.replace(source, target)
+    except OSError:
+        return None
+    fsync_dir(source.parent)
+    plan = current_storage_faults()
+    if plan is not None:
+        plan.record("storage.quarantined")
+    return target
 
 
 def shard_plan_digest(shard_plan: Sequence[Sequence[str]]) -> str:
@@ -155,7 +289,12 @@ class ShardJournal:
             "result": result,
         }
         path = self.shard_path(shard_index)
-        atomic_write_bytes(path, pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        atomic_write_bytes(
+            path,
+            pickle.dumps(payload, pickle.HIGHEST_PROTOCOL),
+            component="checkpoint",
+            op="shard",
+        )
         return path
 
     def load_shard(self, shard_index: int):
@@ -168,7 +307,12 @@ class ShardJournal:
         self._check_index(shard_index)
         path = self.shard_path(shard_index)
         try:
-            raw = path.read_bytes()
+            # Corruptible seam read: a flipped bit fails the pickle load
+            # or envelope validation below, and the caller quarantines
+            # and recomputes — never silently resumes altered data.
+            raw = _seam_read_bytes(
+                path, component="checkpoint", op="shard", corruptible=True
+            )
         except FileNotFoundError:
             return None
         try:
@@ -206,9 +350,7 @@ class ShardJournal:
         path = self.shard_path(shard_index)
         if not path.exists():
             return None
-        target = path.with_name(path.name + ".corrupt")
-        os.replace(path, target)
-        return target
+        return quarantine_path(path)
 
     def load_completed(self) -> Dict[int, object]:
         """Every valid checkpointed shard, quarantining corrupt entries."""
@@ -236,7 +378,12 @@ class ShardJournal:
     # ------------------------------------------------------------------ #
 
     def write_error(self, shard_index: int, text: str) -> None:
-        atomic_write_bytes(self.error_path(shard_index), text.encode("utf-8"))
+        atomic_write_bytes(
+            self.error_path(shard_index),
+            text.encode("utf-8"),
+            component="checkpoint",
+            op="error",
+        )
 
     def read_error(self, shard_index: int) -> Optional[str]:
         try:
@@ -276,6 +423,8 @@ class ShardJournal:
         atomic_write_bytes(
             self.manifest_path,
             (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+            component="checkpoint",
+            op="manifest",
         )
 
     def read_manifest(self) -> Optional[Dict[str, object]]:

@@ -839,6 +839,8 @@ class _ShardSupervisor:
                 )
 
     def _fail(self, index: int, kind: str, detail: str) -> None:
+        from repro.core.iosim import is_enospc_text
+
         unit = self._active.pop(index)
         self._outcomes[index].append(kind)
         attempts_used = unit.attempt
@@ -846,6 +848,13 @@ class _ShardSupervisor:
         policy = self.policy.on_shard_failure
         if policy == "raise":
             raise ShardFailure(index, self._outcomes[index], detail)
+        if is_enospc_text(detail):
+            # A full disk does not heal on a shard retry: burn no more
+            # attempts (and no more disk), degrade this shard right away
+            # so the run lands partial with its personas accounted.
+            self._outcomes[index].append("enospc-degrade")
+            self._failed.append(index)
+            return
         if attempts_used >= budget:
             if policy == "degrade":
                 self._failed.append(index)

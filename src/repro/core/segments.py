@@ -98,7 +98,8 @@ from heapq import heappop, heappush
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.checkpoint import atomic_write_bytes
+from repro.core.checkpoint import atomic_write_bytes, quarantine_path
+from repro.core.iosim import read_text as _seam_read_text
 from repro.obs import NULL_OBS
 from repro.core.experiment import (
     ExperimentConfig,
@@ -283,6 +284,8 @@ class SegmentStore:
             (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
+            component="segments",
+            op="manifest",
         )
 
     def read_manifest(self) -> Optional[Dict[str, object]]:
@@ -404,7 +407,12 @@ class SegmentStore:
             payload = ("\n".join(lines) + "\n").encode("utf-8")
             digest = _digest(payload)
             name = f"{stream}-{ordered[0]:08d}-{digest[:12]}.jsonl"
-            atomic_write_bytes(self.segments_dir / name, payload)
+            atomic_write_bytes(
+                self.segments_dir / name,
+                payload,
+                component="segments",
+                op="segment",
+            )
             self._cache_verified_digest(self.segments_dir / name, digest)
             segments[stream] = {
                 "file": name,
@@ -431,6 +439,8 @@ class SegmentStore:
             (json.dumps(marker, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
+            component="segments",
+            op="marker",
         )
         self._flush_digest_cache()
         self.invalidate_scan()
@@ -485,7 +495,12 @@ class SegmentStore:
                 counts["linked"] += 1
                 self.obs.inc("segments.reuse.linked")
             except OSError:
-                atomic_write_bytes(target, source.read_bytes())
+                atomic_write_bytes(
+                    target,
+                    source.read_bytes(),
+                    component="segments",
+                    op="segment",
+                )
                 counts["copied"] += 1
                 self.obs.inc("segments.reuse.copied")
             if digest:
@@ -528,6 +543,8 @@ class SegmentStore:
             (json.dumps(marker, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
+            component="segments",
+            op="marker",
         )
         self._flush_digest_cache()
         self.invalidate_scan()
@@ -659,8 +676,16 @@ class SegmentStore:
         if self._digest_cache is None:
             files: Dict[str, dict] = {}
             try:
+                # Corruptible seam read: a flipped bit fails the JSON
+                # parse or schema check below and every file simply
+                # verifies cold once — the cache is advisory.
                 payload = json.loads(
-                    self.digest_cache_path.read_text(encoding="utf-8")
+                    _seam_read_text(
+                        self.digest_cache_path,
+                        component="segments",
+                        op="digest-cache",
+                        corruptible=True,
+                    )
                 )
                 if (
                     isinstance(payload, dict)
@@ -702,6 +727,8 @@ class SegmentStore:
             (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
+            component="segments",
+            op="digest-cache",
         )
         self._digest_cache_dirty = False
 
@@ -776,6 +803,8 @@ class SegmentStore:
             (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
+            component="segments",
+            op="index",
         )
 
     def _load_index(self, entry: _BatchEntry) -> Dict[str, Dict[str, dict]]:
@@ -794,8 +823,16 @@ class SegmentStore:
             return cached
         streams: Optional[Dict[str, Dict[str, dict]]] = None
         try:
+            # Corruptible seam read: a flipped bit fails the JSON parse
+            # or the envelope/digest match below, and the index is
+            # rebuilt from the (digest-verified) segment files.
             payload = json.loads(
-                self._index_path(entry.first).read_text(encoding="utf-8")
+                _seam_read_text(
+                    self._index_path(entry.first),
+                    component="segments",
+                    op="index",
+                    corruptible=True,
+                )
             )
             if (
                 isinstance(payload, dict)
@@ -1001,12 +1038,7 @@ class SegmentStore:
 
 
 def _quarantine(path: Path) -> Optional[Path]:
-    target = path.with_name(path.name + ".corrupt")
-    try:
-        os.replace(path, target)
-    except OSError:
-        return None
-    return target
+    return quarantine_path(path)
 
 
 def _package_version() -> str:

@@ -15,11 +15,17 @@ Three layers, one per module:
 * :mod:`repro.service.scheduler` — fair-share execution.  Strict-FIFO
   admission under a worker-token budget bounds total concurrency while
   letting multiple tenants' campaigns (different seeds, isolated
-  namespaces) run side by side.
+  namespaces) run side by side.  Backpressure and resilience live here
+  too: an optional bounded queue (overflow → :class:`QueueFullError` →
+  HTTP 429 + ``Retry-After``), a graceful ``drain()`` (stop admission,
+  finish running jobs, keep queued ones durably queued for the next
+  start), and a per-job wall-clock watchdog that fails hung jobs and
+  frees their worker tokens.
 * :mod:`repro.service.app` — the HTTP surface.  Stdlib
   ``ThreadingHTTPServer``; submit specs as JSON, tail progress as
   Server-Sent Events, download export files whose bytes are identical
-  to a local ``repro run`` of the same spec.
+  to a local ``repro run`` of the same spec.  A full disk surfaces as
+  507 with ``reason="storage_exhausted"`` — never a wedged worker.
 
 Start one from the CLI (``repro serve --root jobs/``) or in process::
 
@@ -38,16 +44,23 @@ from repro.service.jobs import (
     JobStore,
     SubmitError,
 )
-from repro.service.scheduler import CampaignScheduler, worker_cost
+from repro.service.scheduler import (
+    CampaignScheduler,
+    DrainingError,
+    QueueFullError,
+    worker_cost,
+)
 
 __all__ = [
     "AuditService",
     "CampaignScheduler",
+    "DrainingError",
     "JOB_SCHEMA_VERSION",
     "JOB_STATES",
     "Job",
     "JobEventWriter",
     "JobStore",
+    "QueueFullError",
     "SubmitError",
     "TERMINAL_STATES",
     "worker_cost",

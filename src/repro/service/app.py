@@ -44,8 +44,13 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.campaign import CampaignSpec
+from repro.core.iosim import is_enospc
 from repro.service.jobs import JobStore, SubmitError, read_event_lines
-from repro.service.scheduler import CampaignScheduler
+from repro.service.scheduler import (
+    CampaignScheduler,
+    DrainingError,
+    QueueFullError,
+)
 
 __all__ = ["AuditService"]
 
@@ -73,11 +78,18 @@ class AuditService:
         host: str = "127.0.0.1",
         port: int = 0,
         total_workers: int = 4,
+        max_queue: Optional[int] = None,
+        job_timeout: Optional[float] = None,
     ) -> None:
         self.root = Path(root)
         self.host = host
         self.store = JobStore(self.root)
-        self.scheduler = CampaignScheduler(self.store, total_workers=total_workers)
+        self.scheduler = CampaignScheduler(
+            self.store,
+            total_workers=total_workers,
+            max_queue=max_queue,
+            job_timeout=job_timeout,
+        )
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.service = self  # type: ignore[attr-defined]
@@ -108,6 +120,18 @@ class AuditService:
             self._thread = None
         self.scheduler.shutdown(wait=wait)
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """SIGTERM-grade graceful shutdown.
+
+        Stops admission (new submissions get 503), lets running
+        campaigns finish (their events flush as they go; queued jobs
+        stay durably queued for the next start), then stops serving.
+        Returns ``True`` when everything running finished in time.
+        """
+        finished = self.scheduler.drain(timeout=timeout)
+        self.stop(wait=False)
+        return finished
+
     def __enter__(self) -> "AuditService":
         self.start()
         return self
@@ -133,13 +157,20 @@ class _Handler(BaseHTTPRequestHandler):
     # Responses
     # ------------------------------------------------------------------ #
 
-    def _send_json(self, status: int, payload: object) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
             "utf-8"
         )
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -213,6 +244,30 @@ class _Handler(BaseHTTPRequestHandler):
         except SubmitError as exc:
             self._send_error_json(400, str(exc))
             return
+        except QueueFullError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "reason": "queue_full"},
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+            return
+        except DrainingError as exc:
+            self._send_json(
+                503,
+                {"error": str(exc), "reason": "draining"},
+                headers={"Retry-After": "1"},
+            )
+            return
+        except OSError as exc:
+            if is_enospc(exc):
+                # 507 Insufficient Storage: the spec never became a job;
+                # nothing to recover, the caller resubmits once the
+                # operator frees space.
+                self._send_json(
+                    507, {"error": str(exc), "reason": "storage_exhausted"}
+                )
+                return
+            raise
         self._send_json(201, job.describe())
 
     def _get_campaigns(self) -> None:

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.core.campaign import CampaignSpec, execute_spec
 from repro.core.checkpoint import atomic_write_bytes
+from repro.core.iosim import is_enospc
 from repro.obs import event_line, make_event_record
 
 __all__ = [
@@ -94,6 +95,25 @@ class JobEventWriter:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._seq = len(read_event_lines(self.path))
+        self._truncate_torn_tail()
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a torn trailing fragment left by a crash mid-append.
+
+        Readers already skip the fragment, but the next append would
+        splice onto it and turn two events into one garbage line —
+        truncate the log back to its last complete line instead, so seq
+        continuation and replay both resume from clean state.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1
+        with self.path.open("rb+") as handle:
+            handle.truncate(keep)
 
     def emit(self, event_type: str, **fields: object) -> Dict[str, object]:
         """Append one event; returns the record."""
@@ -183,12 +203,22 @@ class Job:
         if state not in JOB_STATES:
             raise ValueError(f"unknown job state: {state!r}")
         with self._lock:
+            current = str(self._state.get("state", "queued"))
+            if current in TERMINAL_STATES and state != current:
+                # Terminal states are final: a watchdog-reaped job's
+                # still-running worker thread must not resurrect it.
+                return
             self._state.update(extra)
             self._state["state"] = state
             self._state["schema"] = JOB_SCHEMA_VERSION
             self._state["fingerprint"] = self.spec.fingerprint()
             payload = json.dumps(self._state, indent=2, sort_keys=True)
-        atomic_write_bytes(self.root / _STATE_NAME, payload.encode("utf-8"))
+        atomic_write_bytes(
+            self.root / _STATE_NAME,
+            payload.encode("utf-8"),
+            component="jobs",
+            op="state",
+        )
 
     def set_flag(self, name: str, value: object) -> None:
         """Persist one extra state field without changing the state."""
@@ -229,6 +259,12 @@ class Job:
         current, so both the SSE stream and a post-mortem reader of the
         job directory see the same story.
         """
+        if self.describe().get("cancel_requested"):
+            # Cancelled after being handed to a worker but before any
+            # work started: honour it instead of burning the worker.
+            self.events.emit("job.cancelled", reason="cancel_requested")
+            self.update_state("cancelled")
+            return "cancelled"
         spec = self.effective_spec()
         resumed = spec.resume
         self.update_state("running", resumed=resumed)
@@ -246,10 +282,14 @@ class Job:
         except Exception as exc:  # noqa: BLE001 - job boundary
             watcher.stop()
             message = f"{type(exc).__name__}: {exc}"
+            # Machine-readable failure class: a full disk is an operable
+            # condition (free space, resubmit, the job resumes), not a
+            # generic error.
+            reason = "storage_exhausted" if is_enospc(exc) else "error"
             # Event first, state second: an SSE tail that sees the
             # terminal state must already find the final event on disk.
-            self.events.emit("job.failed", error=message)
-            self.update_state("failed", error=message)
+            self.events.emit("job.failed", error=message, reason=reason)
+            self.update_state("failed", error=message, reason=reason)
             return "failed"
         watcher.stop()
         state = self._classify(result)
@@ -396,6 +436,8 @@ class JobStore:
             atomic_write_bytes(
                 job_dir / _SPEC_NAME,
                 (spec.to_json(indent=2) + "\n").encode("utf-8"),
+                component="jobs",
+                op="spec",
             )
             job = Job(job_dir, job_id, spec)
             self._jobs[job_id] = job

@@ -1,0 +1,256 @@
+"""Unit tests for service backpressure and resilience: the bounded
+admission queue, graceful drain, the per-job watchdog, cancel slot
+accounting, ENOSPC job failure classification, and torn-tail recovery
+of the job event log — all with stubbed campaign execution."""
+
+import errno
+import json
+import threading
+import time
+
+import pytest
+
+import repro.service.jobs as jobs_module
+from repro.core.campaign import CampaignSpec
+from repro.core.experiment import ExperimentConfig
+from repro.service import (
+    CampaignScheduler,
+    DrainingError,
+    Job,
+    JobStore,
+    QueueFullError,
+)
+from repro.service.jobs import JobEventWriter, read_event_lines
+
+TINY = ExperimentConfig(
+    skills_per_persona=2,
+    pre_iterations=1,
+    post_iterations=1,
+    crawl_sites=2,
+    prebid_discovery_target=5,
+    audio_hours=0.5,
+)
+
+SPEC = CampaignSpec(config=TINY, seed=5)
+
+
+class _StubExecute:
+    """Replace Job.execute: hold a release gate, then succeed."""
+
+    def __init__(self, seconds=0.05):
+        self.seconds = seconds
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def __call__(self, job):
+        self.started.set()
+        job.update_state("running")
+        if self.seconds is None:
+            self.release.wait()
+        else:
+            time.sleep(self.seconds)
+        job.events.emit("job.finished", state="complete")
+        job.update_state("complete")
+        return "complete"
+
+
+class TestBoundedQueue:
+    def test_overflow_is_rejected_with_retry_after(self, tmp_path, monkeypatch):
+        stub = _StubExecute(seconds=None)
+        monkeypatch.setattr(Job, "execute", lambda job: stub(job))
+        scheduler = CampaignScheduler(
+            JobStore(tmp_path), total_workers=1, max_queue=1
+        )
+        scheduler.start()
+        try:
+            scheduler.submit(SPEC.replace(seed=1))  # dispatched, running
+            assert stub.started.wait(timeout=5)
+            scheduler.submit(SPEC.replace(seed=2))  # fills the queue
+            with pytest.raises(QueueFullError) as excinfo:
+                scheduler.submit(SPEC.replace(seed=3))
+            assert excinfo.value.retry_after >= 1
+            assert "retry later" in str(excinfo.value)
+            assert scheduler.counters()["service.jobs_rejected"] == 1
+        finally:
+            stub.release.set()
+            assert scheduler.wait_idle(timeout=10)
+            scheduler.shutdown()
+
+    def test_reservation_rolls_back_when_persist_fails(
+        self, tmp_path, monkeypatch
+    ):
+        store = JobStore(tmp_path)
+        scheduler = CampaignScheduler(store, total_workers=1, max_queue=1)
+        monkeypatch.setattr(
+            store,
+            "submit",
+            lambda spec: (_ for _ in ()).throw(OSError(errno.ENOSPC, "full")),
+        )
+        with pytest.raises(OSError):
+            scheduler.submit(SPEC)
+        # The reserved slot came back: the queue is not poisoned.
+        assert scheduler._reserved == 0
+        monkeypatch.undo()
+        stub = _StubExecute()
+        monkeypatch.setattr(Job, "execute", lambda job: stub(job))
+        scheduler.start()
+        scheduler.submit(SPEC)
+        assert scheduler.wait_idle(timeout=10)
+        scheduler.shutdown()
+
+
+class TestCancelReleasesSlot:
+    def test_cancel_frees_queue_slot_and_emits_event_before_state(
+        self, tmp_path, monkeypatch
+    ):
+        # 1-token budget + 1-slot queue: the cancelled job's admission
+        # slot must come back, or the third submission could never be
+        # accepted and the dequeued head would starve (the PR-8 token
+        # leak, on the queue side).
+        stub = _StubExecute(seconds=None)
+        monkeypatch.setattr(Job, "execute", lambda job: stub(job))
+        scheduler = CampaignScheduler(
+            JobStore(tmp_path), total_workers=1, max_queue=1
+        )
+        scheduler.start()
+        scheduler.submit(SPEC.replace(seed=1))
+        assert stub.started.wait(timeout=5)
+        victim = scheduler.submit(SPEC.replace(seed=2))
+        with pytest.raises(QueueFullError):
+            scheduler.submit(SPEC.replace(seed=3))
+
+        assert scheduler.cancel(victim.id) == "cancelled"
+        assert victim.state == "cancelled"
+        # Terminal event landed in the log before the state flipped, so
+        # an SSE tail closing on the state cannot miss it.
+        records = [json.loads(l) for l in read_event_lines(victim.events_path)]
+        assert any(r["type"] == "job.cancelled" for r in records)
+
+        survivor = scheduler.submit(SPEC.replace(seed=3))  # slot released
+        stub.release.set()
+        assert scheduler.wait_idle(timeout=10)
+        scheduler.shutdown()
+        assert survivor.state == "complete"
+        assert scheduler.counters()["service.jobs_cancelled"] == 1
+
+    def test_cancel_requested_honoured_at_execute_entry(self, tmp_path):
+        job = JobStore(tmp_path).submit(SPEC)
+        job.set_flag("cancel_requested", True)
+        assert job.execute() == "cancelled"
+        assert job.state == "cancelled"
+        records = [json.loads(l) for l in read_event_lines(job.events_path)]
+        assert records[-1]["type"] == "job.cancelled"
+
+
+class TestDrain:
+    def test_drain_finishes_running_and_keeps_queued_durable(
+        self, tmp_path, monkeypatch
+    ):
+        stub = _StubExecute(seconds=0.2)
+        monkeypatch.setattr(Job, "execute", lambda job: stub(job))
+        scheduler = CampaignScheduler(JobStore(tmp_path), total_workers=1)
+        scheduler.start()
+        running = scheduler.submit(SPEC.replace(seed=1))
+        queued = scheduler.submit(SPEC.replace(seed=2))
+        assert stub.started.wait(timeout=5)
+
+        assert scheduler.drain(timeout=10) is True
+        assert running.state == "complete"
+        assert queued.state == "queued"  # durably queued, not lost
+        with pytest.raises(DrainingError):
+            scheduler.submit(SPEC.replace(seed=3))
+        scheduler.shutdown()
+
+        # A restarted scheduler re-admits the queued job.
+        restarted = CampaignScheduler(JobStore(tmp_path), total_workers=1)
+        restarted.start()
+        assert restarted.wait_idle(timeout=10)
+        restarted.shutdown()
+        assert restarted.counters()["service.jobs_recovered"] == 1
+        assert JobStore(tmp_path).get(queued.id).state == "complete"
+
+
+class TestWatchdog:
+    def test_hung_job_is_failed_and_tokens_freed(self, tmp_path, monkeypatch):
+        hang = threading.Event()
+
+        def execute(job):
+            job.update_state("running")
+            if job.spec.seed == 1:
+                hang.wait(timeout=2.0)  # hung campaign
+                return "complete"
+            job.events.emit("job.finished", state="complete")
+            job.update_state("complete")
+            return "complete"
+
+        monkeypatch.setattr(Job, "execute", execute)
+        scheduler = CampaignScheduler(
+            JobStore(tmp_path), total_workers=1, job_timeout=0.2
+        )
+        scheduler.start()
+        hung = scheduler.submit(SPEC.replace(seed=1))
+        survivor = scheduler.submit(SPEC.replace(seed=2))
+        # With a 1-token budget the survivor can only run because the
+        # watchdog freed the hung job's token.
+        assert scheduler.wait_idle(timeout=10)
+        assert survivor.state == "complete"
+        assert hung.state == "failed"
+        assert hung.describe()["reason"] == "watchdog_timeout"
+        records = [json.loads(l) for l in read_event_lines(hung.events_path)]
+        failures = [r for r in records if r["type"] == "job.failed"]
+        assert failures and failures[0]["fields"]["reason"] == "watchdog_timeout"
+        counters = scheduler.counters()
+        assert counters["service.watchdog_reaped"] == 1
+        assert counters["service.jobs_failed"] == 1
+
+        # Let the zombie thread finish: its completion must neither
+        # resurrect the job nor double-release tokens or counters.
+        hang.set()
+        time.sleep(0.3)
+        assert hung.state == "failed"  # terminal-guarded update_state
+        after = scheduler.counters()
+        assert after["service.workers_active"] == 0
+        assert after["service.jobs_completed"] == counters["service.jobs_completed"]
+        scheduler.shutdown(wait=False)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="job_timeout"):
+            CampaignScheduler(JobStore(tmp_path), job_timeout=0.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            CampaignScheduler(JobStore(tmp_path), max_queue=0)
+
+
+class TestEnospcJobFailure:
+    def test_full_disk_parks_job_with_machine_readable_reason(
+        self, tmp_path, monkeypatch
+    ):
+        def explode(spec, out_dir, **kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(jobs_module, "execute_spec", explode)
+        job = JobStore(tmp_path).submit(SPEC)
+        assert job.execute() == "failed"
+        description = job.describe()
+        assert description["reason"] == "storage_exhausted"
+        records = [json.loads(l) for l in read_event_lines(job.events_path)]
+        failed = [r for r in records if r["type"] == "job.failed"]
+        assert failed and failed[0]["fields"]["reason"] == "storage_exhausted"
+
+
+class TestEventWriterTornTail:
+    def test_restart_truncates_fragment_and_continues_seq(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = JobEventWriter(path)
+        writer.emit("job.submitted")
+        writer.emit("job.started")
+        with path.open("ab") as handle:
+            handle.write(b'{"schema": 1, "seq": 2, "type": "job.pro')
+
+        restarted = JobEventWriter(path)  # service restart
+        # The torn fragment is physically gone, not just skipped.
+        assert path.read_bytes().endswith(b"\n")
+        assert b"job.pro" not in path.read_bytes()
+        restarted.emit("job.finished")
+        records = [json.loads(l) for l in read_event_lines(path)]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[-1]["type"] == "job.finished"
